@@ -1,0 +1,177 @@
+(* The retrofit command-line tool.
+
+   retrofit interp -e "match perform E 0 with v -> v | effect (E x) k ->
+     continue k 42 end"        evaluate a program in the formal semantics
+   retrofit interp --example meander --trace
+   retrofit examples           list the built-in semantics examples
+   retrofit bench table1       regenerate one of the paper's tables/figures
+   retrofit bench --all --quick
+   retrofit backtrace          the Fig 1d meander backtrace
+   retrofit websim --rate 20000
+*)
+
+module S = Retrofit_semantics
+module E = Retrofit_experiments
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* interp *)
+
+let run_interp source example trace fuel =
+  let source =
+    match (source, example) with
+    | Some s, None -> Ok s
+    | None, Some name -> (
+        match S.Examples.find name with
+        | Some ex -> Ok ex.S.Examples.source
+        | None ->
+            Error
+              (Printf.sprintf "unknown example %S; try `retrofit examples`" name))
+    | None, None -> Error "provide a program with -e or --example"
+    | Some _, Some _ -> Error "-e and --example are mutually exclusive"
+  in
+  match source with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok source -> (
+      match S.Parser.parse source with
+      | Error msg ->
+          Printf.eprintf "syntax error: %s\n" msg;
+          1
+      | Ok ast ->
+          let tracer =
+            if trace then
+              Some (fun cfg -> Format.printf "%a@." S.Syntax.pp_config cfg)
+            else None
+          in
+          let result = S.Machine.run ~fuel ?trace:tracer ast in
+          print_endline (S.Machine.result_to_string result);
+          (match result with S.Machine.Value _ -> 0 | _ -> 1))
+
+let interp_cmd =
+  let source =
+    Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~doc:"Program text.")
+  in
+  let example =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "example" ] ~doc:"Run a named built-in example.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print every machine configuration.")
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000 & info [ "fuel" ] ~doc:"Maximum reduction steps.")
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Evaluate a program in the executable semantics of §4")
+    Term.(const run_interp $ source $ example $ trace $ fuel)
+
+let examples_cmd =
+  let run () =
+    List.iter
+      (fun (ex : S.Examples.t) ->
+        Printf.printf "%-24s %s\n" ex.name ex.description)
+      S.Examples.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "examples" ~doc:"List the built-in semantics examples")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* bench *)
+
+let run_bench ids all quick =
+  let targets =
+    if all then List.map (fun (e : E.Registry.t) -> e.id) E.Registry.all else ids
+  in
+  if targets = [] then begin
+    List.iter
+      (fun (e : E.Registry.t) ->
+        Printf.printf "%-11s %s (%s)\n" e.id e.title e.paper_ref)
+      E.Registry.all;
+    0
+  end
+  else begin
+    let missing =
+      List.filter (fun id -> E.Registry.find id = None) targets
+    in
+    match missing with
+    | _ :: _ ->
+        Printf.eprintf "unknown experiments: %s\n" (String.concat ", " missing);
+        1
+    | [] ->
+        List.iter
+          (fun id ->
+            let e = Option.get (E.Registry.find id) in
+            Printf.printf "=== %s: %s (%s) ===\n\n%s\n" e.id e.title e.paper_ref
+              (e.run ~quick ()))
+          targets;
+        0
+  end
+
+let bench_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.") in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (for smoke runs).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Regenerate the paper's tables and figures (no arguments: list them)")
+    Term.(const run_bench $ ids $ all $ quick)
+
+(* ------------------------------------------------------------------ *)
+(* backtrace and websim *)
+
+let backtrace_cmd =
+  let run quick =
+    print_string (E.Exp_backtrace.report ~quick ());
+    0
+  in
+  let quick = Arg.(value & flag & info [ "quick" ]) in
+  Cmd.v
+    (Cmd.info "backtrace"
+       ~doc:"Print the Fig 1d meander backtrace and the DWARF validation table")
+    Term.(const run $ quick)
+
+let websim_cmd =
+  let run rate duration =
+    let outcomes =
+      Retrofit_httpsim.Experiment.fig6b ~rate_rps:rate ~duration_ms:duration ()
+    in
+    List.iter
+      (fun (o : Retrofit_httpsim.Loadgen.outcome) ->
+        Printf.printf
+          "%-4s offered=%d achieved=%.0f p50=%.2fms p99=%.2fms p99.9=%.2fms \
+           gc=%d errors=%d\n"
+          o.model_name o.offered_rps o.achieved_rps
+          (float_of_int o.p50_ns /. 1e6)
+          (float_of_int o.p99_ns /. 1e6)
+          (float_of_int o.p999_ns /. 1e6)
+          o.gc_pauses o.errors)
+      outcomes;
+    0
+  in
+  let rate =
+    Arg.(value & opt int 20_000 & info [ "rate" ] ~doc:"Offered load (req/s).")
+  in
+  let duration =
+    Arg.(value & opt int 2_000 & info [ "duration" ] ~doc:"Duration (ms).")
+  in
+  Cmd.v
+    (Cmd.info "websim" ~doc:"Run the web-server simulation at one load point")
+    Term.(const run $ rate $ duration)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "retrofit" ~version:"1.0"
+       ~doc:
+         "Reproduction of 'Retrofitting Effect Handlers onto OCaml' (PLDI 2021)")
+    [ interp_cmd; examples_cmd; bench_cmd; backtrace_cmd; websim_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/async_io.ml: List Printf Retrofit_core String

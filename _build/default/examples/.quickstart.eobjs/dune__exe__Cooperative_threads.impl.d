@@ -1,0 +1,1 @@
+examples/cooperative_threads.ml: List Printf Retrofit_core String

@@ -1,0 +1,1 @@
+examples/fiber_machine.ml: Array List Printf Retrofit_dwarf Retrofit_fiber Retrofit_util

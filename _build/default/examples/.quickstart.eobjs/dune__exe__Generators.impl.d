@@ -1,0 +1,1 @@
+examples/generators.ml: Array List Printf Retrofit_gen

@@ -1,0 +1,1 @@
+examples/interp_demo.ml: Format List Option Printf Retrofit_semantics

@@ -1,0 +1,1 @@
+examples/interp_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Effect Obj Printexc Printf Retrofit_core String

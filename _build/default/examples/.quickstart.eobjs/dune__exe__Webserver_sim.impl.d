@@ -1,0 +1,1 @@
+examples/webserver_sim.ml: List Printf Retrofit_httpsim String

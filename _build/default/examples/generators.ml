@@ -1,0 +1,51 @@
+(* Generators from iterators (§6.3.1): given any [iter], effect
+   handlers derive a [next] function — no code changes to the data
+   structure.
+
+   Run with: dune exec examples/generators.exe *)
+
+module G = Retrofit_gen
+
+let () =
+  print_endline "-- generator over a binary tree --";
+  let tree = G.Tree.complete ~depth:3 in
+  let next = G.Effect_gen.of_tree tree in
+  let rec drain () =
+    match next () with
+    | Some v ->
+        Printf.printf "%d " v;
+        drain ()
+    | None -> print_newline ()
+  in
+  drain ();
+
+  print_endline "-- the same derivation works for any iterator --";
+  let next = G.Effect_gen.of_iter (fun f -> List.iter f [ "fold"; "iter"; "map" ]) in
+  let rec drain () =
+    match next () with
+    | Some s ->
+        Printf.printf "%s " s;
+        drain ()
+    | None -> print_newline ()
+  in
+  drain ();
+
+  print_endline "-- generators are demand-driven: zip two traversals --";
+  let a = G.Effect_gen.of_tree (G.Tree.complete ~depth:2) in
+  let b = G.Effect_gen.of_iter (fun f -> Array.iter f [| 10; 20; 30 |]) in
+  let rec zip () =
+    match (a (), b ()) with
+    | Some x, Some y ->
+        Printf.printf "(%d,%d) " x y;
+        zip ()
+    | _ -> print_newline ()
+  in
+  zip ();
+
+  print_endline "-- all three implementations agree (§6.3.1) --";
+  let depth = 10 in
+  let t = G.Tree.complete ~depth in
+  Printf.printf "effect: %d, cps: %d, monad: %d\n"
+    (G.Effect_gen.sum_all (G.Effect_gen.of_tree t))
+    (G.Cps_gen.sum_all (G.Cps_gen.of_tree t))
+    (G.Monad_gen.sum_all (G.Monad_gen.of_tree t))

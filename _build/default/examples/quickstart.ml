@@ -1,0 +1,85 @@
+(* Quickstart: effect handlers through the paper's API (§4.1).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Eff = Retrofit_core.Eff
+
+(* Declare an effect: performing [Ask s] returns an int. *)
+type _ Effect.t += Ask : string -> int Effect.t
+
+exception Cancelled
+
+let computation () =
+  let a = Eff.perform (Ask "first") in
+  let b = Eff.perform (Ask "second") in
+  a + b
+
+let () =
+  (* A handler is a return case, an exception case and an effect case;
+     the effect case receives the delimited continuation. *)
+  let result =
+    Eff.match_with computation
+      {
+        Eff.retc = (fun v -> Printf.sprintf "returned %d" v);
+        exnc = (fun e -> Printf.sprintf "raised %s" (Printexc.to_string e));
+        effc =
+          (fun (type c) (eff : c Eff.eff) ->
+            match eff with
+            | Ask prompt ->
+                Some
+                  (fun (k : (c, string) Eff.continuation) ->
+                    Printf.printf "handling (Ask %S)\n" prompt;
+                    (* resume the computation with the answer *)
+                    Eff.continue k (String.length prompt))
+            | _ -> None);
+      }
+  in
+  Printf.printf "first run : %s\n" result;
+
+  (* discontinue resumes by raising at the perform site, so the
+     computation's own exception handling (resource cleanup, §3.2)
+     runs. *)
+  let result =
+    Eff.match_with
+      (fun () -> try computation () with Cancelled -> -1)
+      {
+        Eff.retc = (fun v -> Printf.sprintf "returned %d" v);
+        exnc = (fun e -> Printf.sprintf "raised %s" (Printexc.to_string e));
+        effc =
+          (fun (type c) (eff : c Eff.eff) ->
+            match eff with
+            | Ask _ ->
+                Some
+                  (fun (k : (c, string) Eff.continuation) ->
+                    Eff.discontinue k Cancelled)
+            | _ -> None);
+      }
+  in
+  Printf.printf "second run: %s\n" result;
+
+  (* Continuations are one-shot: a second resume raises. *)
+  let saved = ref None in
+  let _ =
+    Eff.match_with computation
+      {
+        Eff.retc = string_of_int;
+        exnc = Printexc.to_string;
+        effc =
+          (fun (type c) (eff : c Eff.eff) ->
+            match eff with
+            | Ask _ ->
+                Some
+                  (fun (k : (c, string) Eff.continuation) ->
+                    saved := Some (Obj.repr k);
+                    Eff.continue k 1)
+            | _ -> None);
+      }
+  in
+  (match !saved with
+  | Some k -> (
+      let k : (int, string) Eff.continuation = Obj.obj k in
+      try ignore (Eff.continue k 2)
+      with Effect.Continuation_already_resumed ->
+        print_endline "one-shot: second resume raised, as §3.1 specifies")
+  | None -> ());
+  print_endline "quickstart done"

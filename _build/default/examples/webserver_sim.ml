@@ -1,0 +1,38 @@
+(* The web-server experiment (§6.3.4) at a small scale: three server
+   architectures under wrk2-style constant load.
+
+   Run with: dune exec examples/webserver_sim.exe *)
+
+module H = Retrofit_httpsim
+
+let () =
+  print_endline "-- one handled request, end to end --";
+  let raw = H.Netsim.request_for ~target:"/" ~conn_id:0 in
+  print_string raw;
+  let reply = H.Server_effects.process_raw raw in
+  (match H.Http.parse_response reply with
+  | Ok (resp, _) ->
+      Printf.printf "=> %d %s, %d body bytes\n\n" resp.H.Http.status resp.H.Http.reason
+        (String.length resp.H.Http.resp_body)
+  | Error e -> failwith e);
+
+  print_endline "-- 2/3-capacity load, all three servers --";
+  List.iter
+    (fun (model, process) ->
+      let o = H.Loadgen.run ~model ~process ~rate_rps:20_000 ~duration_ms:500 () in
+      Printf.printf
+        "%-4s achieved %.0f req/s  p50 %.2f ms  p99 %.2f ms  p99.9 %.2f ms  (gc pauses %d)\n"
+        o.H.Loadgen.model_name o.achieved_rps
+        (float_of_int o.p50_ns /. 1e6)
+        (float_of_int o.p99_ns /. 1e6)
+        (float_of_int o.p999_ns /. 1e6)
+        o.gc_pauses)
+    H.Experiment.servers;
+
+  print_endline "\n-- pushing past the plateau --";
+  List.iter
+    (fun (model, process) ->
+      let o = H.Loadgen.run ~model ~process ~rate_rps:40_000 ~duration_ms:300 () in
+      Printf.printf "%-4s offered 40k => achieved %.0f req/s (saturated)\n"
+        o.H.Loadgen.model_name o.achieved_rps)
+    H.Experiment.servers

@@ -1,0 +1,1 @@
+lib/core/aio.ml: Chan Effect Evloop List Queue Sched

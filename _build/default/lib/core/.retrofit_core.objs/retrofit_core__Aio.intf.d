@@ -1,0 +1,1 @@
+lib/core/aio.mli: Chan Evloop

@@ -1,0 +1,1 @@
+lib/core/chan.ml: Evloop List Queue String

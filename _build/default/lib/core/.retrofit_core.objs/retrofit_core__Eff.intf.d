@@ -1,0 +1,1 @@
+lib/core/eff.mli: Effect

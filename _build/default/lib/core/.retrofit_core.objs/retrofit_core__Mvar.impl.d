@@ -1,0 +1,1 @@
+lib/core/mvar.ml: Queue Sched

@@ -1,0 +1,124 @@
+type _ Effect.t +=
+  | In_line : Chan.ic -> string Effect.t
+  | Out_str : Chan.oc * string -> unit Effect.t
+
+let input_line ic = Effect.perform (In_line ic)
+
+let output_string oc s = Effect.perform (Out_str (oc, s))
+
+(* A parked read: the channel and the continuation expecting the line. *)
+type pending = Pending : Chan.ic * (string, unit) Effect.Deep.continuation -> pending
+
+type mode = Sync | Async
+
+let run_mode mode loop main =
+  let runq : (unit -> unit) Queue.t = Queue.create () in
+  let pending_reads : pending list ref = ref [] in
+  let resume_read (Pending (ic, k)) =
+    match Chan.read_line_nonblock ic with
+    | `Line line -> Queue.push (fun () -> Effect.Deep.continue k line) runq
+    | `Eof -> Queue.push (fun () -> Effect.Deep.discontinue k End_of_file) runq
+    | `Not_ready -> assert false
+    | exception (Sys_error _ as e) ->
+        Queue.push (fun () -> Effect.Deep.discontinue k e) runq
+  in
+  let rec run_next () =
+    match Queue.pop runq with
+    | thunk -> thunk ()
+    | exception Queue.Empty -> (
+        match !pending_reads with
+        | [] -> ()
+        | todo ->
+            (* Every thread is parked on I/O: advance virtual time until
+               at least one read completes (the do_reads of §3.1). *)
+            let progressed =
+              Evloop.advance_until loop (fun () ->
+                  List.exists (fun (Pending (ic, _)) -> Chan.readable ic) todo)
+            in
+            if not progressed then
+              failwith "Aio: all threads blocked and no input will ever arrive";
+            let ready, still =
+              List.partition (fun (Pending (ic, _)) -> Chan.readable ic) todo
+            in
+            pending_reads := still;
+            List.iter resume_read ready;
+            run_next ())
+  in
+  let resumer_of k =
+    let used = ref false in
+    fun v ->
+      if !used then invalid_arg "Aio: resumer invoked twice";
+      used := true;
+      Queue.push (fun () -> Effect.Deep.continue k v) runq
+  in
+  let rec spawn : (unit -> unit) -> unit =
+   fun f ->
+    Effect.Deep.match_with f ()
+      {
+        Effect.Deep.retc = (fun () -> run_next ());
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Sched.Yield ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    Queue.push (fun () -> Effect.Deep.continue k ()) runq;
+                    run_next ())
+            | Sched.Fork f' ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    Queue.push (fun () -> Effect.Deep.continue k ()) runq;
+                    spawn f')
+            | Sched.Suspend g ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    g (resumer_of k);
+                    run_next ())
+            | In_line ic ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    match mode with
+                    | Sync -> (
+                        match Chan.read_line_blocking ic with
+                        | line -> Effect.Deep.continue k line
+                        | exception e -> Effect.Deep.discontinue k e)
+                    | Async -> (
+                        match Chan.read_line_nonblock ic with
+                        | `Line line -> Effect.Deep.continue k line
+                        | `Eof -> Effect.Deep.discontinue k End_of_file
+                        | `Not_ready ->
+                            pending_reads := Pending (ic, k) :: !pending_reads;
+                            run_next ()
+                        | exception (Sys_error _ as e) ->
+                            Effect.Deep.discontinue k e))
+            | Out_str (oc, s) ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    match Chan.write_string oc s with
+                    | () -> Effect.Deep.continue k ()
+                    | exception e -> Effect.Deep.discontinue k e)
+            | _ -> None);
+      }
+  in
+  spawn main
+
+let run_sync loop main = run_mode Sync loop main
+
+let run_async loop main = run_mode Async loop main
+
+(* The §3.2 example, structurally verbatim: defensive cleanup on normal
+   end of input, and on any other exception.  close_* are idempotent. *)
+let copy ic oc =
+  let rec loop () =
+    output_string oc (input_line ic ^ "\n");
+    loop ()
+  in
+  try loop () with
+  | End_of_file ->
+      Chan.close_in ic;
+      Chan.close_out oc
+  | e ->
+      Chan.close_in ic;
+      Chan.close_out oc;
+      raise e

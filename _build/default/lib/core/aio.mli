@@ -1,0 +1,38 @@
+(** Asynchronous I/O via effects: the run functions of §3.1.
+
+    Client code performs [In_line]/[Out_str] through {!input_line} and
+    {!output_string} — the same signatures as the standard library — and
+    composes with {!Sched.fork} and {!Sched.yield}.  The choice between
+    blocking and asynchronous I/O is made {e solely} by the runner:
+
+    - {!run_sync} services each read by blocking (advancing virtual
+      time) while every other thread waits;
+    - {!run_async} parks readers, lets other threads run, and only
+      advances time when all threads are blocked — the paper's
+      [pending_reads]/[do_reads] structure.
+
+    Requirement R4 (forwards compatibility) is thus observable: the
+    same client code, run under [run_async], overlaps its I/O; virtual
+    completion times prove it (see the tests and the async_io example).
+
+    Exceptional completions use [discontinue]: end of input raises
+    [End_of_file] and closed channels [Sys_error] at the perform site,
+    so defensive resource-cleanup code written for blocking I/O (§3.2)
+    keeps working. *)
+
+val input_line : Chan.ic -> string
+(** Performs [In_line]; must run under one of the runners. *)
+
+val output_string : Chan.oc -> string -> unit
+(** Performs [Out_str]. *)
+
+val run_sync : Evloop.t -> (unit -> unit) -> unit
+(** Also handles {!Sched.Fork}, {!Sched.Yield} and {!Sched.Suspend}, so
+    threads and MVars work under it. *)
+
+val run_async : Evloop.t -> (unit -> unit) -> unit
+
+val copy : Chan.ic -> Chan.oc -> unit
+(** The §3.2 copy loop, verbatim in structure: reads lines until
+    [End_of_file], closing both channels on all exits and re-raising
+    unexpected exceptions.  Works unchanged under both runners. *)

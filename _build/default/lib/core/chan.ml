@@ -1,0 +1,119 @@
+type ic = {
+  ic_loop : Evloop.t;
+  buffered : string Queue.t;
+  mutable eof_signalled : bool;
+  mutable ic_closed : bool;
+  mutable expected : int;  (** arrivals scheduled but not yet delivered *)
+  (* pull-driven source: the next line (or EOF) becomes available
+     [src_latency] after the previous one is consumed *)
+  mutable source : string list;
+  src_latency : int;
+  mutable armed : bool;
+}
+
+type oc = {
+  oc_loop : Evloop.t;
+  mutable written : (int * string) list;  (** newest first *)
+  mutable oc_closed : bool;
+}
+
+let make_ic loop =
+  {
+    ic_loop = loop;
+    buffered = Queue.create ();
+    eof_signalled = false;
+    ic_closed = false;
+    expected = 0;
+    source = [];
+    src_latency = 0;
+    armed = false;
+  }
+
+(* Schedule the delivery of the next source item; called at creation and
+   after each consumption, so reads pay the latency serially when
+   blocking and concurrently when asynchronous. *)
+let arm ic =
+  if (not ic.armed) && not ic.eof_signalled then begin
+    ic.armed <- true;
+    match ic.source with
+    | line :: rest ->
+        ic.source <- rest;
+        Evloop.after ic.ic_loop ~delay:ic.src_latency (fun () ->
+            ic.armed <- false;
+            if not ic.eof_signalled then Queue.push line ic.buffered)
+    | [] ->
+        Evloop.after ic.ic_loop ~delay:ic.src_latency (fun () ->
+            ic.armed <- false;
+            ic.eof_signalled <- true)
+  end
+
+let make_ic_lazy loop ~latency lines =
+  if latency < 0 then invalid_arg "Chan.make_ic_lazy: negative latency";
+  let ic =
+    {
+      ic_loop = loop;
+      buffered = Queue.create ();
+      eof_signalled = false;
+      ic_closed = false;
+      expected = 0;
+      source = lines;
+      src_latency = latency;
+      armed = false;
+    }
+  in
+  arm ic;
+  ic
+
+let feed_line ic ~delay line =
+  ic.expected <- ic.expected + 1;
+  Evloop.after ic.ic_loop ~delay (fun () ->
+      ic.expected <- ic.expected - 1;
+      if not ic.eof_signalled then Queue.push line ic.buffered)
+
+let feed_eof ic ~delay =
+  ic.expected <- ic.expected + 1;
+  Evloop.after ic.ic_loop ~delay (fun () ->
+      ic.expected <- ic.expected - 1;
+      ic.eof_signalled <- true)
+
+let check_open ic = if ic.ic_closed then raise (Sys_error "input channel is closed")
+
+let has_line ic = not (Queue.is_empty ic.buffered)
+
+let at_eof ic = ic.eof_signalled && Queue.is_empty ic.buffered
+
+let readable ic = has_line ic || at_eof ic
+
+let read_line_nonblock ic =
+  check_open ic;
+  match Queue.pop ic.buffered with
+  | line ->
+      arm ic;
+      `Line line
+  | exception Queue.Empty -> if ic.eof_signalled then `Eof else `Not_ready
+
+let read_line_blocking ic =
+  check_open ic;
+  let arrived = Evloop.advance_until ic.ic_loop (fun () -> readable ic) in
+  if not arrived then raise (Sys_error "read would block forever")
+  else begin
+    match Queue.pop ic.buffered with
+    | line ->
+        arm ic;
+        line
+    | exception Queue.Empty -> raise End_of_file
+  end
+
+let close_in ic = ic.ic_closed <- true
+
+let make_oc loop = { oc_loop = loop; written = []; oc_closed = false }
+
+let write_string oc s =
+  if oc.oc_closed then raise (Sys_error "output channel is closed");
+  oc.written <- (Evloop.now oc.oc_loop, s) :: oc.written
+
+let close_out oc = oc.oc_closed <- true
+
+let writes oc = List.rev oc.written
+
+let contents oc = String.concat "" (List.map snd (writes oc))

@@ -1,0 +1,44 @@
+type 'a eff = 'a Effect.t
+
+type ('a, 'b) continuation = ('a, 'b) Effect.Deep.continuation
+
+type ('a, 'b) handler = {
+  retc : 'a -> 'b;
+  exnc : exn -> 'b;
+  effc : 'c. 'c eff -> (('c, 'b) continuation -> 'b) option;
+}
+
+let perform = Effect.perform
+
+let continue = Effect.Deep.continue
+
+let discontinue = Effect.Deep.discontinue
+
+let match_with f (h : ('a, 'b) handler) =
+  Effect.Deep.match_with f ()
+    { Effect.Deep.retc = h.retc; exnc = h.exnc; effc = h.effc }
+
+let value_handler retc = { retc; exnc = raise; effc = (fun _ -> None) }
+
+exception Unwind
+
+let finalise_continuation k =
+  Gc.finalise
+    (fun k -> try ignore (discontinue k Unwind) with _ -> ())
+    k
+
+let protect ~finally f =
+  match f () with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+let one_shot f =
+  let used = ref false in
+  fun x ->
+    if !used then invalid_arg "one_shot: already invoked";
+    used := true;
+    f x

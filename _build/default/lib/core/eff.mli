@@ -1,0 +1,56 @@
+(** The paper's effect-handler API (§4.1) on OCaml 5.
+
+    OCaml 5 ships the design this paper describes; this module presents
+    it under the paper's exact interface — a [('a, 'b) handler] record
+    with return, exception and effect cases, [match_with], [perform],
+    [continue] and [discontinue] — together with the resource-safety
+    helpers discussed in §3.2/§5.6. *)
+
+type 'a eff = 'a Effect.t
+
+type ('a, 'b) continuation = ('a, 'b) Effect.Deep.continuation
+
+type ('a, 'b) handler = {
+  retc : 'a -> 'b;
+  exnc : exn -> 'b;
+  effc : 'c. 'c eff -> (('c, 'b) continuation -> 'b) option;
+      (** [None] reperforms to the outer handler without running code on
+          the resumption path *)
+}
+
+val perform : 'a eff -> 'a
+
+val continue : ('a, 'b) continuation -> 'a -> 'b
+(** @raise Continuation_already_resumed on a second resumption:
+    continuations are one-shot (§3.1). *)
+
+val discontinue : ('a, 'b) continuation -> exn -> 'b
+(** Resumes by raising, so the suspended computation's exception
+    handlers run and clean up resources (§3.2). *)
+
+val match_with : (unit -> 'a) -> ('a, 'b) handler -> 'b
+
+val value_handler : ('a -> 'b) -> ('a, 'b) handler
+(** A handler with only a return case: exceptions re-raise, effects
+    reperform. *)
+
+exception Unwind
+(** The exception a finaliser discontinues abandoned continuations with
+    (§5.6). *)
+
+val finalise_continuation : ('a, 'b) continuation -> unit
+(** Attach a GC finaliser that discontinues the continuation with
+    {!Unwind}, freeing its stack and releasing resources held by its
+    frames.  The paper measures this costly enough (§6.3.3) that it is
+    not done by default — here too it is explicit. *)
+
+val protect : finally:(unit -> unit) -> (unit -> 'a) -> 'a
+(** unwind-protect built from exception handlers, as OCaml libraries do
+    (§7): [finally] runs on value return and on exception.  Like those
+    libraries, it relies on continuations being resumed exactly once —
+    a suspended effect is not an exit. *)
+
+val one_shot : ('a -> 'b) -> 'a -> 'b
+(** [one_shot f] is [f] restricted to a single call;
+    @raise Invalid_argument on reuse.  Used by tests to pin the
+    at-most-once discipline. *)

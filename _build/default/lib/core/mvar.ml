@@ -1,0 +1,45 @@
+(* State machine: Empty with a queue of parked takers, or Full with the
+   value and a queue of parked putters (each carrying the value it wants
+   to deposit). *)
+type 'a state =
+  | Empty of 'a Sched.resumer Queue.t
+  | Full of 'a * ('a * unit Sched.resumer) Queue.t
+
+type 'a t = { mutable state : 'a state }
+
+let create_empty () = { state = Empty (Queue.create ()) }
+
+let create v = { state = Full (v, Queue.create ()) }
+
+let take t =
+  match t.state with
+  | Empty takers -> Sched.suspend (fun resume -> Queue.push resume takers)
+  | Full (v, putters) ->
+      (match Queue.pop putters with
+      | v', resume ->
+          t.state <- Full (v', putters);
+          resume ()
+      | exception Queue.Empty -> t.state <- Empty (Queue.create ()));
+      v
+
+let put t v =
+  match t.state with
+  | Full (_, putters) ->
+      Sched.suspend (fun resume -> Queue.push (v, resume) putters)
+  | Empty takers -> (
+      match Queue.pop takers with
+      | resume -> resume v
+      | exception Queue.Empty -> t.state <- Full (v, Queue.create ()))
+
+let try_take t =
+  match t.state with
+  | Empty _ -> None
+  | Full (v, putters) ->
+      (match Queue.pop putters with
+      | v', resume ->
+          t.state <- Full (v', putters);
+          resume ()
+      | exception Queue.Empty -> t.state <- Empty (Queue.create ()));
+      Some v
+
+let is_empty t = match t.state with Empty _ -> true | Full _ -> false

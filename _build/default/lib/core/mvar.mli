@@ -1,0 +1,24 @@
+(** MVars: synchronising cells for scheduler threads.
+
+    An MVar is either empty or holds one value.  [take] on an empty
+    MVar and [put] on a full one park the calling thread via
+    {!Sched.suspend}; resumptions preserve FIFO order.  This is the
+    synchronisation primitive of the chameneos benchmark (§6.3.2) and of
+    the concurrency-monad comparison (§6.2). *)
+
+type 'a t
+
+val create_empty : unit -> 'a t
+
+val create : 'a -> 'a t
+
+val take : 'a t -> 'a
+(** Must run inside {!Sched.run}. *)
+
+val put : 'a t -> 'a -> unit
+(** Must run inside {!Sched.run}. *)
+
+val try_take : 'a t -> 'a option
+(** Non-blocking: [None] when empty. *)
+
+val is_empty : 'a t -> bool

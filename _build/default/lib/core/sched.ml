@@ -1,0 +1,79 @@
+type policy = Fifo | Lifo
+
+type 'a resumer = 'a -> unit
+
+type _ Effect.t +=
+  | Fork : (unit -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+let fork f = Effect.perform (Fork f)
+
+let yield () = Effect.perform Yield
+
+let suspend f = Effect.perform (Suspend f)
+
+let switches = ref 0
+
+let stats_switches () = !switches
+
+(* The run queue holds thunks rather than bare continuations so that
+   resumers can close over the value to deliver (§3.1's asynchronous
+   variant uses the same representation). *)
+type runq = { queue : (unit -> unit) Queue.t; stack : (unit -> unit) Stack.t; policy : policy }
+
+let rq_push rq thunk =
+  match rq.policy with
+  | Fifo -> Queue.push thunk rq.queue
+  | Lifo -> Stack.push thunk rq.stack
+
+let rq_pop rq =
+  match rq.policy with
+  | Fifo -> ( match Queue.pop rq.queue with t -> Some t | exception Queue.Empty -> None)
+  | Lifo -> ( match Stack.pop rq.stack with t -> Some t | exception Stack.Empty -> None)
+
+let run ?(policy = Fifo) main =
+  let rq = { queue = Queue.create (); stack = Stack.create (); policy } in
+  switches := 0;
+  let run_next () =
+    match rq_pop rq with
+    | Some thunk ->
+        incr switches;
+        thunk ()
+    | None -> ()
+  in
+  let resumer_of k =
+    let used = ref false in
+    fun v ->
+      if !used then invalid_arg "Sched: resumer invoked twice";
+      used := true;
+      rq_push rq (fun () -> Effect.Deep.continue k v)
+  in
+  let rec spawn : (unit -> unit) -> unit =
+   fun f ->
+    Effect.Deep.match_with f ()
+      {
+        Effect.Deep.retc = (fun () -> run_next ());
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    rq_push rq (fun () -> Effect.Deep.continue k ());
+                    run_next ())
+            | Fork f' ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    rq_push rq (fun () -> Effect.Deep.continue k ());
+                    spawn f')
+            | Suspend f ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    f (resumer_of k);
+                    run_next ())
+            | _ -> None);
+      }
+  in
+  spawn main

@@ -1,0 +1,42 @@
+(** The cooperative lightweight-thread scheduler of §3.1.
+
+    Threads are continuations queued in a run queue; [Fork] spawns a
+    thunk as a new thread, [Yield] reschedules the current one, and
+    [Suspend] parks the current thread, handing its resumer to arbitrary
+    synchronisation code (this is how {!Mvar} blocks threads).
+
+    The scheduling policy is a parameter: the paper observes that
+    changing the run queue from FIFO to LIFO changes the scheduling
+    algorithm without touching any other code. *)
+
+type policy = Fifo | Lifo
+
+type 'a resumer = 'a -> unit
+(** Resuming a parked thread: enqueues it, does not run it inline. *)
+
+(** The scheduler effects are public so that other runners (notably
+    {!Aio}) can handle them alongside their own — an effect declared
+    once composes with any handler that chooses to serve it. *)
+type _ Effect.t +=
+  | Fork : (unit -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+val fork : (unit -> unit) -> unit
+(** Must run inside {!run}. *)
+
+val yield : unit -> unit
+
+val suspend : ('a resumer -> unit) -> 'a
+(** [suspend f] parks the current thread and calls [f resumer]; the
+    thread continues (with the value passed to the resumer) after some
+    other code invokes it.  Invoking a resumer twice raises
+    [Invalid_argument]. *)
+
+val run : ?policy:policy -> (unit -> unit) -> unit
+(** Runs the main thread and every forked descendant to completion.
+    An exception escaping any thread aborts the whole scheduler run. *)
+
+val stats_switches : unit -> int
+(** Context switches performed by the most recent (or current) [run];
+    used by the scheduling experiments. *)

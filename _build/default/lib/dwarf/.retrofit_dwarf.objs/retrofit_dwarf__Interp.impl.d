@@ -1,0 +1,1 @@
+lib/dwarf/interp.ml: Array Cfi Table

@@ -1,0 +1,1 @@
+lib/dwarf/interp.mli: Table

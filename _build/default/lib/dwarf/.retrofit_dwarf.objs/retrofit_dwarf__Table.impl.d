@@ -1,0 +1,1 @@
+lib/dwarf/table.ml: Array Cfi Retrofit_fiber

@@ -1,0 +1,1 @@
+lib/dwarf/table.mli: Retrofit_fiber

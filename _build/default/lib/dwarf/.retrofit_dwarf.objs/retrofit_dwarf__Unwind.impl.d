@@ -1,0 +1,1 @@
+lib/dwarf/unwind.ml: Buffer Cfi Interp List Printf Retrofit_fiber Table

@@ -1,0 +1,1 @@
+lib/dwarf/unwind.mli: Retrofit_fiber Table

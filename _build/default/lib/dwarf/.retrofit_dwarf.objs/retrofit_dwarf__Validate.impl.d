@@ -1,0 +1,1 @@
+lib/dwarf/validate.ml: List Printf Retrofit_fiber String Table Unwind

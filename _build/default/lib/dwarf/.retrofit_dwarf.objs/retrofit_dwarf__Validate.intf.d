@@ -1,0 +1,1 @@
+lib/dwarf/validate.mli: Retrofit_fiber Table

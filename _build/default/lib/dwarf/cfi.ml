@@ -1,0 +1,43 @@
+type instruction = Advance_loc of int | Def_cfa_offset of int
+
+type program = instruction list
+
+let op_advance = 1
+
+let op_def_cfa_offset = 2
+
+let encode program =
+  let buf = Array.make (2 * List.length program) 0 in
+  List.iteri
+    (fun i instr ->
+      let op, arg =
+        match instr with
+        | Advance_loc d ->
+            if d < 0 then invalid_arg "Cfi.encode: negative advance";
+            (op_advance, d)
+        | Def_cfa_offset o ->
+            if o < 0 then invalid_arg "Cfi.encode: negative offset";
+            (op_def_cfa_offset, o)
+      in
+      buf.(2 * i) <- op;
+      buf.((2 * i) + 1) <- arg)
+    program;
+  buf
+
+let decode bytes =
+  let n = Array.length bytes in
+  if n mod 2 <> 0 then invalid_arg "Cfi.decode: odd length";
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      let instr =
+        if bytes.(i) = op_advance then Advance_loc bytes.(i + 1)
+        else if bytes.(i) = op_def_cfa_offset then Def_cfa_offset bytes.(i + 1)
+        else invalid_arg (Printf.sprintf "Cfi.decode: bad opcode %d" bytes.(i))
+      in
+      go (i + 2) (instr :: acc)
+    end
+  in
+  go 0 []
+
+let ra_offset = 1

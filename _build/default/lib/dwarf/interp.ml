@@ -1,0 +1,68 @@
+let cfa_offset ?ops (fde : Table.fde) ~pc =
+  if pc < fde.fde_start || pc >= fde.fde_end then
+    invalid_arg "Interp.cfa_offset: pc outside FDE";
+  let tally () = match ops with Some r -> incr r | None -> () in
+  let program = Cfi.decode fde.bytecode in
+  let rec go loc offset = function
+    | [] -> offset
+    | Cfi.Advance_loc d :: rest ->
+        tally ();
+        let loc' = loc + d in
+        if loc' > pc then offset else go loc' offset rest
+    | Cfi.Def_cfa_offset o :: rest ->
+        tally ();
+        go loc (Some o) rest
+  in
+  match go fde.fde_start None program with
+  | Some offset -> offset
+  | None -> invalid_arg "Interp.cfa_offset: no rule at pc"
+
+module Precompiled = struct
+  type t = { base : int; offsets : int array }
+  (* offsets.(pc - base) = cfa offset, or -1 for gaps between functions *)
+
+  let of_table table =
+    let fdes = Table.fdes table in
+    if Array.length fdes = 0 then { base = 0; offsets = [||] }
+    else begin
+      let base = fdes.(0).Table.fde_start in
+      let limit =
+        Array.fold_left (fun acc f -> max acc f.Table.fde_end) base fdes
+      in
+      let offsets = Array.make (limit - base) (-1) in
+      Array.iter
+        (fun (f : Table.fde) ->
+          let program = Cfi.decode f.bytecode in
+          let rec fill loc offset = function
+            | [] ->
+                (match offset with
+                | Some o ->
+                    for a = loc to f.fde_end - 1 do
+                      offsets.(a - base) <- o
+                    done
+                | None -> ())
+            | Cfi.Advance_loc d :: rest ->
+                (match offset with
+                | Some o ->
+                    for a = loc to min (loc + d) f.fde_end - 1 do
+                      offsets.(a - base) <- o
+                    done
+                | None -> ());
+                fill (loc + d) offset rest
+            | Cfi.Def_cfa_offset o :: rest -> fill loc (Some o) rest
+          in
+          fill f.fde_start None program)
+        fdes;
+      { base; offsets }
+    end
+
+  let cfa_offset t ~pc =
+    let i = pc - t.base in
+    if i < 0 || i >= Array.length t.offsets then None
+    else begin
+      let o = t.offsets.(i) in
+      if o < 0 then None else Some o
+    end
+
+  let size_words t = Array.length t.offsets
+end

@@ -1,0 +1,28 @@
+(** CFI bytecode interpretation, and its precompiled alternative.
+
+    [cfa_offset] interprets an FDE's bytecode from the function entry up
+    to the requested pc — the on-demand interpretation DWARF mandates,
+    whose cost is why perf prefers dumping the stack (§5.5).  Every
+    executed bytecode operation is tallied in [ops] when a counter is
+    supplied.
+
+    [Precompiled] expands the bytecode once into a per-pc offset array,
+    the technique Bastian et al. report speeds unwinding by up to 25×;
+    the `ablation` bench compares the two. *)
+
+val cfa_offset : ?ops:int ref -> Table.fde -> pc:int -> int
+(** @raise Invalid_argument if [pc] is outside the FDE or precedes the
+    first rule. *)
+
+module Precompiled : sig
+  type t
+
+  val of_table : Table.t -> t
+
+  val cfa_offset : t -> pc:int -> int option
+  (** O(1) lookup. *)
+
+  val size_words : t -> int
+  (** Memory footprint of the expanded table, for the space-versus-time
+      comparison. *)
+end

@@ -1,0 +1,49 @@
+type fde = { fde_fn : string; fde_start : int; fde_end : int; bytecode : int array }
+
+type t = { entries : fde array }
+
+let program_of_edits entry edits =
+  (* edits are (code address, cfa offset), first at [entry] *)
+  let rec go loc = function
+    | [] -> []
+    | (addr, offset) :: rest ->
+        if addr < loc then invalid_arg "Table.build: edits out of order";
+        let advance = if addr > loc then [ Cfi.Advance_loc (addr - loc) ] else [] in
+        advance @ (Cfi.Def_cfa_offset offset :: go addr rest)
+  in
+  go entry edits
+
+let build (compiled : Retrofit_fiber.Compile.compiled) =
+  let entries =
+    Array.map
+      (fun (f : Retrofit_fiber.Compile.cfn) ->
+        {
+          fde_fn = f.fn_name;
+          fde_start = f.entry;
+          fde_end = f.code_end;
+          bytecode = Cfi.encode (program_of_edits f.entry f.cfi_edits);
+        })
+      compiled.fns
+  in
+  Array.sort (fun a b -> compare a.fde_start b.fde_start) entries;
+  { entries }
+
+let find t ~pc =
+  let lo = ref 0 and hi = ref (Array.length t.entries - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let e = t.entries.(mid) in
+    if pc < e.fde_start then hi := mid - 1
+    else if pc >= e.fde_end then lo := mid + 1
+    else begin
+      found := Some e;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let fdes t = t.entries
+
+let total_bytecode_words t =
+  Array.fold_left (fun acc e -> acc + Array.length e.bytecode) 0 t.entries

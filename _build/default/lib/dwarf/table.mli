@@ -1,0 +1,25 @@
+(** Frame description entries and table construction.
+
+    One FDE per compiled function, holding the function's code range and
+    its encoded CFI bytecode.  [build] generates the table from the
+    compiler's CFI edits — this is the analogue of the OCaml backend
+    emitting [.cfi_*] directives (§5.5). *)
+
+type fde = {
+  fde_fn : string;
+  fde_start : int;
+  fde_end : int;  (** exclusive *)
+  bytecode : int array;  (** encoded {!Cfi.program} *)
+}
+
+type t
+
+val build : Retrofit_fiber.Compile.compiled -> t
+
+val find : t -> pc:int -> fde option
+(** Binary search by code address. *)
+
+val fdes : t -> fde array
+
+val total_bytecode_words : t -> int
+(** Size of all unwind bytecode, for table-size reporting. *)

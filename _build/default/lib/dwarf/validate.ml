@@ -1,0 +1,65 @@
+module Machine = Retrofit_fiber.Machine
+
+type report = {
+  probes : int;
+  frames : int;
+  mismatches : (string * string list * string list) list;
+  interp_ops : int;
+}
+
+let empty = { probes = 0; frames = 0; mismatches = []; interp_ops = 0 }
+
+let compare_traces table machine ~ops =
+  let unwound = Unwind.names (Unwind.backtrace ~interp_ops:ops table machine) in
+  let shadow = Machine.shadow_backtrace machine in
+  if unwound = shadow then Ok (List.length unwound) else Error (unwound, shadow)
+
+let check_now table machine =
+  let ops = ref 0 in
+  match compare_traces table machine ~ops with
+  | Ok _ -> Ok ()
+  | Error (unwound, shadow) ->
+      Error
+        (Printf.sprintf "unwound [%s] but shadow is [%s]"
+           (String.concat "; " unwound)
+           (String.concat "; " shadow))
+  | exception Unwind.Unwind_error msg -> Error ("unwind error: " ^ msg)
+
+let max_recorded_mismatches = 10
+
+let probe_every n table =
+  if n <= 0 then invalid_arg "Validate.probe_every: n must be positive";
+  let report = ref empty in
+  let calls = ref 0 in
+  let hook machine =
+    incr calls;
+    if !calls mod n = 0 then begin
+      let ops = ref 0 in
+      let r = !report in
+      let r =
+        match compare_traces table machine ~ops with
+        | Ok frames ->
+            { r with probes = r.probes + 1; frames = r.frames + frames }
+        | Error (unwound, shadow) ->
+            let context = Printf.sprintf "probe at call %d" !calls in
+            let mismatches =
+              if List.length r.mismatches >= max_recorded_mismatches then
+                r.mismatches
+              else r.mismatches @ [ (context, unwound, shadow) ]
+            in
+            { r with probes = r.probes + 1; mismatches }
+        | exception Unwind.Unwind_error msg ->
+            let context = Printf.sprintf "probe at call %d: %s" !calls msg in
+            { r with probes = r.probes + 1;
+              mismatches = r.mismatches @ [ (context, [], []) ] }
+      in
+      report := { r with interp_ops = r.interp_ops + !ops }
+    end
+  in
+  (hook, report)
+
+let run_validated ?cfuns ?(every = 1) cfg compiled =
+  let table = Table.build compiled in
+  let hook, report = probe_every every table in
+  let outcome, _counters = Machine.run ?cfuns ~on_call:hook cfg compiled in
+  (outcome, !report)

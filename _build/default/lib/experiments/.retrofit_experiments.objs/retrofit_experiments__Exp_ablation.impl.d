@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: List Printf Retrofit_dwarf Retrofit_fiber Retrofit_util String

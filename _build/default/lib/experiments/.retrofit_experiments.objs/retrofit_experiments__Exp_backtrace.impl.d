@@ -1,0 +1,1 @@
+lib/experiments/exp_backtrace.ml: Array List Printf Retrofit_dwarf Retrofit_fiber Retrofit_util

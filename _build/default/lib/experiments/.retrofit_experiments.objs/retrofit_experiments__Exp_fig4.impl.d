@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Array Int64 List Printf Retrofit_harness Retrofit_macro Retrofit_util Sys

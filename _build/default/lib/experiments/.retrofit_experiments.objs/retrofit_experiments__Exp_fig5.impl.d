@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Array List Printf Retrofit_fiber Retrofit_macro Retrofit_util

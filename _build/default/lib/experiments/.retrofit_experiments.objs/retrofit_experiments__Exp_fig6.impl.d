@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: List Printf Retrofit_httpsim Retrofit_util

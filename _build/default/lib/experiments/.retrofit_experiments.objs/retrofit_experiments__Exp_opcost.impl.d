@@ -1,0 +1,1 @@
+lib/experiments/exp_opcost.ml: Printf Retrofit_harness Retrofit_micro Retrofit_util

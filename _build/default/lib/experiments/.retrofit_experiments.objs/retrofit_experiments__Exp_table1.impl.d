@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: List Printf Retrofit_fiber Retrofit_harness Retrofit_micro Retrofit_util

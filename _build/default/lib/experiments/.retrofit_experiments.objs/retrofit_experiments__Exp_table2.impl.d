@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Array List Printf Retrofit_harness Retrofit_micro Retrofit_util

@@ -1,0 +1,84 @@
+module F = Retrofit_fiber
+module D = Retrofit_dwarf
+
+let meander_backtrace () =
+  let compiled = F.Compile.compile F.Programs.meander in
+  let table = D.Table.build compiled in
+  let captured = ref "" in
+  let hook m =
+    let f = F.Machine.current_fiber m in
+    if f.F.Fiber.regs.fn >= 0 then begin
+      let fn = (F.Machine.compiled m).F.Compile.fns.(f.regs.fn).F.Compile.fn_name in
+      if fn = "c_to_ocaml" && !captured = "" then
+        captured := D.Unwind.format (D.Unwind.backtrace table m)
+    end
+  in
+  (match F.Machine.run ~cfuns:F.Programs.standard_cfuns ~on_call:hook F.Config.mc compiled with
+  | F.Machine.Done 42, _ -> ()
+  | outcome, _ ->
+      failwith
+        ("meander did not return 42: "
+        ^ (match outcome with
+          | F.Machine.Done n -> string_of_int n
+          | F.Machine.Uncaught (l, _) -> "uncaught " ^ l
+          | F.Machine.Fatal m -> m)));
+  !captured
+
+let suite ~quick =
+  [
+    ("fib", F.Programs.fib ~n:(if quick then 10 else 14), true);
+    ("meander", F.Programs.meander, true);
+    ("exnraise", F.Programs.exnraise ~iters:(if quick then 20 else 200), true);
+    ("callback", F.Programs.callback ~iters:(if quick then 20 else 200), true);
+    ("effects", F.Programs.effect_roundtrip ~iters:(if quick then 20 else 200), false);
+    ("reperform", F.Programs.effect_depth ~depth:4 ~iters:(if quick then 5 else 20), false);
+    ("discontinue", F.Programs.discontinue_cleanup, false);
+    ("deep", F.Programs.deep_recursion ~depth:(if quick then 500 else 3_000), false);
+    ("eff-in-cb", F.Programs.effect_in_callback, false);
+  ]
+
+let validation_summary ?(quick = false) () =
+  let rows =
+    List.concat_map
+      (fun (name, p, run_stock) ->
+        let configs =
+          if run_stock then [ F.Config.stock; F.Config.mc ] else [ F.Config.mc ]
+        in
+        List.map
+          (fun cfg ->
+            let compiled = F.Compile.compile p in
+            let outcome, report =
+              D.Validate.run_validated ~cfuns:F.Programs.standard_cfuns cfg compiled
+            in
+            let status =
+              match outcome with
+              | F.Machine.Fatal m -> "FATAL " ^ m
+              | _ when report.D.Validate.mismatches = [] -> "ok"
+              | _ -> Printf.sprintf "%d MISMATCHES" (List.length report.mismatches)
+            in
+            [
+              name;
+              F.Config.name cfg;
+              string_of_int report.D.Validate.probes;
+              string_of_int report.frames;
+              string_of_int report.interp_ops;
+              status;
+            ])
+          configs)
+      (suite ~quick)
+  in
+  Retrofit_util.Table.render
+    ~align:
+      [
+        Retrofit_util.Table.Left; Retrofit_util.Table.Left; Retrofit_util.Table.Right;
+        Retrofit_util.Table.Right; Retrofit_util.Table.Right; Retrofit_util.Table.Left;
+      ]
+    ~header:[ "program"; "config"; "probes"; "frames"; "cfi ops"; "status" ]
+    rows
+
+let report ?quick () =
+  "Fig 1d: DWARF backtrace at raise E1 in the meander program\n\
+   (unwound from the callback, across the C frames, to main)\n\n"
+  ^ meander_backtrace ()
+  ^ "\nDWARF unwind validation against the shadow stack (Bastian-et-al style):\n\n"
+  ^ validation_summary ?quick ()

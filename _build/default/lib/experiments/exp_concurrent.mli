@@ -1,0 +1,32 @@
+(** §6.3.1–6.3.3: generators, chameneos and finalised continuations. *)
+
+type generator_result = {
+  depth : int;
+  cps_ms : float;
+  effect_x : float;  (** effect generator / cps (paper: 2.76×) *)
+  monad_x : float;  (** monad generator / cps (paper: 8.69×) *)
+}
+
+val generators : ?quick:bool -> unit -> generator_result
+
+type chameneos_result = {
+  meetings : int;
+  effects_ms : float;
+  monad_x : float;  (** monad / effects (paper: 1.67×) *)
+  lwt_x : float;  (** lwt / effects (paper: 4.29×) *)
+}
+
+val chameneos : ?quick:bool -> unit -> chameneos_result
+
+type finaliser_result = {
+  generator_x : float;  (** finalised / plain generator (paper: 4.1×) *)
+  roundtrip_x : float;  (** finalised / plain handler roundtrip *)
+}
+
+val finalisers : ?quick:bool -> unit -> finaliser_result
+
+val report_generators : ?quick:bool -> unit -> string
+
+val report_chameneos : ?quick:bool -> unit -> string
+
+val report_finalisers : ?quick:bool -> unit -> string

@@ -1,0 +1,20 @@
+(** Fig 4: normalized running time of the macro suite.
+
+    Every workload runs under the four runtimes (stock, MC, MC+RedZone0,
+    MC+RedZone32); times are normalized to stock and summarised by
+    geometric mean.  The paper's result: the multicore variants average
+    under 1 % slower, with most programs within 5 %. *)
+
+type row = {
+  workload : string;
+  stock_ms : float;
+  normalized : (string * float) list;  (** runtime name → time / stock *)
+  checksum : int;
+}
+
+val rows : ?quick:bool -> unit -> row list
+(** [quick] shrinks workload sizes for test runs. *)
+
+val geomeans : row list -> (string * float) list
+
+val report : ?quick:bool -> unit -> string

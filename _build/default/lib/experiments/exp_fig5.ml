@@ -1,0 +1,92 @@
+module M = Retrofit_macro
+module F = Retrofit_fiber
+
+type row = { workload : string; stock_bytes : int; normalized : (string * float) list }
+
+let variants = [ ("mc", Some 16); ("mc+rz0", Some 0); ("mc+rz32", Some 32) ]
+
+let macro_rows () =
+  List.map
+    (fun w ->
+      let fns = M.Workload.functions w in
+      let stock = M.Fn_meta.otss ~red_zone:None fns in
+      {
+        workload = M.Workload.name w;
+        stock_bytes = stock;
+        normalized =
+          List.map
+            (fun (name, red_zone) ->
+              (name, float_of_int (M.Fn_meta.otss ~red_zone fns) /. float_of_int stock))
+            variants;
+      })
+    M.Registry.all
+
+let ir_programs =
+  [
+    ("ack", F.Programs.ack ~m:2 ~n:3);
+    ("fib", F.Programs.fib ~n:10);
+    ("tak", F.Programs.tak ~x:6 ~y:4 ~z:2);
+    ("motzkin", F.Programs.motzkin ~n:6);
+    ("sudan", F.Programs.sudan ~n:1 ~x:2 ~y:2 ());
+    ("exnval", F.Programs.exnval ~iters:1);
+    ("extcall", F.Programs.extcall ~iters:1);
+    ("callback", F.Programs.callback ~iters:1);
+    ("meander", F.Programs.meander);
+    ("effects", F.Programs.effect_roundtrip ~iters:1);
+  ]
+
+let ir_rows () =
+  List.map
+    (fun (name, p) ->
+      let compiled = F.Compile.compile p in
+      let stock = F.Otss.total F.Config.stock compiled in
+      let mc rz = F.Otss.total (F.Config.mc_red_zone rz) compiled in
+      {
+        workload = name;
+        stock_bytes = stock;
+        normalized =
+          [
+            ("mc", float_of_int (mc 16) /. float_of_int stock);
+            ("mc+rz0", float_of_int (mc 0) /. float_of_int stock);
+            ("mc+rz32", float_of_int (mc 32) /. float_of_int stock);
+          ];
+      })
+    ir_programs
+
+let geomeans rows =
+  List.map
+    (fun (variant, _) ->
+      let values =
+        rows |> List.map (fun r -> List.assoc variant r.normalized) |> Array.of_list
+      in
+      (variant, Retrofit_util.Stats.geomean values))
+    variants
+
+let render title rows =
+  let header = [ "workload"; "stock (B)"; "mc"; "mc+rz0"; "mc+rz32" ] in
+  let body =
+    List.map
+      (fun r ->
+        r.workload
+        :: string_of_int r.stock_bytes
+        :: List.map (fun (_, v) -> Printf.sprintf "%.3f" v) r.normalized)
+      rows
+  in
+  let gm = geomeans rows in
+  let gm_row = "geomean" :: "" :: List.map (fun (_, v) -> Printf.sprintf "%.3f" v) gm in
+  title ^ "\n"
+  ^ Retrofit_util.Table.render
+      ~align:
+        [
+          Retrofit_util.Table.Left; Retrofit_util.Table.Right; Retrofit_util.Table.Right;
+          Retrofit_util.Table.Right; Retrofit_util.Table.Right;
+        ]
+      ~header
+      (body @ [ gm_row ])
+
+let report ?quick:_ () =
+  "Fig 5: normalized OCaml text-section size\n\
+   (paper: MC +19 %, MC+RedZone0 +30 %, MC+RedZone32 +19 %)\n\n"
+  ^ render "Macro workload inventories:" (macro_rows ())
+  ^ "\n"
+  ^ render "Fiber-machine compiled programs (real emitted code):" (ir_rows ())

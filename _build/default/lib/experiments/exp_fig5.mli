@@ -1,0 +1,23 @@
+(** Fig 5: normalized OCaml text-section size (OTSS).
+
+    Two inventories feed the model: the declared function inventories
+    of the macro workloads, and the actual code emitted by the fiber
+    machine's compiler for its program suite.  Paper: MC ≈ +19 %,
+    MC+RedZone0 ≈ +30 %, MC+RedZone32 ≈ +19 % (no improvement over 16
+    words). *)
+
+type row = {
+  workload : string;
+  stock_bytes : int;
+  normalized : (string * float) list;
+}
+
+val macro_rows : unit -> row list
+
+val ir_rows : unit -> row list
+(** OTSS of the fiber-machine programs, computed from real emitted
+    code. *)
+
+val geomeans : row list -> (string * float) list
+
+val report : ?quick:bool -> unit -> string

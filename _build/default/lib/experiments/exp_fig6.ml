@@ -1,0 +1,42 @@
+module HS = Retrofit_httpsim
+
+let report ?(quick = false) () =
+  let duration_ms = if quick then 300 else 3_000 in
+  let sweeps = HS.Experiment.fig6a ~duration_ms () in
+  let rates = HS.Experiment.default_rates in
+  let throughput_table =
+    Retrofit_util.Table.render
+      ~align:
+        (Retrofit_util.Table.Left
+        :: List.map (fun _ -> Retrofit_util.Table.Right) rates)
+      ~header:("offered" :: List.map (fun r -> string_of_int (r / 1000) ^ "k") rates)
+      (List.map
+         (fun (name, points) ->
+           name :: List.map (fun (_, a) -> Printf.sprintf "%.1fk" (a /. 1000.)) points)
+         sweeps)
+  in
+  let lat = HS.Experiment.fig6b ~duration_ms:(duration_ms * 2) () in
+  let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6) in
+  let latency_table =
+    Retrofit_util.Table.render
+      ~align:
+        [
+          Retrofit_util.Table.Left; Retrofit_util.Table.Right; Retrofit_util.Table.Right;
+          Retrofit_util.Table.Right; Retrofit_util.Table.Right; Retrofit_util.Table.Right;
+          Retrofit_util.Table.Right;
+        ]
+      ~header:[ "server"; "p50 ms"; "p90 ms"; "p99 ms"; "p99.9 ms"; "gc pauses"; "errors" ]
+      (List.map
+         (fun (o : HS.Loadgen.outcome) ->
+           [
+             o.model_name; ms o.p50_ns; ms o.p90_ns; ms o.p99_ns; ms o.p999_ns;
+             string_of_int o.gc_pauses; string_of_int o.errors;
+           ])
+         lat)
+  in
+  Printf.sprintf
+    "Fig 6a: achieved vs offered throughput (requests/s)\n\
+     (paper: all three plateau around 30k req/s)\n\n%s\n\
+     Fig 6b: latency at 20k req/s (2/3 of plateau)\n\
+     (paper: OCaml versions competitive with go; MC best tail latency)\n\n%s"
+    throughput_table latency_table

@@ -1,0 +1,3 @@
+(** Fig 6: web-server throughput and tail latency. *)
+
+val report : ?quick:bool -> unit -> string

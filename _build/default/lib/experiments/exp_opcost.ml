@@ -1,0 +1,43 @@
+module O = Retrofit_micro.Opcost
+module H = Retrofit_harness
+
+type result = {
+  setup_teardown_ns : float;
+  per_perform_ns : float;
+  roundtrip_ns : float;
+  baseline_call_ns : float;
+}
+
+let run ?(quick = false) () =
+  let n = if quick then 20_000 else 1_000_000 in
+  let runs = if quick then 2 else 7 in
+  let per_op f = H.Bench.per_op_ns ~runs ~iters:n f in
+  let handler_only = per_op (fun () -> O.handler_only_loop n) in
+  let roundtrip = per_op (fun () -> O.roundtrip_loop n) in
+  let heavy_performs = 8 in
+  let heavy =
+    H.Bench.median_ns ~runs (fun () ->
+        O.perform_heavy_loop ~iters:(n / heavy_performs) ~performs:heavy_performs)
+    /. float_of_int (n / heavy_performs)
+  in
+  let baseline = per_op (fun () -> O.baseline_call_loop n) in
+  {
+    setup_teardown_ns = handler_only -. baseline;
+    per_perform_ns = (heavy -. handler_only) /. float_of_int heavy_performs;
+    roundtrip_ns = roundtrip -. baseline;
+    baseline_call_ns = baseline;
+  }
+
+let report ?quick () =
+  let r = run ?quick () in
+  Printf.sprintf
+    "Effect operation costs on OCaml 5 (cf. the paper's 23/5/11/7 ns on a\n\
+     Xeon Gold 5120: setup+teardown a-b + d-e = 30 ns, perform+resume\n\
+     b-c + c-d = 16 ns)\n\n%s"
+    (Retrofit_util.Table.render_kv
+       [
+         ("handler setup+teardown (a-b + d-e)", Printf.sprintf "%.1f ns" r.setup_teardown_ns);
+         ("perform+handle+resume (b-c + c-d)", Printf.sprintf "%.1f ns" r.per_perform_ns);
+         ("full roundtrip", Printf.sprintf "%.1f ns" r.roundtrip_ns);
+         ("baseline call", Printf.sprintf "%.1f ns" r.baseline_call_ns);
+       ])

@@ -1,0 +1,16 @@
+(** §6.3 effect-operation costs.
+
+    Decomposed by loop differencing (see {!Retrofit_micro.Opcost}):
+    handler setup+teardown (the paper's a–b + d–e, 23 + 7 = 30 ns) and
+    perform+handle+resume (b–c + c–d, 5 + 11 = 16 ns). *)
+
+type result = {
+  setup_teardown_ns : float;  (** per handler, no performs *)
+  per_perform_ns : float;  (** slope of extra performs *)
+  roundtrip_ns : float;  (** one handler + one perform *)
+  baseline_call_ns : float;
+}
+
+val run : ?quick:bool -> unit -> result
+
+val report : ?quick:bool -> unit -> string

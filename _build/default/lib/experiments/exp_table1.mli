@@ -1,0 +1,22 @@
+(** Table 1: micro benchmarks without effects.
+
+    Two complementary reproductions:
+
+    - {e Instr}: instruction counts from the fiber-machine model, MC
+      versus stock — the direct analogue of the paper's Instr row,
+      since the model provides the stock baseline we cannot compile;
+    - {e Time}: wall-clock per-operation times of the same benchmarks
+      on OCaml 5 (the shipped retrofit), reported as absolute context —
+      there is no stock compiler to diff against. *)
+
+type row = {
+  bench : string;
+  stock_instr : int;
+  mc_instr : int;
+  instr_pct : float;
+  ocaml5_ns_per_op : float option;
+}
+
+val rows : ?quick:bool -> unit -> row list
+
+val report : ?quick:bool -> unit -> string

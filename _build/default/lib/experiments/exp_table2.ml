@@ -1,0 +1,75 @@
+module R = Retrofit_micro.Rec_bench
+module H = Retrofit_harness
+
+type row = { bench : string; plain_ns : float; handler_x : float; monad_x : float }
+
+let sizes ~quick =
+  if quick then
+    [
+      ("ack", fun (i : R.impl) -> i.R.ack 2 3);
+      ("fib", fun i -> i.R.fib 10);
+      ("motzkin", fun i -> i.R.motzkin 6);
+      ("sudan", fun i -> i.R.sudan 2 2 1);
+      ("tak", fun i -> i.R.tak 8 5 2);
+    ]
+  else
+    [
+      ("ack", fun (i : R.impl) -> i.R.ack 2 8);
+      ("fib", fun i -> i.R.fib 21);
+      ("motzkin", fun i -> i.R.motzkin 13);
+      ("sudan", fun i -> i.R.sudan 2 2 2);
+      ("tak", fun i -> i.R.tak 16 10 4);
+    ]
+
+let rows ?(quick = false) () =
+  let runs = if quick then 1 else 5 in
+  let warmups = if quick then 0 else 2 in
+  List.map
+    (fun (bench, f) ->
+      (* cross-check the three styles agree before timing *)
+      let v_plain = f R.plain and v_handler = f R.handler and v_monad = f R.monadic in
+      if v_plain <> v_handler || v_plain <> v_monad then
+        failwith
+          (Printf.sprintf "Table 2 %s: styles disagree (%d, %d, %d)" bench v_plain
+             v_handler v_monad);
+      let t_plain = H.Bench.median_ns ~warmups ~runs (fun () -> f R.plain) in
+      let t_handler = H.Bench.median_ns ~warmups ~runs (fun () -> f R.handler) in
+      let t_monad = H.Bench.median_ns ~warmups ~runs (fun () -> f R.monadic) in
+      {
+        bench;
+        plain_ns = t_plain;
+        handler_x = t_handler /. t_plain;
+        monad_x = t_monad /. t_plain;
+      })
+    (sizes ~quick)
+
+let report ?quick () =
+  let rows = rows ?quick () in
+  let table =
+    Retrofit_util.Table.render
+      ~align:
+        [
+          Retrofit_util.Table.Left; Retrofit_util.Table.Right; Retrofit_util.Table.Right;
+          Retrofit_util.Table.Right;
+        ]
+      ~header:[ "bench"; "plain (ms)"; "handler x"; "monad x" ]
+      (List.map
+         (fun r ->
+           [
+             r.bench;
+             Printf.sprintf "%.2f" (r.plain_ns /. 1e6);
+             Printf.sprintf "%.2f" r.handler_x;
+             Printf.sprintf "%.2f" r.monad_x;
+           ])
+         rows)
+  in
+  let geo sel =
+    Retrofit_util.Stats.geomean (Array.of_list (List.map sel rows))
+  in
+  Printf.sprintf
+    "Table 2: handlers but no perform (slowdown over idiomatic recursion)\n\
+     (paper: MC 6.7-12.3x, monad 33-349x)\n\n\
+     %s\ngeomean: handler %.2fx, monad %.2fx\n"
+    table
+    (geo (fun r -> r.handler_x))
+    (geo (fun r -> r.monad_x))

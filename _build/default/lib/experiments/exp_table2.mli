@@ -1,0 +1,19 @@
+(** Table 2: handlers-but-no-perform.
+
+    Each recursive benchmark's non-tail calls run under a fresh effect
+    handler (MC row) or are forked in the concurrency monad with an
+    MVar collecting the result (monad row); entries are slowdowns over
+    the idiomatic version.  Paper: MC 6.7–12.3× (mean 10×), monad
+    33–349× (mean 67×), with the gap explained by heap allocation of
+    continuation frames versus stack allocation on fibers. *)
+
+type row = {
+  bench : string;
+  plain_ns : float;
+  handler_x : float;
+  monad_x : float;
+}
+
+val rows : ?quick:bool -> unit -> row list
+
+val report : ?quick:bool -> unit -> string

@@ -1,0 +1,1 @@
+lib/fiber/compile.ml: Array Buffer Hashtbl Ir Layout List Printf Retrofit_util

@@ -1,0 +1,1 @@
+lib/fiber/config.ml: Printf

@@ -1,0 +1,1 @@
+lib/fiber/fiber.ml: Compile Retrofit_util Segment

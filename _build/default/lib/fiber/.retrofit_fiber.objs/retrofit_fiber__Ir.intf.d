@@ -1,0 +1,1 @@
+lib/fiber/ir.mli:

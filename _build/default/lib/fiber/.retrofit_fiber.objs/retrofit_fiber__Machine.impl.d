@@ -1,0 +1,1 @@
+lib/fiber/machine.ml: Array Compile Config Costs Fiber Hashtbl Ir Layout List Printf Retrofit_util Segment Stack_cache

@@ -1,0 +1,1 @@
+lib/fiber/machine.mli: Compile Config Fiber Retrofit_util Stack_cache

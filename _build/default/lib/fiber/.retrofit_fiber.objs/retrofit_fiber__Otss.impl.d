@@ -1,0 +1,1 @@
+lib/fiber/otss.ml: Array Compile Config

@@ -1,0 +1,1 @@
+lib/fiber/otss.mli: Compile Config

@@ -1,0 +1,1 @@
+lib/fiber/programs.ml: Array Ir Machine

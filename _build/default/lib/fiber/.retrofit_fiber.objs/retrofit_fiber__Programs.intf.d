@@ -1,0 +1,1 @@
+lib/fiber/programs.mli: Ir Machine

@@ -1,0 +1,1 @@
+lib/fiber/segment.mli:

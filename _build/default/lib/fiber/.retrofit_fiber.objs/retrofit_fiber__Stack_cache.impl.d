@@ -1,0 +1,1 @@
+lib/fiber/stack_cache.ml: Hashtbl List Segment

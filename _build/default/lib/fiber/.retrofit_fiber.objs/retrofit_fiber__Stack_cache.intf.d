@@ -1,0 +1,1 @@
+lib/fiber/stack_cache.mli: Segment

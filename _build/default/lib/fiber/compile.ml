@@ -1,0 +1,340 @@
+type cfn = {
+  fn_index : int;
+  fn_name : string;
+  entry : int;
+  code_end : int;
+  nparams : int;
+  nlocals : int;
+  max_traps : int;
+  frame_words : int;
+  is_leaf : bool;
+  cfi_edits : (int * int) list;
+}
+
+type handle_desc = {
+  h_body : int;
+  h_nargs : int;
+  h_retc : int;
+  h_exncs : (int * int) list;
+  h_effcs : (int * int) list;
+}
+
+type compiled = {
+  code : Ir.instr array;
+  fns : cfn array;
+  handles : handle_desc array;
+  exn_names : string array;
+  eff_names : string array;
+  cfun_names : string array;
+  main_index : int;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+let unhandled_exn = "Unhandled"
+
+let invalid_argument_exn = "Invalid_argument"
+
+let division_by_zero_exn = "Division_by_zero"
+
+let stack_overflow_exn = "Stack_overflow"
+
+(* ------------------------------------------------------------------ *)
+(* Interning *)
+
+type 'a interner = { table : (string, int) Hashtbl.t; mutable items : string list }
+
+let interner () = { table = Hashtbl.create 16; items = [] }
+
+let intern t name =
+  match Hashtbl.find_opt t.table name with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length t.table in
+      Hashtbl.add t.table name i;
+      t.items <- name :: t.items;
+      i
+
+let interned t = Array.of_list (List.rev t.items)
+
+(* ------------------------------------------------------------------ *)
+(* Leaf analysis: a function is a leaf when its body contains no call of
+   any kind (OCaml call, external call, handler installation, perform or
+   resumption — all of which push frames or switch stacks). *)
+
+let rec has_calls (e : Ir.expr) =
+  match e with
+  | Ir.Int _ | Ir.Var _ -> false
+  | Ir.Binop (_, a, b) | Ir.Seq (a, b) | Ir.Let (_, a, b) | Ir.Repeat (a, b) ->
+      has_calls a || has_calls b
+  | Ir.If (c, t, f) -> has_calls c || has_calls t || has_calls f
+  | Ir.Call _ | Ir.Extcall _ | Ir.Handle _ | Ir.Perform _ | Ir.Continue _
+  | Ir.Discontinue _ ->
+      true
+  | Ir.Raise (_, a) -> has_calls a
+  | Ir.Trywith (body, cases) ->
+      has_calls body || List.exists (fun (_, _, b) -> has_calls b) cases
+
+(* ------------------------------------------------------------------ *)
+
+type fn_state = {
+  mutable nlocals : int;
+  mutable cur_traps : int;
+  mutable max_traps : int;
+  mutable edits : (int * int) list;  (* collected in reverse *)
+}
+
+let compile (program : Ir.program) =
+  let code = Retrofit_util.Vec.create ~capacity:256 () in
+  let emit i =
+    Retrofit_util.Vec.push code i;
+    Retrofit_util.Vec.length code - 1
+  in
+  let here () = Retrofit_util.Vec.length code in
+  let patch addr i = Retrofit_util.Vec.set code addr i in
+  let exns = interner () in
+  let effs = interner () in
+  let cfuns = interner () in
+  (* Built-ins are always interned so the runtime can raise them. *)
+  ignore (intern exns unhandled_exn);
+  ignore (intern exns invalid_argument_exn);
+  ignore (intern exns division_by_zero_exn);
+  ignore (intern exns stack_overflow_exn);
+  let fn_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Ir.fn) ->
+      if Hashtbl.mem fn_index f.Ir.fn_name then
+        error "duplicate function %s" f.Ir.fn_name;
+      Hashtbl.add fn_index f.Ir.fn_name i)
+    program.Ir.fns;
+  let fn_arr = Array.of_list program.Ir.fns in
+  let lookup_fn name =
+    match Hashtbl.find_opt fn_index name with
+    | Some i -> i
+    | None -> error "unknown function %s" name
+  in
+  let arity i = List.length fn_arr.(i).Ir.params in
+  let handles = Retrofit_util.Vec.create () in
+  (* cfa offset at a point = 1 (ra) + nlocals + trap words currently
+     pushed.  nlocals is the function's final local count, which is known
+     only after compiling the body, so edits record the TRAP part and are
+     fixed up afterwards. *)
+  let record_edit st =
+    st.edits <- (here (), st.cur_traps) :: st.edits
+  in
+  let rec compile_expr st env (e : Ir.expr) =
+    match e with
+    | Ir.Int n -> ignore (emit (Ir.Const n))
+    | Ir.Var x -> (
+        match List.assoc_opt x env with
+        | Some slot -> ignore (emit (Ir.Load slot))
+        | None -> error "unbound variable %s" x)
+    | Ir.Binop (op, a, b) ->
+        compile_expr st env a;
+        compile_expr st env b;
+        ignore (emit (Ir.Bin op))
+    | Ir.If (c, t, f) ->
+        compile_expr st env c;
+        let jf = emit (Ir.JumpIfNot 0) in
+        compile_expr st env t;
+        let jend = emit (Ir.Jump 0) in
+        patch jf (Ir.JumpIfNot (here ()));
+        compile_expr st env f;
+        patch jend (Ir.Jump (here ()))
+    | Ir.Let (x, e1, e2) ->
+        compile_expr st env e1;
+        let slot = st.nlocals in
+        st.nlocals <- st.nlocals + 1;
+        ignore (emit (Ir.Store slot));
+        compile_expr st ((x, slot) :: env) e2
+    | Ir.Seq (a, b) ->
+        compile_expr st env a;
+        ignore (emit Ir.Pop);
+        compile_expr st env b
+    | Ir.Call (name, args) ->
+        let fid = lookup_fn name in
+        if List.length args <> arity fid then
+          error "arity mismatch calling %s" name;
+        List.iter (compile_expr st env) args;
+        ignore (emit (Ir.CallI fid))
+    | Ir.Extcall (name, args) ->
+        let cid = intern cfuns name in
+        List.iter (compile_expr st env) args;
+        ignore (emit (Ir.ExtcallI (cid, List.length args)))
+    | Ir.Raise (label, payload) ->
+        compile_expr st env payload;
+        ignore (emit (Ir.RaiseI (intern exns label)))
+    | Ir.Trywith (body, cases) ->
+        let push = emit (Ir.PushtrapI 0) in
+        st.cur_traps <- st.cur_traps + 1;
+        if st.cur_traps > st.max_traps then st.max_traps <- st.cur_traps;
+        record_edit st;
+        compile_expr st env body;
+        ignore (emit Ir.PoptrapI);
+        st.cur_traps <- st.cur_traps - 1;
+        record_edit st;
+        let jend = emit (Ir.Jump 0) in
+        (* Handler entry: the runtime has popped the trap (so the cfa
+           offset here is the post-pop one) and pushed [payload; id] with
+           the id on top. *)
+        patch push (Ir.PushtrapI (here ()));
+        let exit_jumps = ref [ jend ] in
+        let slot = st.nlocals in
+        st.nlocals <- st.nlocals + 1;
+        List.iter
+          (fun (label, var, handler_body) ->
+            let id = intern exns label in
+            ignore (emit Ir.Dup);
+            ignore (emit (Ir.Const id));
+            ignore (emit (Ir.Bin Ir.Eq));
+            let skip = emit (Ir.JumpIfNot 0) in
+            ignore (emit Ir.Pop);
+            (* drop the id, bind the payload *)
+            ignore (emit (Ir.Store slot));
+            compile_expr st ((var, slot) :: env) handler_body;
+            exit_jumps := emit (Ir.Jump 0) :: !exit_jumps;
+            patch skip (Ir.JumpIfNot (here ())))
+          cases;
+        (* no case matched: re-raise (ops hold payload; id) *)
+        ignore (emit Ir.ReraiseI);
+        List.iter (fun j -> patch j (Ir.Jump (here ()))) !exit_jumps
+    | Ir.Perform (label, payload) ->
+        compile_expr st env payload;
+        ignore (emit (Ir.PerformI (intern effs label)))
+    | Ir.Handle spec ->
+        let body = lookup_fn spec.Ir.body_fn in
+        if List.length spec.Ir.body_args <> arity body then
+          error "arity mismatch in handle body %s" spec.Ir.body_fn;
+        let retc = lookup_fn spec.Ir.retc in
+        if arity retc <> 1 then error "retc %s must take 1 argument" spec.Ir.retc;
+        let h_exncs =
+          List.map
+            (fun (label, fname) ->
+              let f = lookup_fn fname in
+              if arity f <> 1 then
+                error "exception case %s must take 1 argument" fname;
+              (intern exns label, f))
+            spec.Ir.exncs
+        in
+        let h_effcs =
+          List.map
+            (fun (label, fname) ->
+              let f = lookup_fn fname in
+              if arity f <> 2 then
+                error "effect case %s must take 2 arguments (x, k)" fname;
+              (intern effs label, f))
+            spec.Ir.effcs
+        in
+        List.iter (compile_expr st env) spec.Ir.body_args;
+        Retrofit_util.Vec.push handles
+          { h_body = body; h_nargs = arity body; h_retc = retc; h_exncs; h_effcs };
+        ignore (emit (Ir.HandleI (Retrofit_util.Vec.length handles - 1)))
+    | Ir.Repeat (count, body) ->
+        compile_expr st env count;
+        let slot = st.nlocals in
+        st.nlocals <- st.nlocals + 1;
+        ignore (emit (Ir.Store slot));
+        let top = here () in
+        ignore (emit (Ir.Load slot));
+        let exit_jump = emit (Ir.JumpIfNot 0) in
+        compile_expr st env body;
+        ignore (emit Ir.Pop);
+        ignore (emit (Ir.Load slot));
+        ignore (emit (Ir.Const 1));
+        ignore (emit (Ir.Bin Ir.Sub));
+        ignore (emit (Ir.Store slot));
+        ignore (emit (Ir.Jump top));
+        patch exit_jump (Ir.JumpIfNot (here ()));
+        ignore (emit (Ir.Const 0))
+    | Ir.Continue (k, v) ->
+        compile_expr st env k;
+        compile_expr st env v;
+        ignore (emit Ir.ContinueI)
+    | Ir.Discontinue (k, label, payload) ->
+        compile_expr st env k;
+        compile_expr st env payload;
+        ignore (emit (Ir.DiscontinueI (intern exns label)))
+  in
+  let compiled_fns =
+    Array.mapi
+      (fun fn_idx (f : Ir.fn) ->
+        let entry = here () in
+        let nparams = List.length f.Ir.params in
+        let st = { nlocals = nparams; cur_traps = 0; max_traps = 0; edits = [] } in
+        let env = List.mapi (fun i p -> (p, i)) f.Ir.params in
+        compile_expr st env f.Ir.body;
+        ignore (emit Ir.Ret);
+        let code_end = here () in
+        let base_offset = 1 + st.nlocals in
+        let cfi_edits =
+          (entry, base_offset)
+          :: List.rev_map
+               (fun (addr, traps) -> (addr, base_offset + (Layout.trap_words * traps)))
+               st.edits
+        in
+        {
+          fn_index = fn_idx;
+          fn_name = f.Ir.fn_name;
+          entry;
+          code_end;
+          nparams;
+          nlocals = st.nlocals;
+          max_traps = st.max_traps;
+          frame_words = 1 + st.nlocals + (Layout.trap_words * st.max_traps);
+          is_leaf = not (has_calls f.Ir.body);
+          cfi_edits;
+        })
+      fn_arr
+  in
+  let main_index =
+    match Hashtbl.find_opt fn_index program.Ir.main with
+    | Some i ->
+        if arity i <> 0 then error "main function %s must take 0 arguments" program.Ir.main;
+        i
+    | None -> error "missing main function %s" program.Ir.main
+  in
+  {
+    code = Retrofit_util.Vec.to_array code;
+    fns = compiled_fns;
+    handles = Retrofit_util.Vec.to_array handles;
+    exn_names = interned exns;
+    eff_names = interned effs;
+    cfun_names = interned cfuns;
+    main_index;
+  }
+
+let function_at compiled addr =
+  Array.fold_left
+    (fun acc f -> if addr >= f.entry && addr < f.code_end then Some f else acc)
+    None compiled.fns
+
+let exn_id compiled name =
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = name then found := i) compiled.exn_names;
+  if !found < 0 then raise Not_found else !found
+
+let exn_name compiled id =
+  if id >= 0 && id < Array.length compiled.exn_names then compiled.exn_names.(id)
+  else Printf.sprintf "<exn:%d>" id
+
+let eff_id compiled name =
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = name then found := i) compiled.eff_names;
+  if !found < 0 then raise Not_found else !found
+
+let disassemble compiled =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s/%d (frame=%d words%s):\n" f.fn_name f.nparams
+           f.frame_words
+           (if f.is_leaf then ", leaf" else ""));
+      for addr = f.entry to f.code_end - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  %4d  %s\n" addr (Ir.instr_to_string compiled.code.(addr)))
+      done)
+    compiled.fns;
+  Buffer.contents buf

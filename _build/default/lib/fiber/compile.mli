@@ -1,0 +1,81 @@
+(** Bytecode compiler for the fiber machine.
+
+    Besides code generation, the compiler produces the metadata the
+    runtime model needs:
+
+    - per-function frame sizes (return address + locals + the deepest
+      nesting of trap frames), which drive the overflow check and the
+      red-zone elision decision of §5.2;
+    - the leaf-function analysis: a function is a leaf if its body
+      performs no calls of any kind, so its stack use is bounded by its
+      own frame;
+    - CFI edits — for every program point where the distance between the
+      stack pointer and the canonical frame address changes (trap pushes
+      and pops), an edit is recorded, from which the DWARF builder
+      generates unwind tables (§5.5);
+    - the text-section size accounting used by the OTSS experiment
+      (Fig 5): each instruction has a byte cost, and configurations that
+      insert overflow checks pay for them per checked function. *)
+
+type cfn = {
+  fn_index : int;
+  fn_name : string;
+  entry : int;  (** code address of the first instruction *)
+  code_end : int;  (** one past the last instruction *)
+  nparams : int;
+  nlocals : int;  (** params + lets *)
+  max_traps : int;  (** deepest static trap nesting *)
+  frame_words : int;  (** 1 + nlocals + trap words *)
+  is_leaf : bool;
+  cfi_edits : (int * int) list;
+      (** (code address, new cfa offset) — the first entry is the
+          post-prologue state at [entry] *)
+}
+
+type handle_desc = {
+  h_body : int;
+  h_nargs : int;
+  h_retc : int;
+  h_exncs : (int * int) list;  (** exception id → function index *)
+  h_effcs : (int * int) list;  (** effect id → function index *)
+}
+
+type compiled = {
+  code : Ir.instr array;
+  fns : cfn array;
+  handles : handle_desc array;
+  exn_names : string array;
+  eff_names : string array;
+  cfun_names : string array;
+  main_index : int;
+}
+
+exception Error of string
+
+val compile : Ir.program -> compiled
+(** @raise Error on unknown functions, arity mismatches, or a missing
+    main. *)
+
+val function_at : compiled -> int -> cfn option
+(** The function whose code range contains the given address. *)
+
+val exn_id : compiled -> string -> int
+(** @raise Not_found if the program never mentions the label. *)
+
+val exn_name : compiled -> int -> string
+
+val eff_id : compiled -> string -> int
+
+val disassemble : compiled -> string
+
+(** {1 Built-in exception labels}
+
+    These are interned in every program so the runtime can raise them. *)
+
+val unhandled_exn : string
+
+val invalid_argument_exn : string
+
+val division_by_zero_exn : string
+
+val stack_overflow_exn : string

@@ -1,0 +1,49 @@
+type kind = Stock | Mc
+
+type t = {
+  kind : kind;
+  initial_words : int;
+  red_zone : int;
+  stack_cache : bool;
+  stock_stack_words : int;
+  multishot : bool;
+}
+
+let stock =
+  {
+    kind = Stock;
+    initial_words = 0;
+    red_zone = 0;
+    stack_cache = false;
+    stock_stack_words = 1 lsl 20;
+    multishot = false;
+  }
+
+let mc =
+  {
+    kind = Mc;
+    initial_words = 16;
+    red_zone = 16;
+    stack_cache = true;
+    stock_stack_words = 1 lsl 20;
+    multishot = false;
+  }
+
+let mc_red_zone n =
+  if n < 0 then invalid_arg "Config.mc_red_zone: negative size";
+  { mc with red_zone = n }
+
+let with_cache stack_cache t = { t with stack_cache }
+
+let with_initial_words initial_words t =
+  if initial_words < 1 then invalid_arg "Config.with_initial_words: must be positive";
+  { t with initial_words }
+
+let name t =
+  match t.kind with
+  | Stock -> "stock"
+  | Mc ->
+      let base = Printf.sprintf "mc(rz=%d)" t.red_zone in
+      if t.stack_cache then base else base ^ "-nocache"
+
+let with_multishot multishot t = { t with multishot }

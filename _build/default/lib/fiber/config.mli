@@ -1,0 +1,48 @@
+(** Runtime configurations for the fiber machine.
+
+    [Stock] models the stock OCaml runtime of §2: one large contiguous
+    stack, no overflow checks (a guard page catches overflow), direct
+    external calls.  [Mc] models the Multicore runtime of §5:
+    heap-allocated fibers that start small and grow by copying, prologue
+    overflow checks elided for small leaf functions inside the red zone,
+    external calls on a separate system stack, and a stack cache. *)
+
+type kind = Stock | Mc
+
+type t = {
+  kind : kind;
+  initial_words : int;
+      (** initial size of the variable area of a fiber (default 16, §5.2) *)
+  red_zone : int;
+      (** in words; leaf functions with frames at most this large skip the
+          overflow check (default 16, §5.2) *)
+  stack_cache : bool;  (** reuse recently freed fiber stacks (§5.2) *)
+  stock_stack_words : int;
+      (** size of the contiguous stock stack; exceeding it is a fatal
+          stack overflow *)
+  multishot : bool;
+      (** resume by {e copying} the captured fibers instead of consuming
+          them — the semantics-faithful behaviour §5.2 describes and the
+          implementation rejects as "unnecessary and inefficient" for
+          the concurrency use case; off by default, measurable via the
+          ablation bench *)
+}
+
+val stock : t
+
+val mc : t
+(** The Multicore OCaml defaults: 16-word initial fibers, 16-word red
+    zone, stack cache on. *)
+
+val mc_red_zone : int -> t
+(** [mc] with a different red-zone size; [mc_red_zone 0] is the
+    MC+RedZone0 variant of §6.1 in which every OCaml function carries an
+    overflow check. *)
+
+val with_cache : bool -> t -> t
+
+val with_initial_words : int -> t -> t
+
+val with_multishot : bool -> t -> t
+
+val name : t -> string

@@ -1,0 +1,39 @@
+let basic = 1
+
+let call = 3
+
+let check = 2
+
+let ret = 3
+
+let pushtrap = 3
+
+let poptrap = 2
+
+let raise_ = 3
+
+let extcall (c : Config.t) = match c.kind with Config.Stock -> 3 | Config.Mc -> 8
+
+let cfun_body = 12
+
+let callback (c : Config.t) = match c.kind with Config.Stock -> 4 | Config.Mc -> 16
+
+let fiber_alloc = 25
+
+let fiber_alloc_cached = 10
+
+let fiber_free = 4
+
+let perform = 6
+
+let reperform = 4
+
+let resume = 8
+
+let resume_per_fiber = 2
+
+let fiber_return = 8
+
+let grow_base = 20
+
+let grow_per_word = 1

@@ -1,0 +1,76 @@
+(** The instruction-cost model of the fiber machine.
+
+    Each bytecode operation is charged a weight approximating the number
+    of x86-64 instructions the corresponding native-code sequence
+    executes; the machine accumulates the weighted total in its
+    "instructions" counter.  The weights encode the structural claims of
+    the paper: exceptions cost the same under both runtimes (§5.1);
+    Multicore pays for prologue overflow checks (§5.2), stack switching
+    on external calls (§5.3), and room/bookkeeping on callbacks; fiber
+    allocation dominates handler setup (§6.3: the a–b segment, at 23 ns,
+    is "dominated by the memory allocation").
+
+    Absolute values are a calibrated model, not measurements; the
+    experiments report {e relative} differences between configurations,
+    which depend only on which operations each configuration performs. *)
+
+val basic : int
+(** loads, stores, constants, arithmetic, jumps *)
+
+val call : int
+(** push return address, jump, frame setup *)
+
+val check : int
+(** one overflow check: compare and predicted branch *)
+
+val ret : int
+
+val pushtrap : int
+(** push handler pc and exception pointer, update exception pointer *)
+
+val poptrap : int
+
+val raise_ : int
+(** set sp from the exception pointer, reload, jump *)
+
+val extcall : Config.t -> int
+(** direct under stock; under MC also saves the fiber sp and switches to
+    the system stack and back *)
+
+val cfun_body : int
+(** cost charged for the body of a host C function, identical in both
+    configurations; it dilutes the switching overhead the way real C
+    work does *)
+
+val callback : Config.t -> int
+(** under MC also checks room on the fiber and saves/restores
+    handler_info *)
+
+val fiber_alloc : int
+(** malloc + preamble initialisation (the a–b cost) *)
+
+val fiber_alloc_cached : int
+(** stack-cache hit: pop + preamble initialisation *)
+
+val fiber_free : int
+
+val perform : int
+(** allocate the continuation, sever the parent, switch (b–c) *)
+
+val reperform : int
+(** one extra handler hop: append fiber, switch *)
+
+val resume : int
+(** continue/discontinue base cost (c–d); plus [resume_per_fiber] per
+    fiber traversed in the chain *)
+
+val resume_per_fiber : int
+
+val fiber_return : int
+(** switch to parent and invoke the value closure (d–e) *)
+
+val grow_base : int
+(** reallocation bookkeeping; the copy itself is charged one unit per
+    word through [grow_per_word] *)
+
+val grow_per_word : int

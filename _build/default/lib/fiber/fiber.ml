@@ -1,0 +1,60 @@
+type regs = {
+  mutable pc : int;
+  mutable sp : int;
+  mutable cfa : int;
+  mutable fn : int;
+  mutable exn_ptr : int;
+}
+
+type shadow_frame = {
+  sf_fn : int;
+  sf_ra : int;
+  sf_caller_cfa : int;
+  sf_caller_fn : int;
+  sf_cfa : int;
+  sf_ops_base : int;
+}
+
+type t = {
+  id : int;
+  mutable seg : Segment.t;
+  mutable parent : t option;
+  mutable handler : Compile.handle_desc option;
+  regs : regs;
+  ops : int Retrofit_util.Vec.t;
+  shadow : shadow_frame Retrofit_util.Vec.t;
+  traps : (int * int) Retrofit_util.Vec.t;
+  mutable live : bool;
+}
+
+let create ~id ~seg ~parent ~handler =
+  {
+    id;
+    seg;
+    parent;
+    handler;
+    regs = { pc = 0; sp = 0; cfa = 0; fn = -1; exn_ptr = 0 };
+    ops = Retrofit_util.Vec.create ();
+    shadow = Retrofit_util.Vec.create ();
+    traps = Retrofit_util.Vec.create ();
+    live = true;
+  }
+
+let shift delta addr = if addr = 0 then 0 else addr + delta
+
+let rebase t ~delta =
+  t.regs.sp <- shift delta t.regs.sp;
+  t.regs.cfa <- shift delta t.regs.cfa;
+  t.regs.exn_ptr <- shift delta t.regs.exn_ptr;
+  Retrofit_util.Vec.iteri
+    (fun i sf ->
+      Retrofit_util.Vec.set t.shadow i
+        {
+          sf with
+          sf_caller_cfa = shift delta sf.sf_caller_cfa;
+          sf_cfa = shift delta sf.sf_cfa;
+        })
+    t.shadow;
+  Retrofit_util.Vec.iteri
+    (fun i (addr, depth) -> Retrofit_util.Vec.set t.traps i (addr + delta, depth))
+    t.traps

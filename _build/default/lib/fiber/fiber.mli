@@ -1,0 +1,56 @@
+(** Runtime fibers (§5.2).
+
+    A fiber owns a stack [Segment.t], a parent pointer, the handler
+    installed by the [match_with] that created it, and its suspended
+    register state.  The machine additionally maintains, per fiber:
+
+    - an operand stack ([ops]) standing in for the values OCaml keeps in
+      registers — reserved in the frame size but not stored in stack
+      memory;
+    - a shadow control stack ([shadow]) recording the ground-truth call
+      chain, against which the DWARF unwinder is validated (it is the
+      model's analogue of sp-relative addressing and is never consulted
+      by the unwinder);
+    - a mirror of the in-memory trap chain carrying each trap's operand
+      depth ([traps]), restored when an exception unwinds. *)
+
+type regs = {
+  mutable pc : int;
+  mutable sp : int;
+  mutable cfa : int;  (** canonical frame address of the running frame *)
+  mutable fn : int;  (** index of the running function, -1 before any call *)
+  mutable exn_ptr : int;  (** head of the trap chain; an address *)
+}
+
+type shadow_frame = {
+  sf_fn : int;
+  sf_ra : int;  (** return address (code address or Layout sentinel) *)
+  sf_caller_cfa : int;
+  sf_caller_fn : int;
+  sf_cfa : int;
+  sf_ops_base : int;  (** operand-stack length at frame entry *)
+}
+
+type t = {
+  id : int;
+  mutable seg : Segment.t;
+  mutable parent : t option;
+  mutable handler : Compile.handle_desc option;
+      (** [None] for the main stack and inside callback boundaries *)
+  regs : regs;
+  ops : int Retrofit_util.Vec.t;
+  shadow : shadow_frame Retrofit_util.Vec.t;
+  traps : (int * int) Retrofit_util.Vec.t;  (** (trap address, operand depth) *)
+  mutable live : bool;
+}
+
+val create : id:int -> seg:Segment.t -> parent:t option ->
+  handler:Compile.handle_desc option -> t
+(** A fiber with zeroed registers; the machine initialises the preamble
+    and register state. *)
+
+val rebase : t -> delta:int -> unit
+(** Adjust every stored stack address after the segment moved by
+    [delta]: registers, shadow frames, the trap mirror.  The in-memory
+    trap chain is the machine's to fix, since it requires memory
+    access. *)

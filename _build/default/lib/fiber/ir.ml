@@ -1,0 +1,93 @@
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Let of string * expr * expr
+  | Seq of expr * expr
+  | Call of string * expr list
+  | Raise of string * expr
+  | Trywith of expr * (string * string * expr) list
+  | Perform of string * expr
+  | Handle of handle_spec
+  | Continue of expr * expr
+  | Discontinue of expr * string * expr
+  | Extcall of string * expr list
+  | Repeat of expr * expr
+
+and handle_spec = {
+  body_fn : string;
+  body_args : expr list;
+  retc : string;
+  exncs : (string * string) list;
+  effcs : (string * string) list;
+}
+
+type fn = { fn_name : string; params : string list; body : expr }
+
+type program = { fns : fn list; main : string }
+
+type instr =
+  | Const of int
+  | Load of int
+  | Store of int
+  | Dup
+  | Pop
+  | Bin of binop
+  | Jump of int
+  | JumpIfNot of int
+  | CallI of int
+  | Ret
+  | PushtrapI of int
+  | PoptrapI
+  | RaiseI of int
+  | ReraiseI
+  | PerformI of int
+  | HandleI of int
+  | ContinueI
+  | DiscontinueI of int
+  | ExtcallI of int * int
+  | Stop
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let instr_to_string = function
+  | Const n -> Printf.sprintf "const %d" n
+  | Load i -> Printf.sprintf "load %d" i
+  | Store i -> Printf.sprintf "store %d" i
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | Bin op -> binop_to_string op
+  | Jump a -> Printf.sprintf "jump %d" a
+  | JumpIfNot a -> Printf.sprintf "jumpifnot %d" a
+  | CallI f -> Printf.sprintf "call f%d" f
+  | Ret -> "ret"
+  | PushtrapI a -> Printf.sprintf "pushtrap %d" a
+  | PoptrapI -> "poptrap"
+  | RaiseI e -> Printf.sprintf "raise e%d" e
+  | ReraiseI -> "reraise"
+  | PerformI e -> Printf.sprintf "perform eff%d" e
+  | HandleI h -> Printf.sprintf "handle h%d" h
+  | ContinueI -> "continue"
+  | DiscontinueI e -> Printf.sprintf "discontinue e%d" e
+  | ExtcallI (c, n) -> Printf.sprintf "extcall c%d/%d" c n
+  | Stop -> "stop"
+
+let call name args = Call (name, args)
+
+let seq = function
+  | [] -> invalid_arg "Ir.seq: empty sequence"
+  | e :: rest -> List.fold_left (fun acc e -> Seq (acc, e)) e rest
+
+let fn fn_name params body = { fn_name; params; body }

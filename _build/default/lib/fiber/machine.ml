@@ -1,0 +1,802 @@
+module Vec = Retrofit_util.Vec
+module Counter = Retrofit_util.Counter
+
+type outcome = Done of int | Uncaught of string * int | Fatal of string
+
+exception Ocaml_exn of string * int
+
+exception Fatal_error of string
+
+exception Cb_return of int
+(* Internal: thrown by Ret when it pops a callback's base frame, to exit
+   the nested execution loop in run_callback. *)
+
+type cont = { mutable fibers : Fiber.t list; mutable cont_live : bool }
+
+type t = {
+  cfg : Config.t;
+  prog : Compile.compiled;
+  t_counters : Counter.t;
+  cache : Stack_cache.t;
+  mutable current : Fiber.t;
+  fibers_live : (int, Fiber.t) Hashtbl.t;
+  conts : cont Vec.t;
+  mutable next_base : int;
+  mutable next_id : int;
+  cfun_impls : (ctx -> int array -> int) option array;
+  mutable result : outcome option;
+  mutable fuel : int;
+  on_call : (t -> unit) option;
+  unhandled_id : int;
+  invalid_arg_id : int;
+  divzero_id : int;
+  overflow_id : int;
+}
+
+and ctx = { machine : t; callback : string -> int array -> int }
+
+type cfun = ctx -> int array -> int
+
+let compiled t = t.prog
+
+let config t = t.cfg
+
+let counters t = t.t_counters
+
+let current_fiber t = t.current
+
+let fiber_by_id t id = Hashtbl.find_opt t.fibers_live id
+
+let fiber_of_addr t addr =
+  Hashtbl.fold
+    (fun _ f acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Segment.contains f.Fiber.seg addr then Some f else None)
+    t.fibers_live None
+
+let read_mem t addr =
+  match fiber_of_addr t addr with
+  | Some f -> Segment.read f.Fiber.seg addr
+  | None -> invalid_arg (Printf.sprintf "Machine.read_mem: unmapped address %d" addr)
+
+let live_fiber_count t = Hashtbl.length t.fibers_live
+
+let fatal msg = raise (Fatal_error msg)
+
+let charge t n = Counter.add t.t_counters "instructions" n
+
+let count t name = Counter.incr t.t_counters name
+
+(* ------------------------------------------------------------------ *)
+(* Operand stack and memory helpers (always on the current fiber) *)
+
+let rd f addr = Segment.read f.Fiber.seg addr
+
+let wr f addr v = Segment.write f.Fiber.seg addr v
+
+let push_op (f : Fiber.t) v = Vec.push f.ops v
+
+let pop_op (f : Fiber.t) =
+  if Vec.is_empty f.ops then fatal "operand stack underflow" else Vec.pop f.ops
+
+(* ------------------------------------------------------------------ *)
+(* Fiber allocation, preamble initialisation and growth *)
+
+let alloc_segment t ~size =
+  match if t.cfg.stack_cache then Stack_cache.take t.cache ~size else None with
+  | Some seg ->
+      count t "stack_cache_hit";
+      charge t Costs.fiber_alloc_cached;
+      seg
+  | None ->
+      count t "malloc";
+      charge t Costs.fiber_alloc;
+      let seg = Segment.create ~base:t.next_base ~size in
+      (* Leave a small unmapped gap between segments so that stray
+         pointer arithmetic cannot silently cross into a neighbour. *)
+      t.next_base <- t.next_base + size + 8;
+      seg
+
+(* Lay out the Fig 3a preamble at the high end of the fiber and point
+   the registers below it.  [bottom_trap] is the sentinel handler pc of
+   the fiber's bottom trap frame: [Layout.trap_forward] for handler
+   fibers, [Layout.main_uncaught] for the main stack. *)
+let init_preamble t (f : Fiber.t) ~handler_index ~bottom_trap =
+  let top = Segment.top f.seg in
+  let parent_id = match f.parent with Some p -> p.Fiber.id | None -> -1 in
+  wr f (top - 1) parent_id;
+  wr f (top - 2) handler_index;
+  wr f (top - 3) 0;
+  wr f (top - 4) 0;
+  (* context block *)
+  wr f (top - 5) 0;
+  wr f (top - 6) 0;
+  (* bottom trap frame: [old exn_ptr = null; handler pc] *)
+  let trap = top - 8 in
+  wr f trap 0;
+  wr f (trap + 1) bottom_trap;
+  Vec.clear f.traps;
+  Vec.push f.traps (trap, 0);
+  f.regs.pc <- 0;
+  f.regs.sp <- trap;
+  f.regs.cfa <- trap;
+  f.regs.fn <- -1;
+  f.regs.exn_ptr <- trap;
+  Vec.clear f.ops;
+  Vec.clear f.shadow;
+  ignore t
+
+let register_fiber t f = Hashtbl.replace t.fibers_live f.Fiber.id f
+
+let new_fiber t ~parent ~handler ~handler_index ~bottom_trap ~size =
+  let seg = alloc_segment t ~size in
+  let f = Fiber.create ~id:t.next_id ~seg ~parent ~handler in
+  t.next_id <- t.next_id + 1;
+  init_preamble t f ~handler_index ~bottom_trap;
+  register_fiber t f;
+  f
+
+let free_fiber t (f : Fiber.t) =
+  f.live <- false;
+  Hashtbl.remove t.fibers_live f.id;
+  count t "fiber_free";
+  charge t Costs.fiber_free;
+  if t.cfg.stack_cache then Stack_cache.put t.cache ~size:(Segment.size f.seg) f.seg
+
+(* Grow the fiber by copying it into a segment of (at least) double the
+   size, then rebase every stored stack address, including the trap
+   chain threaded through the copied memory (§5.2: "the two fiber_info
+   fields are the only ones that need to be updated when fibers are
+   moved" — plus, in any faithful model, the saved exception pointers,
+   which the real runtime also rewrites when reallocating a stack). *)
+let grow t (f : Fiber.t) ~needed =
+  let old_seg = f.seg in
+  let old_size = Segment.size old_seg in
+  let used = Segment.top old_seg - f.regs.sp in
+  let rec pick size =
+    if size - used - t.cfg.red_zone >= needed then size else pick (size * 2)
+  in
+  let new_size = pick (old_size * 2) in
+  let new_seg = alloc_segment t ~size:new_size in
+  Segment.blit_into ~src:old_seg ~dst:new_seg;
+  count t "stack_grow";
+  Counter.add t.t_counters "words_copied" old_size;
+  charge t (Costs.grow_base + (Costs.grow_per_word * old_size));
+  let delta = Segment.top new_seg - Segment.top old_seg in
+  f.seg <- new_seg;
+  Fiber.rebase f ~delta;
+  (* Rebase the exception pointers saved inside the copied trap chain. *)
+  let rec fix addr =
+    if addr <> 0 then begin
+      let old_ptr = rd f addr in
+      if old_ptr <> 0 then begin
+        wr f addr (old_ptr + delta);
+        fix (old_ptr + delta)
+      end
+    end
+  in
+  fix f.regs.exn_ptr;
+  if t.cfg.stack_cache then Stack_cache.put t.cache ~size:old_size old_seg
+
+(* ------------------------------------------------------------------ *)
+(* Calls *)
+
+let raise_ref :
+    (t -> int -> int -> unit) ref =
+  ref (fun _ _ _ -> assert false)
+(* machine_raise and emulate_call are mutually recursive with the
+   overflow path; tied below. *)
+
+let emulate_call t (f : Fiber.t) fid (args : int array) ~ra =
+  let fn = t.prog.fns.(fid) in
+  let needed = fn.frame_words in
+  let ok =
+    match t.cfg.kind with
+    | Config.Stock ->
+        if f.regs.sp - needed < Segment.limit f.seg then begin
+          (* Guard page hit: stock OCaml raises Stack_overflow. *)
+          !raise_ref t t.overflow_id 0;
+          false
+        end
+        else true
+    | Config.Mc ->
+        let checked = not (fn.is_leaf && needed <= t.cfg.red_zone) in
+        if checked then begin
+          count t "overflow_check";
+          charge t Costs.check;
+          if f.regs.sp - needed < Segment.limit f.seg + t.cfg.red_zone then
+            grow t f ~needed
+        end
+        else count t "check_elided";
+        if f.regs.sp - needed < Segment.limit f.seg then
+          fatal (Printf.sprintf "red zone violated by %s" fn.fn_name);
+        true
+  in
+  if ok then begin
+    count t "call";
+    charge t Costs.call;
+    let ra_addr = f.regs.sp - 1 in
+    wr f ra_addr ra;
+    Vec.push f.shadow
+      {
+        Fiber.sf_fn = fid;
+        sf_ra = ra;
+        sf_caller_cfa = f.regs.cfa;
+        sf_caller_fn = f.regs.fn;
+        sf_cfa = ra_addr + 1;
+        sf_ops_base = Vec.length f.ops;
+      };
+    f.regs.cfa <- ra_addr + 1;
+    f.regs.fn <- fid;
+    f.regs.pc <- fn.entry;
+    f.regs.sp <- ra_addr - fn.nlocals;
+    Array.iteri (fun i v -> wr f (f.regs.cfa - 2 - i) v) args;
+    match t.on_call with Some hook -> hook t | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions *)
+
+let machine_raise t exn_id payload =
+  count t "raise";
+  charge t Costs.raise_;
+  let rec unwind () =
+    let f = t.current in
+    let a = f.Fiber.regs.exn_ptr in
+    if a = 0 then fatal "exception with no trap frame";
+    let old = rd f a and hpc = rd f (a + 1) in
+    let maddr, mops = Vec.pop f.traps in
+    if maddr <> a then fatal "trap mirror out of sync";
+    f.regs.sp <- a + 2;
+    f.regs.exn_ptr <- old;
+    Vec.truncate f.ops mops;
+    if hpc = Layout.trap_forward then begin
+      (* Fiber bottom: forward the exception to the parent fiber,
+         running the handler's exception case there if it matches. *)
+      let p =
+        match f.parent with
+        | Some p -> p
+        | None -> fatal "exception unwound past a captured fiber"
+      in
+      let h =
+        match f.handler with
+        | Some h -> h
+        | None -> fatal "handler fiber without a handler"
+      in
+      free_fiber t f;
+      t.current <- p;
+      count t "switch";
+      match List.assoc_opt exn_id h.Compile.h_exncs with
+      | Some fid -> emulate_call t p fid [| payload |] ~ra:p.regs.pc
+      | None -> unwind ()
+    end
+    else if hpc = Layout.c_trap then begin
+      (* Callback boundary: pop the saved-pc context word too, then
+         propagate to the C caller as a host exception. *)
+      while (Vec.top f.shadow).Fiber.sf_cfa <= a do
+        ignore (Vec.pop f.shadow)
+      done;
+      f.regs.sp <- a + 3;
+      raise (Ocaml_exn (Compile.exn_name t.prog exn_id, payload))
+    end
+    else if hpc = Layout.main_uncaught then
+      t.result <- Some (Uncaught (Compile.exn_name t.prog exn_id, payload))
+    else begin
+      (* Ordinary trap: unwind the shadow stack to the frame holding the
+         trap and enter the handler code with [payload; id] pushed. *)
+      while (Vec.top f.shadow).Fiber.sf_cfa <= a do
+        ignore (Vec.pop f.shadow)
+      done;
+      let sf = Vec.top f.shadow in
+      f.regs.cfa <- sf.Fiber.sf_cfa;
+      f.regs.fn <- sf.Fiber.sf_fn;
+      f.regs.pc <- hpc;
+      push_op f payload;
+      push_op f exn_id
+    end
+  in
+  unwind ()
+
+let () = raise_ref := machine_raise
+
+let c_raise _t name payload = raise (Ocaml_exn (name, payload))
+
+(* ------------------------------------------------------------------ *)
+(* Fiber returns, effects, continuations *)
+
+let fiber_return t result =
+  let f = t.current in
+  let p =
+    match f.Fiber.parent with
+    | Some p -> p
+    | None -> fatal "fiber return without a parent"
+  in
+  let h =
+    match f.handler with Some h -> h | None -> fatal "fiber return without a handler"
+  in
+  count t "fiber_return";
+  charge t Costs.fiber_return;
+  count t "switch";
+  free_fiber t f;
+  t.current <- p;
+  emulate_call t p h.Compile.h_retc [| result |] ~ra:p.regs.pc
+
+let do_perform t eff_id =
+  count t "perform";
+  charge t Costs.perform;
+  let v = pop_op t.current in
+  let kid = Vec.length t.conts in
+  let k = { fibers = []; cont_live = true } in
+  Vec.push t.conts k;
+  let last_captured : Fiber.t option ref = ref None in
+  (* parent pointers live both in the fiber record and in the
+     handler_info word at the top of its stack (Fig 3a); the unwinder
+     reads the latter, so both must move together *)
+  let set_parent (f : Fiber.t) = function
+    | Some (p : Fiber.t) ->
+        f.Fiber.parent <- Some p;
+        wr f (Segment.top f.Fiber.seg - 1) p.Fiber.id
+    | None ->
+        f.Fiber.parent <- None;
+        wr f (Segment.top f.Fiber.seg - 1) (-1)
+  in
+  let relink_last_to target =
+    match !last_captured with
+    | Some prev -> set_parent prev (Some target)
+    | None -> ()
+  in
+  let rec hop (cur : Fiber.t) =
+    match cur.handler with
+    | None -> (
+        (* Handler-less boundary: the main stack or a callback.  The
+           effect is unhandled; reinstate whatever was captured and
+           raise Unhandled at the perform site (§3.2). *)
+        match k.fibers with
+        | [] -> machine_raise t t.unhandled_id 0
+        | first :: _ ->
+            relink_last_to cur;
+            k.cont_live <- false;
+            t.current <- first;
+            count t "switch";
+            machine_raise t t.unhandled_id 0)
+    | Some h -> (
+        relink_last_to cur;
+        k.fibers <- k.fibers @ [ cur ];
+        last_captured := Some cur;
+        let p =
+          match cur.parent with
+          | Some p -> p
+          | None -> fatal "handler fiber without a parent during perform"
+        in
+        set_parent cur None;
+        match List.assoc_opt eff_id h.Compile.h_effcs with
+        | Some fid ->
+            t.current <- p;
+            count t "switch";
+            emulate_call t p fid [| v; kid |] ~ra:p.regs.pc
+        | None ->
+            count t "reperform";
+            charge t Costs.reperform;
+            hop p)
+  in
+  hop t.current
+
+let take_cont t kid =
+  if kid < 0 || kid >= Vec.length t.conts then fatal "invalid continuation value";
+  Vec.get t.conts kid
+
+(* Deep-copy one captured fiber for multi-shot resumption (§5.2's
+   semantics-faithful behaviour): a fresh segment with the same
+   contents, rebased registers, shadow stack and trap mirror, and the
+   in-memory trap chain rewritten — the same fixups as stack growth. *)
+let copy_fiber t (f : Fiber.t) =
+  let size = Segment.size f.seg in
+  let seg = alloc_segment t ~size in
+  Segment.blit_into ~src:f.seg ~dst:seg;
+  Counter.add t.t_counters "words_copied" size;
+  charge t (Costs.grow_per_word * size);
+  let copy = Fiber.create ~id:t.next_id ~seg ~parent:None ~handler:f.handler in
+  t.next_id <- t.next_id + 1;
+  copy.regs.pc <- f.regs.pc;
+  copy.regs.sp <- f.regs.sp;
+  copy.regs.cfa <- f.regs.cfa;
+  copy.regs.fn <- f.regs.fn;
+  copy.regs.exn_ptr <- f.regs.exn_ptr;
+  Vec.iter (push_op copy) f.ops;
+  Vec.iter (Vec.push copy.shadow) f.shadow;
+  Vec.iter (Vec.push copy.traps) f.traps;
+  let delta = Segment.top seg - Segment.top f.seg in
+  Fiber.rebase copy ~delta;
+  let rec fix addr =
+    if addr <> 0 then begin
+      let old_ptr = rd copy addr in
+      if old_ptr <> 0 then begin
+        wr copy addr (old_ptr + delta);
+        fix (old_ptr + delta)
+      end
+    end
+  in
+  fix copy.regs.exn_ptr;
+  register_fiber t copy;
+  copy
+
+(* Copy a whole chain, re-linking parents (and the parent-id words in
+   each copy's handler_info) within the copy. *)
+let copy_chain t fibers =
+  let copies = List.map (copy_fiber t) fibers in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        a.Fiber.parent <- Some b;
+        wr a (Segment.top a.Fiber.seg - 1) b.Fiber.id;
+        link rest
+    | _ -> ()
+  in
+  link copies;
+  copies
+
+let do_resume t ~raise_instead v kid =
+  let k = take_cont t kid in
+  if not k.cont_live then machine_raise t t.invalid_arg_id 0
+  else begin
+    count t "resume";
+    charge t (Costs.resume + (Costs.resume_per_fiber * List.length k.fibers));
+    let fibers =
+      if t.cfg.multishot then begin
+        (* resuming copies the fibers and leaves the continuation as it
+           is (§5.2, operational semantics) *)
+        count t "cont_copy";
+        copy_chain t k.fibers
+      end
+      else begin
+        k.cont_live <- false;
+        k.fibers
+      end
+    in
+    let first =
+      match fibers with [] -> fatal "empty continuation" | first :: _ -> first
+    in
+    let last = List.nth fibers (List.length fibers - 1) in
+    last.Fiber.parent <- Some t.current;
+    wr last (Segment.top last.Fiber.seg - 1) t.current.Fiber.id;
+    t.current <- first;
+    count t "switch";
+    match raise_instead with
+    | None -> push_op first v
+    | Some exn_id -> machine_raise t exn_id v
+  end
+
+let do_handle t hidx =
+  count t "handle";
+  let spec = t.prog.handles.(hidx) in
+  let args = Array.make spec.h_nargs 0 in
+  for i = spec.h_nargs - 1 downto 0 do
+    args.(i) <- pop_op t.current
+  done;
+  (* The variable area provides [initial_words] of checked headroom; the
+     red zone sits below it so that unchecked leaf frames always fit. *)
+  let size = Layout.preamble_words + t.cfg.initial_words + t.cfg.red_zone in
+  let f =
+    new_fiber t ~parent:(Some t.current) ~handler:(Some spec) ~handler_index:hidx
+      ~bottom_trap:Layout.trap_forward ~size
+  in
+  count t "fiber_alloc";
+  t.current <- f;
+  count t "switch";
+  emulate_call t f spec.h_body args ~ra:Layout.ret_to_parent
+
+(* ------------------------------------------------------------------ *)
+(* Traps *)
+
+let push_trap t (f : Fiber.t) ~hpc =
+  count t "pushtrap";
+  charge t Costs.pushtrap;
+  let a = f.regs.sp - 2 in
+  wr f a f.regs.exn_ptr;
+  wr f (a + 1) hpc;
+  f.regs.sp <- a;
+  f.regs.exn_ptr <- a;
+  Vec.push f.traps (a, Vec.length f.ops)
+
+let pop_trap t (f : Fiber.t) =
+  count t "poptrap";
+  charge t Costs.poptrap;
+  let a = f.regs.exn_ptr in
+  if a <> f.regs.sp then fatal "poptrap with a non-top trap";
+  f.regs.exn_ptr <- rd f a;
+  f.regs.sp <- a + 2;
+  ignore (Vec.pop f.traps)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction dispatch *)
+
+let binop t op a b =
+  match (op : Ir.binop) with
+  | Ir.Add -> Some (a + b)
+  | Ir.Sub -> Some (a - b)
+  | Ir.Mul -> Some (a * b)
+  | Ir.Div ->
+      if b = 0 then begin
+        machine_raise t t.divzero_id a;
+        None
+      end
+      else Some (a / b)
+  | Ir.Mod ->
+      if b = 0 then begin
+        machine_raise t t.divzero_id a;
+        None
+      end
+      else Some (a mod b)
+  | Ir.Lt -> Some (if a < b then 1 else 0)
+  | Ir.Le -> Some (if a <= b then 1 else 0)
+  | Ir.Eq -> Some (if a = b then 1 else 0)
+  | Ir.Ne -> Some (if a <> b then 1 else 0)
+
+let require_mc t what =
+  match t.cfg.kind with
+  | Config.Mc -> ()
+  | Config.Stock ->
+      fatal (what ^ " is not supported by the stock runtime configuration")
+
+let rec step t =
+  if t.fuel <= 0 then fatal "out of fuel";
+  t.fuel <- t.fuel - 1;
+  count t "ops";
+  let f = t.current in
+  let pc = f.Fiber.regs.pc in
+  if pc < 0 || pc >= Array.length t.prog.code then
+    fatal (Printf.sprintf "pc %d outside code" pc);
+  let instr = t.prog.code.(pc) in
+  f.regs.pc <- pc + 1;
+  match instr with
+  | Ir.Const n ->
+      charge t Costs.basic;
+      push_op f n
+  | Ir.Load i ->
+      charge t Costs.basic;
+      push_op f (rd f (f.regs.cfa - 2 - i))
+  | Ir.Store i ->
+      charge t Costs.basic;
+      wr f (f.regs.cfa - 2 - i) (pop_op f)
+  | Ir.Dup ->
+      charge t Costs.basic;
+      push_op f (Vec.top f.ops)
+  | Ir.Pop ->
+      charge t Costs.basic;
+      ignore (pop_op f)
+  | Ir.Bin op -> (
+      charge t Costs.basic;
+      let b = pop_op f in
+      let a = pop_op f in
+      match binop t op a b with Some r -> push_op f r | None -> ())
+  | Ir.Jump a ->
+      charge t Costs.basic;
+      f.regs.pc <- a
+  | Ir.JumpIfNot a ->
+      charge t Costs.basic;
+      if pop_op f = 0 then f.regs.pc <- a
+  | Ir.CallI fid ->
+      let fn = t.prog.fns.(fid) in
+      let args = Array.make fn.nparams 0 in
+      for i = fn.nparams - 1 downto 0 do
+        args.(i) <- pop_op f
+      done;
+      emulate_call t f fid args ~ra:f.regs.pc
+  | Ir.Ret -> (
+      count t "ret";
+      charge t Costs.ret;
+      let result = pop_op f in
+      let sf = Vec.pop f.shadow in
+      Vec.truncate f.ops sf.Fiber.sf_ops_base;
+      f.regs.sp <- sf.sf_cfa;
+      f.regs.cfa <- sf.sf_caller_cfa;
+      f.regs.fn <- sf.sf_caller_fn;
+      let ra = sf.sf_ra in
+      if ra = Layout.ret_to_parent then fiber_return t result
+      else if ra = Layout.main_done then t.result <- Some (Done result)
+      else if ra = Layout.cb_done then raise (Cb_return result)
+      else begin
+        f.regs.pc <- ra;
+        push_op f result
+      end)
+  | Ir.PushtrapI target -> push_trap t f ~hpc:target
+  | Ir.PoptrapI -> pop_trap t f
+  | Ir.RaiseI id ->
+      let payload = pop_op f in
+      machine_raise t id payload
+  | Ir.ReraiseI ->
+      let id = pop_op f in
+      let payload = pop_op f in
+      machine_raise t id payload
+  | Ir.PerformI eid ->
+      require_mc t "perform";
+      do_perform t eid
+  | Ir.HandleI hidx ->
+      require_mc t "an effect handler";
+      do_handle t hidx
+  | Ir.ContinueI ->
+      require_mc t "continue";
+      let v = pop_op f in
+      let kid = pop_op f in
+      do_resume t ~raise_instead:None v kid
+  | Ir.DiscontinueI exn_id ->
+      require_mc t "discontinue";
+      let payload = pop_op f in
+      let kid = pop_op f in
+      do_resume t ~raise_instead:(Some exn_id) payload kid
+  | Ir.ExtcallI (cid, nargs) -> (
+      count t "extcall";
+      charge t (Costs.extcall t.cfg + Costs.cfun_body);
+      let args = Array.make nargs 0 in
+      for i = nargs - 1 downto 0 do
+        args.(i) <- pop_op f
+      done;
+      match t.cfun_impls.(cid) with
+      | None ->
+          fatal
+            (Printf.sprintf "unregistered C function %s" t.prog.cfun_names.(cid))
+      | Some impl -> (
+          let ctx = { machine = t; callback = run_callback t } in
+          match impl ctx args with
+          | v -> push_op t.current v
+          | exception Ocaml_exn (name, payload) -> (
+              match Compile.exn_id t.prog name with
+              | id -> machine_raise t id payload
+              | exception Not_found ->
+                  fatal
+                    (Printf.sprintf "C function raised unknown exception %s" name))))
+  | Ir.Stop -> t.result <- Some (Done (pop_op f))
+
+(* Run an OCaml function from C on the current fiber (§5.3): push a
+   context word saving the pre-callback pc, a boundary trap, and blank
+   out handler_info for the duration. *)
+and run_callback t name args =
+  let fid =
+    let found = ref None in
+    Array.iter
+      (fun (fn : Compile.cfn) -> if fn.fn_name = name then found := Some fn)
+      t.prog.fns;
+    match !found with
+    | Some fn ->
+        if fn.nparams <> Array.length args then
+          fatal (Printf.sprintf "callback arity mismatch for %s" name);
+        fn.fn_index
+    | None -> fatal (Printf.sprintf "callback to unknown function %s" name)
+  in
+  count t "callback";
+  charge t (Costs.callback t.cfg);
+  let f = t.current in
+  (* Save and blank the handler for the duration (§5.3): effects
+     performed under the callback must not find it.  The parent pointer
+     stays — backtraces cross callback boundaries (Fig 1d) — and is
+     unreachable for control flow while the boundary trap is live. *)
+  let saved_handler = f.Fiber.handler in
+  (* context word: the pre-callback pc, for the unwinder *)
+  wr f (f.regs.sp - 1) f.regs.pc;
+  f.regs.sp <- f.regs.sp - 1;
+  push_trap t f ~hpc:Layout.c_trap;
+  f.handler <- None;
+  let restore () = f.Fiber.handler <- saved_handler in
+  emulate_call t f fid args ~ra:Layout.cb_done;
+  let rec loop () =
+    match t.result with
+    | Some _ -> fatal "program terminated inside a callback"
+    | None ->
+        step t;
+        loop ()
+  in
+  match loop () with
+  | () -> assert false
+  | exception Cb_return v ->
+      (* Ret restored sp to the trap address; pop the boundary trap and
+         the context word, resuming at the saved pre-callback pc. *)
+      let a = f.Fiber.regs.exn_ptr in
+      f.regs.exn_ptr <- rd f a;
+      f.regs.pc <- rd f (a + 2);
+      f.regs.sp <- a + 3;
+      ignore (Vec.pop f.traps);
+      restore ();
+      v
+  | exception (Ocaml_exn _ as e) ->
+      (* machine_raise already popped the trap and the context word *)
+      restore ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Backtraces (ground truth) *)
+
+(* Suspended continuations: every live continuation's fiber chain.
+   This is what lets a server take "a backtrace snapshot of all current
+   requests" (§6.3.4) — each suspended request is a fiber chain whose
+   saved registers the unwinder can start from. *)
+let live_continuations t =
+  let out = ref [] in
+  Vec.iteri
+    (fun kid k ->
+      if k.cont_live && k.fibers <> [] then out := (kid, k.fibers) :: !out)
+    t.conts;
+  List.rev !out
+
+let shadow_backtrace t =
+  let out = ref [] in
+  let emit s = out := s :: !out in
+  let fn_name i = if i >= 0 then t.prog.fns.(i).fn_name else "?" in
+  let rec walk_fiber (f : Fiber.t) idx =
+    if idx < 0 then ()
+    else begin
+      let sf = Vec.get f.shadow idx in
+      emit (fn_name sf.Fiber.sf_fn);
+      if sf.sf_ra = Layout.ret_to_parent then begin
+        match f.parent with
+        | Some p -> walk_fiber p (Vec.length p.Fiber.shadow - 1)
+        | None -> emit "<captured>"
+      end
+      else if sf.sf_ra = Layout.cb_done then begin
+        emit "<C>";
+        walk_fiber f (idx - 1)
+      end
+      else if sf.sf_ra = Layout.main_done then emit "<main>"
+      else walk_fiber f (idx - 1)
+    end
+  in
+  let f = t.current in
+  walk_fiber f (Vec.length f.Fiber.shadow - 1);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let run ?cache ?(cfuns = []) ?on_call ?(fuel = 200_000_000) cfg prog =
+  let counters = Counter.create () in
+  let cache = match cache with Some c -> c | None -> Stack_cache.create () in
+  let cfun_impls =
+    Array.map
+      (fun name -> List.assoc_opt name cfuns)
+      prog.Compile.cfun_names
+  in
+  let dummy_seg = Segment.create ~base:0 ~size:1 in
+  let dummy = Fiber.create ~id:(-1) ~seg:dummy_seg ~parent:None ~handler:None in
+  let t =
+    {
+      cfg;
+      prog;
+      t_counters = counters;
+      cache;
+      current = dummy;
+      fibers_live = Hashtbl.create 64;
+      conts = Vec.create ();
+      next_base = 16;
+      next_id = 0;
+      cfun_impls;
+      result = None;
+      fuel;
+      on_call;
+      unhandled_id = Compile.exn_id prog Compile.unhandled_exn;
+      invalid_arg_id = Compile.exn_id prog Compile.invalid_argument_exn;
+      divzero_id = Compile.exn_id prog Compile.division_by_zero_exn;
+      overflow_id = Compile.exn_id prog Compile.stack_overflow_exn;
+    }
+  in
+  let main_size =
+    match cfg.kind with
+    | Config.Stock -> cfg.stock_stack_words
+    | Config.Mc -> Layout.preamble_words + cfg.initial_words + cfg.red_zone
+  in
+  let main =
+    new_fiber t ~parent:None ~handler:None ~handler_index:(-1)
+      ~bottom_trap:Layout.main_uncaught ~size:main_size
+  in
+  t.current <- main;
+  let outcome =
+    match
+      emulate_call t main prog.main_index [||] ~ra:Layout.main_done;
+      while t.result = None do
+        step t
+      done
+    with
+    | () -> ( match t.result with Some r -> r | None -> Fatal "no result")
+    | exception Fatal_error msg -> Fatal msg
+    | exception Cb_return _ -> Fatal "callback return outside a callback"
+    | exception Ocaml_exn (name, payload) -> Uncaught (name, payload)
+  in
+  (outcome, counters)

@@ -1,0 +1,90 @@
+(** The fiber machine: an executable model of the runtime of §5.
+
+    The machine executes compiled bytecode over word-addressed stack
+    segments.  Under the [Stock] configuration it behaves like stock
+    OCaml (§2): one contiguous stack, no overflow checks, linked trap
+    frames, direct external calls; effect instructions are a fatal
+    error.  Under [Mc] it implements the full design of §5:
+    heap-allocated fibers with the Fig 3a layout, prologue overflow
+    checks with red-zone elision, growth by copy-and-double with pointer
+    rebasing, a stack cache, continuation capture without copying
+    (linked fibers), one-shot enforcement, reperform chains, callbacks
+    on the current fiber with saved handler_info, and exception
+    forwarding across both fiber and C boundaries.
+
+    Every run returns the cost counters; the "instructions" counter is
+    the weighted total defined by {!Costs} and backs the Table 1
+    instruction-count experiment. *)
+
+type outcome =
+  | Done of int
+  | Uncaught of string * int  (** exception label and payload *)
+  | Fatal of string
+      (** a state the real runtime cannot reach or does not support,
+          e.g. effect handlers under the stock configuration *)
+
+type t
+
+(** Context handed to host-implemented C functions. *)
+type ctx = {
+  machine : t;
+  callback : string -> int array -> int;
+      (** call back into an OCaml function by name; OCaml exceptions
+          escaping the callback propagate as {!Ocaml_exn} *)
+}
+
+exception Ocaml_exn of string * int
+(** Raised inside C-function implementations when an OCaml exception
+    crosses the callback boundary; re-raise it (or let it escape) to
+    forward the exception to the OCaml caller, as C code does. *)
+
+type cfun = ctx -> int array -> int
+
+val run :
+  ?cache:Stack_cache.t ->
+  ?cfuns:(string * cfun) list ->
+  ?on_call:(t -> unit) ->
+  ?fuel:int ->
+  Config.t ->
+  Compile.compiled ->
+  outcome * Retrofit_util.Counter.t
+(** Executes the program's main function.  [cfuns] supplies C-function
+    implementations by name; a program calling an unregistered name
+    fails with [Fatal].  [on_call] runs after every call frame is
+    established — the hook the DWARF validator uses.  [fuel] bounds the
+    executed operation count (default 200 million). *)
+
+val c_raise : t -> string -> int -> 'a
+(** For C-function implementations: raise an OCaml exception across the
+    external call, like [caml_raise] in C stubs. *)
+
+(** {1 Introspection (for the unwinder, the validator and tests)} *)
+
+val compiled : t -> Compile.compiled
+
+val config : t -> Config.t
+
+val counters : t -> Retrofit_util.Counter.t
+
+val current_fiber : t -> Fiber.t
+
+val fiber_by_id : t -> int -> Fiber.t option
+
+val fiber_of_addr : t -> int -> Fiber.t option
+(** The live fiber whose segment contains the address. *)
+
+val read_mem : t -> int -> int
+(** Read a word of stack memory.  @raise Invalid_argument on an
+    unmapped address. *)
+
+val live_fiber_count : t -> int
+
+val live_continuations : t -> (int * Fiber.t list) list
+(** Every live (capturable, not yet resumed) continuation with its
+    fiber chain — the suspended requests of a server, each of which the
+    unwinder can snapshot (§6.3.4). *)
+
+val shadow_backtrace : t -> string list
+(** Ground truth: function names from the innermost frame outwards,
+    crossing fiber boundaries via parent pointers and marking callback
+    boundaries with ["<C>"]; ends with ["<main>"]. *)

@@ -1,0 +1,33 @@
+(** OCaml text-section size accounting (Fig 5).
+
+    §6.1 defines OTSS as the total size of OCaml text sections in the
+    compiled binary, and measures how much the prologue overflow checks
+    inflate it: +19 % for the default 16-word red zone, +30 % with no
+    red zone, and no further improvement at 32 words.
+
+    For compiled fiber-machine programs we account bytes per emitted
+    instruction plus a per-function prologue/epilogue, and add the size
+    of an overflow-check sequence for every function the configuration
+    requires to be checked (a function is exempt when it is a leaf whose
+    frame fits in the red zone, §5.2). *)
+
+val bytes_per_instruction : int
+
+val function_overhead_bytes : int
+(** prologue + epilogue common to all functions *)
+
+val check_bytes : int
+(** compare against the threshold, conditional branch, and the cold-path
+    call to the growth routine *)
+
+val needs_check : red_zone:int -> is_leaf:bool -> frame_words:int -> bool
+(** The elision rule of §5.2, shared with the macro-suite OTSS model. *)
+
+val function_size : Config.t -> Compile.cfn -> int
+(** Modeled text bytes for one compiled function under the
+    configuration. *)
+
+val total : Config.t -> Compile.compiled -> int
+
+val checked_functions : Config.t -> Compile.compiled -> int
+(** How many functions carry a check under this configuration. *)

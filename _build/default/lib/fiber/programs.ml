@@ -1,0 +1,425 @@
+open Ir
+
+let prog fns main = { fns; main }
+
+let id_fn name = fn name [ "v" ] (Var "v")
+
+(* ------------------------------------------------------------------ *)
+(* Recursive micro benchmarks (Table 1 / Table 2 workloads) *)
+
+let ack ~m ~n =
+  prog
+    [
+      fn "ack" [ "m"; "n" ]
+        (If
+           ( Binop (Eq, Var "m", Int 0),
+             Binop (Add, Var "n", Int 1),
+             If
+               ( Binop (Eq, Var "n", Int 0),
+                 Call ("ack", [ Binop (Sub, Var "m", Int 1); Int 1 ]),
+                 Call
+                   ( "ack",
+                     [
+                       Binop (Sub, Var "m", Int 1);
+                       Call ("ack", [ Var "m"; Binop (Sub, Var "n", Int 1) ]);
+                     ] ) ) ));
+      fn "main" [] (Call ("ack", [ Int m; Int n ]));
+    ]
+    "main"
+
+let fib ~n =
+  prog
+    [
+      fn "fib" [ "n" ]
+        (If
+           ( Binop (Lt, Var "n", Int 2),
+             Var "n",
+             Binop
+               ( Add,
+                 Call ("fib", [ Binop (Sub, Var "n", Int 1) ]),
+                 Call ("fib", [ Binop (Sub, Var "n", Int 2) ]) ) ));
+      fn "main" [] (Call ("fib", [ Int n ]));
+    ]
+    "main"
+
+let tak ~x ~y ~z =
+  prog
+    [
+      fn "tak" [ "x"; "y"; "z" ]
+        (If
+           ( Binop (Lt, Var "y", Var "x"),
+             Call
+               ( "tak",
+                 [
+                   Call ("tak", [ Binop (Sub, Var "x", Int 1); Var "y"; Var "z" ]);
+                   Call ("tak", [ Binop (Sub, Var "y", Int 1); Var "z"; Var "x" ]);
+                   Call ("tak", [ Binop (Sub, Var "z", Int 1); Var "x"; Var "y" ]);
+                 ] ),
+             Var "z" ));
+      fn "main" [] (Call ("tak", [ Int x; Int y; Int z ]));
+    ]
+    "main"
+
+let motzkin ~n =
+  prog
+    [
+      fn "moz" [ "n" ]
+        (If
+           ( Binop (Lt, Var "n", Int 2),
+             Int 1,
+             Binop
+               ( Add,
+                 Call ("moz", [ Binop (Sub, Var "n", Int 1) ]),
+                 Call ("moz_sum", [ Var "n"; Int 0 ]) ) ));
+      fn "moz_sum" [ "n"; "i" ]
+        (If
+           ( Binop (Le, Var "i", Binop (Sub, Var "n", Int 2)),
+             Binop
+               ( Add,
+                 Binop
+                   ( Mul,
+                     Call ("moz", [ Var "i" ]),
+                     Call
+                       ("moz", [ Binop (Sub, Binop (Sub, Var "n", Int 2), Var "i") ])
+                   ),
+                 Call ("moz_sum", [ Var "n"; Binop (Add, Var "i", Int 1) ]) ),
+             Int 0 ));
+      fn "main" [] (Call ("moz", [ Int n ]));
+    ]
+    "main"
+
+let sudan ?(iters = 1) ~n ~x ~y () =
+  prog
+    [
+      fn "sudan" [ "n"; "x"; "y" ]
+        (If
+           ( Binop (Eq, Var "n", Int 0),
+             Binop (Add, Var "x", Var "y"),
+             If
+               ( Binop (Eq, Var "y", Int 0),
+                 Var "x",
+                 Let
+                   ( "s",
+                     Call ("sudan", [ Var "n"; Var "x"; Binop (Sub, Var "y", Int 1) ]),
+                     Call
+                       ( "sudan",
+                         [
+                           Binop (Sub, Var "n", Int 1);
+                           Var "s";
+                           Binop (Add, Var "s", Var "y");
+                         ] ) ) ) ));
+      fn "main" []
+        (if iters = 1 then Call ("sudan", [ Int n; Int x; Int y ])
+         else Repeat (Int iters, Call ("sudan", [ Int n; Int x; Int y ])));
+    ]
+    "main"
+
+(* ------------------------------------------------------------------ *)
+(* Exception / external-call loops *)
+
+let exnval ~iters =
+  prog
+    [
+      fn "main" []
+        (Repeat (Int iters, Trywith (Int 1, [ ("E", "x", Int 0) ])));
+    ]
+    "main"
+
+let exnraise ~iters =
+  prog
+    [
+      fn "main" []
+        (Repeat (Int iters, Trywith (Raise ("E", Int 1), [ ("E", "x", Var "x") ])));
+    ]
+    "main"
+
+let extcall ~iters =
+  prog
+    [ fn "main" [] (Repeat (Int iters, Extcall ("c_id", [ Int 7 ]))) ]
+    "main"
+
+let callback ~iters =
+  prog
+    [
+      id_fn "ocaml_id";
+      fn "main" [] (Repeat (Int iters, Extcall ("c_cb", [ Int 7 ])));
+    ]
+    "main"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 1: the meander program *)
+
+let meander =
+  prog
+    [
+      fn "c_to_ocaml" [ "u" ] (Raise ("E1", Int 0));
+      fn "omain" [ "u" ]
+        (Trywith
+           ( Trywith (Extcall ("ocaml_to_c", [ Int 0 ]), [ ("E2", "x", Int 0) ]),
+             [ ("E1", "x", Int 42) ] ));
+      fn "main" [] (Call ("omain", [ Int 0 ]));
+    ]
+    "main"
+
+(* ------------------------------------------------------------------ *)
+(* Effect handler exercises *)
+
+let effect_roundtrip ~iters =
+  prog
+    [
+      fn "rt_body" [ "u" ] (Perform ("E", Var "u"));
+      id_fn "rt_ret";
+      fn "rt_eff" [ "x"; "k" ] (Continue (Var "k", Int 0));
+      fn "main" []
+        (Repeat
+           ( Int iters,
+             Handle
+               {
+                 body_fn = "rt_body";
+                 body_args = [ Int 1 ];
+                 retc = "rt_ret";
+                 exncs = [];
+                 effcs = [ ("E", "rt_eff") ];
+               } ));
+    ]
+    "main"
+
+(* Perform through [depth] handlers that do not handle E; only the
+   outermost one does.  Builds the reperform chain of §5.4. *)
+let effect_depth ~depth ~iters =
+  prog
+    [
+      fn "ed_perform" [ "u" ] (Perform ("E", Var "u"));
+      fn "ed_nest" [ "d" ]
+        (If
+           ( Binop (Eq, Var "d", Int 0),
+             Call ("ed_perform", [ Int 5 ]),
+             Handle
+               {
+                 body_fn = "ed_nest";
+                 body_args = [ Binop (Sub, Var "d", Int 1) ];
+                 retc = "ed_ret";
+                 exncs = [];
+                 effcs = [ ("F", "ed_other") ];
+               } ));
+      id_fn "ed_ret";
+      fn "ed_other" [ "x"; "k" ] (Continue (Var "k", Int 0));
+      fn "ed_eff" [ "x"; "k" ] (Continue (Var "k", Binop (Mul, Var "x", Int 2)));
+      fn "main" []
+        (Repeat
+           ( Int iters,
+             Handle
+               {
+                 body_fn = "ed_nest";
+                 body_args = [ Int depth ];
+                 retc = "ed_ret";
+                 exncs = [];
+                 effcs = [ ("E", "ed_eff") ];
+               } ));
+    ]
+    "main"
+
+let counter_effect ~upto =
+  prog
+    [
+      fn "cy_body" [ "i" ]
+        (If
+           ( Binop (Eq, Var "i", Int 0),
+             Int 0,
+             Binop
+               ( Add,
+                 Perform ("Tick", Var "i"),
+                 Call ("cy_body", [ Binop (Sub, Var "i", Int 1) ]) ) ));
+      id_fn "cy_ret";
+      fn "cy_eff" [ "x"; "k" ] (Binop (Add, Var "x", Continue (Var "k", Int 0)));
+      fn "main" []
+        (Handle
+           {
+             body_fn = "cy_body";
+             body_args = [ Int upto ];
+             retc = "cy_ret";
+             exncs = [];
+             effcs = [ ("Tick", "cy_eff") ];
+           });
+    ]
+    "main"
+
+let one_shot_violation =
+  prog
+    [
+      fn "ov_body" [ "u" ] (Perform ("E", Var "u"));
+      id_fn "ov_ret";
+      fn "ov_eff" [ "x"; "k" ]
+        (Seq (Continue (Var "k", Int 1), Continue (Var "k", Int 2)));
+      fn "main" []
+        (Handle
+           {
+             body_fn = "ov_body";
+             body_args = [ Int 0 ];
+             retc = "ov_ret";
+             exncs = [];
+             effcs = [ ("E", "ov_eff") ];
+           });
+    ]
+    "main"
+
+let unhandled_effect =
+  prog [ fn "main" [] (Perform ("Nope", Int 0)) ] "main"
+
+let discontinue_cleanup =
+  prog
+    [
+      fn "dc_body" [ "u" ]
+        (Trywith
+           (Perform ("Ask", Int 0), [ ("Cancel", "x", Binop (Add, Var "x", Int 1)) ]));
+      id_fn "dc_ret";
+      fn "dc_eff" [ "x"; "k" ] (Discontinue (Var "k", "Cancel", Int 41));
+      fn "main" []
+        (Handle
+           {
+             body_fn = "dc_body";
+             body_args = [ Int 0 ];
+             retc = "dc_ret";
+             exncs = [];
+             effcs = [ ("Ask", "dc_eff") ];
+           });
+    ]
+    "main"
+
+let deep_recursion ~depth =
+  prog
+    [
+      fn "dr_rec" [ "n" ]
+        (If
+           ( Binop (Eq, Var "n", Int 0),
+             Int 0,
+             Binop (Add, Int 1, Call ("dr_rec", [ Binop (Sub, Var "n", Int 1) ])) ));
+      id_fn "dr_ret";
+      fn "main" []
+        (Handle
+           {
+             body_fn = "dr_rec";
+             body_args = [ Int depth ];
+             retc = "dr_ret";
+             exncs = [];
+             effcs = [];
+           });
+    ]
+    "main"
+
+let effect_in_callback =
+  prog
+    [
+      fn "c_to_ocaml" [ "u" ] (Perform ("E", Var "u"));
+      fn "thru" [ "u" ] (Extcall ("ocaml_to_c", [ Var "u" ]));
+      id_fn "ec_ret";
+      fn "ec_eff" [ "x"; "k" ] (Continue (Var "k", Int 1));
+      fn "main" []
+        (Trywith
+           ( Handle
+               {
+                 body_fn = "thru";
+                 body_args = [ Int 0 ];
+                 retc = "ec_ret";
+                 exncs = [];
+                 effcs = [ ("E", "ec_eff") ];
+               },
+             [ ("Unhandled", "x", Int 7) ] ));
+    ]
+    "main"
+
+(* ------------------------------------------------------------------ *)
+(* C function implementations *)
+
+let c_identity = ("c_id", fun _ctx args -> args.(0))
+
+let c_callback_impl =
+  ("c_cb", fun ctx args -> ctx.Machine.callback "ocaml_id" [| args.(0) |])
+
+let c_meander_impl =
+  ( "ocaml_to_c",
+    fun ctx args ->
+      ignore (ctx.Machine.callback "c_to_ocaml" [| args.(0) |]);
+      0 )
+
+let standard_cfuns = [ c_identity; c_callback_impl; c_meander_impl ]
+
+(* Resume a continuation from inside a *different* fiber than the one
+   whose handler captured it: the resumer fiber becomes the new parent,
+   which the unwinder must observe (the handler_info parent word is
+   rewritten at resume). *)
+let cross_resume =
+  prog
+    [
+      fn "cr_body" [ "u" ] (Binop (Add, Perform ("E", Var "u"), Int 1));
+      id_fn "cr_ret";
+      fn "cr_resumer" [ "k" ] (Continue (Var "k", Int 41));
+      fn "cr_eff" [ "x"; "k" ]
+        (Handle
+           {
+             body_fn = "cr_resumer";
+             body_args = [ Var "k" ];
+             retc = "cr_ret";
+             exncs = [];
+             effcs = [];
+           });
+      fn "main" []
+        (Handle
+           {
+             body_fn = "cr_body";
+             body_args = [ Int 0 ];
+             retc = "cr_ret";
+             exncs = [];
+             effcs = [ ("E", "cr_eff") ];
+           });
+    ]
+    "main"
+
+(* The multi-shot choice program: resuming one continuation twice.
+   One-shot configurations end with Invalid_argument; with
+   Config.multishot the copying semantics of §4 applies and the result
+   is 10*1 + 10*2 = 30, exactly as the operational semantics gives. *)
+let multishot_choice =
+  prog
+    [
+      fn "ms_body" [ "u" ] (Binop (Mul, Int 10, Perform ("Choice", Var "u")));
+      id_fn "ms_ret";
+      fn "ms_eff" [ "x"; "k" ]
+        (Binop (Add, Continue (Var "k", Int 1), Continue (Var "k", Int 2)));
+      fn "main" []
+        (Handle
+           {
+             body_fn = "ms_body";
+             body_args = [ Int 0 ];
+             retc = "ms_ret";
+             exncs = [];
+             effcs = [ ("Choice", "ms_eff") ];
+           });
+    ]
+    "main"
+
+(* N requests park on a Wait effect (the handler keeps the continuation
+   without resuming), then a C call inspects the machine — the setting
+   for §6.3.4's "backtrace snapshot of all current requests". *)
+let suspended_requests ~n =
+  prog
+    [
+      fn "req_inner" [ "u" ] (Perform ("Wait", Var "u"));
+      fn "req_body" [ "u" ] (Binop (Add, Call ("req_inner", [ Var "u" ]), Int 1));
+      id_fn "sr_ret";
+      fn "sr_eff" [ "x"; "k" ] (Int 0);
+      fn "main" []
+        (Seq
+           ( Repeat
+               ( Int n,
+                 Handle
+                   {
+                     body_fn = "req_body";
+                     body_args = [ Int 0 ];
+                     retc = "sr_ret";
+                     exncs = [];
+                     effcs = [ ("Wait", "sr_eff") ];
+                   } ),
+             Extcall ("list_pending", []) ));
+    ]
+    "main"

@@ -1,0 +1,33 @@
+type t = { seg_base : int; mem : int array }
+
+let create ~base ~size =
+  if size <= 0 then invalid_arg "Segment.create: size must be positive";
+  { seg_base = base; mem = Array.make size 0 }
+
+let base t = t.seg_base
+
+let size t = Array.length t.mem
+
+let limit t = t.seg_base
+
+let top t = t.seg_base + Array.length t.mem
+
+let contains t addr = addr >= t.seg_base && addr < top t
+
+let check t addr =
+  if not (contains t addr) then
+    invalid_arg
+      (Printf.sprintf "Segment: address %d outside [%d, %d)" addr t.seg_base (top t))
+
+let read t addr =
+  check t addr;
+  t.mem.(addr - t.seg_base)
+
+let write t addr v =
+  check t addr;
+  t.mem.(addr - t.seg_base) <- v
+
+let blit_into ~src ~dst =
+  let src_size = Array.length src.mem and dst_size = Array.length dst.mem in
+  if dst_size < src_size then invalid_arg "Segment.blit_into: destination too small";
+  Array.blit src.mem 0 dst.mem (dst_size - src_size) src_size

@@ -1,0 +1,36 @@
+(** A word-addressed stack segment.
+
+    Segments live in a flat virtual address space: each has a [base]
+    (the address of its lowest word) assigned at allocation time, and
+    occupies [\[base, base + size)].  Stack pointers and exception
+    pointers are plain addresses in this space, so moving a fiber to a
+    bigger segment changes the addresses of its contents — exactly the
+    situation the runtime handles when growing a stack (§5.2). *)
+
+type t
+
+val create : base:int -> size:int -> t
+
+val base : t -> int
+
+val size : t -> int
+
+val limit : t -> int
+(** Lowest usable address, equal to [base]. *)
+
+val top : t -> int
+(** One past the highest address, i.e. [base + size]; the initial stack
+    pointer of an empty stack. *)
+
+val contains : t -> int -> bool
+
+val read : t -> int -> int
+(** @raise Invalid_argument when the address is outside the segment. *)
+
+val write : t -> int -> int -> unit
+(** @raise Invalid_argument when the address is outside the segment. *)
+
+val blit_into : src:t -> dst:t -> unit
+(** Copy the full contents of [src] into the {e high} end of [dst],
+    preserving distance-from-top; used when growing a stack by copying.
+    @raise Invalid_argument if [dst] is smaller than [src]. *)

@@ -1,0 +1,29 @@
+type t = { buckets : (int, Segment.t list ref) Hashtbl.t; max_per_bucket : int }
+
+let create ?(max_per_bucket = 64) () =
+  if max_per_bucket < 0 then invalid_arg "Stack_cache.create";
+  { buckets = Hashtbl.create 8; max_per_bucket }
+
+let bucket t size =
+  match Hashtbl.find_opt t.buckets size with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.add t.buckets size b;
+      b
+
+let put t ~size seg =
+  let b = bucket t size in
+  if List.length !b < t.max_per_bucket then b := seg :: !b
+
+let take t ~size =
+  match Hashtbl.find_opt t.buckets size with
+  | Some ({ contents = seg :: rest } as b) ->
+      b := rest;
+      Some seg
+  | _ -> None
+
+let population t =
+  Hashtbl.fold (fun _ b acc -> acc + List.length !b) t.buckets 0
+
+let clear t = Hashtbl.reset t.buckets

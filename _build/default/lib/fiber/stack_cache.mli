@@ -1,0 +1,23 @@
+(** Cache of recently freed fiber stacks (§5.2).
+
+    Fibers are malloc-allocated and freed when the handled computation
+    returns; a cache of freed stacks, bucketed by size, turns most
+    allocations into a pop.  The machine's [fiber_alloc] counter versus
+    [stack_cache_hit] quantifies the benefit (one of the DESIGN.md
+    ablations). *)
+
+type t
+
+val create : ?max_per_bucket:int -> unit -> t
+(** [max_per_bucket] (default 64) bounds retained stacks per size. *)
+
+val put : t -> size:int -> Segment.t -> unit
+(** Offer a freed segment to the cache; dropped if the bucket is full. *)
+
+val take : t -> size:int -> Segment.t option
+(** A cached segment of exactly [size] words, if any. *)
+
+val population : t -> int
+(** Number of segments currently held. *)
+
+val clear : t -> unit

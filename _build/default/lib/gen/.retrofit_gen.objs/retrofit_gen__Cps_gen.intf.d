@@ -1,0 +1,1 @@
+lib/gen/cps_gen.mli: Tree

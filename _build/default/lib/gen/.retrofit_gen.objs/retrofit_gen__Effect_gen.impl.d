@@ -1,0 +1,1 @@
+lib/gen/effect_gen.ml: Effect Tree

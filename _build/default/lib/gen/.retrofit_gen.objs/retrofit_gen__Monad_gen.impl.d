@@ -1,0 +1,1 @@
+lib/gen/monad_gen.ml: Retrofit_monad Tree

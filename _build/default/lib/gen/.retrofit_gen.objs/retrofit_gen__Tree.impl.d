@@ -1,0 +1,1 @@
+lib/gen/tree.ml: List

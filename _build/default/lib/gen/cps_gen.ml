@@ -1,0 +1,24 @@
+(* Defunctionalised in-order traversal: [kont] is the data-type image of
+   "what remains to visit" (Danvy-Nielsen defunctionalisation of the
+   CPS'd iterator). *)
+type kont = Done | Visit of int * Tree.t * kont
+(* Visit (v, r, k): hand out v, then traverse r, then continue with k. *)
+
+(* Descend the left spine, accumulating the pending visits. *)
+let rec descend t k =
+  match t with
+  | Tree.Leaf -> k
+  | Tree.Node (l, v, r) -> descend l (Visit (v, r, k))
+
+let of_tree t =
+  let state = ref (descend t Done) in
+  fun () ->
+    match !state with
+    | Done -> None
+    | Visit (v, r, k) ->
+        state := descend r k;
+        Some v
+
+let sum_all next =
+  let rec go acc = match next () with Some v -> go (acc + v) | None -> acc in
+  go 0

@@ -1,0 +1,35 @@
+let of_iter (type a) (iter : (a -> unit) -> unit) : unit -> a option =
+  let module M = struct
+    type _ Effect.t += Yield : a -> unit Effect.t
+  end in
+  let open Effect.Deep in
+  let next = ref (fun () -> None) in
+  let start () =
+    match_with
+      (fun () -> iter (fun x -> Effect.perform (M.Yield x)))
+      ()
+      {
+        retc =
+          (fun () ->
+            next := (fun () -> None);
+            None);
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | M.Yield x ->
+                Some
+                  (fun (k : (c, a option) continuation) ->
+                    next := (fun () -> continue k ());
+                    Some x)
+            | _ -> None);
+      }
+  in
+  next := start;
+  fun () -> !next ()
+
+let of_tree t = of_iter (fun f -> Tree.iter f t)
+
+let sum_all next =
+  let rec go acc = match next () with Some v -> go (acc + v) | None -> acc in
+  go 0

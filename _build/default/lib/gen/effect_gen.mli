@@ -1,0 +1,18 @@
+(** Generators derived from iterators with effect handlers (§6.3.1).
+
+    Given {e any} data structure with an [iter], [of_iter] derives its
+    generator: each element the iterator visits suspends the traversal
+    in a fiber and hands the element out; the next demand resumes it.
+    This is the generic construction the paper benchmarks (its footnoted
+    gist), as opposed to the hand-specialised CPS version. *)
+
+val of_iter : (('a -> unit) -> unit) -> unit -> 'a option
+(** [of_iter iter] is a [next] function producing the elements [iter]
+    visits, then [None] forever.  The traversal runs lazily inside a
+    fiber; it starts on the first call. *)
+
+val of_tree : Tree.t -> unit -> int option
+(** The tree generator used by the benchmark: [of_iter (fun f -> Tree.iter f t)]. *)
+
+val sum_all : (unit -> int option) -> int
+(** Drain a generator, summing — the benchmark's consumption loop. *)

@@ -1,0 +1,32 @@
+module Conc = Retrofit_monad.Conc
+
+let of_tree t =
+  let mv : int option Conc.mvar = Conc.mvar_empty () in
+  (* Monadic in-order traversal putting every element into the MVar. *)
+  let rec produce tree =
+    match tree with
+    | Tree.Leaf -> Conc.return ()
+    | Tree.Node (l, v, r) ->
+        Conc.(produce l >>= fun () -> put mv (Some v) >>= fun () -> produce r)
+  in
+  let stepper =
+    Conc.start Conc.(produce t >>= fun () -> put mv None)
+  in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else begin
+      let rec drive () =
+        match Conc.poll mv with
+        | Some (Some v) -> Some v
+        | Some None ->
+            finished := true;
+            None
+        | None -> if Conc.step stepper then drive () else None
+      in
+      drive ()
+    end
+
+let sum_all next =
+  let rec go acc = match next () with Some v -> go (acc + v) | None -> acc in
+  go 0

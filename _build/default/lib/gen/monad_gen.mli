@@ -1,0 +1,11 @@
+(** The concurrency-monad generator (§6.3.1's [monad] baseline).
+
+    A producer thread in the {!Retrofit_monad.Conc} monad traverses the
+    tree, pushing each element through an MVar; [next] drives the
+    monadic scheduler until the MVar fills and takes the element.  All
+    suspended work lives in heap-allocated closures — the allocation
+    behaviour the paper contrasts with fiber stacks. *)
+
+val of_tree : Tree.t -> unit -> int option
+
+val sum_all : (unit -> int option) -> int

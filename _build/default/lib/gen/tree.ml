@@ -1,0 +1,34 @@
+type t = Leaf | Node of t * int * t
+
+let complete ~depth =
+  if depth < 0 then invalid_arg "Tree.complete: negative depth";
+  (* Number nodes in order, threading the next label through the build. *)
+  let rec build depth next =
+    if depth = 0 then (Leaf, next)
+    else begin
+      let left, next = build (depth - 1) next in
+      let label = next in
+      let right, next = build (depth - 1) (next + 1) in
+      (Node (left, label, right), next)
+    end
+  in
+  fst (build depth 1)
+
+let rec size = function Leaf -> 0 | Node (l, _, r) -> size l + 1 + size r
+
+let rec iter f = function
+  | Leaf -> ()
+  | Node (l, v, r) ->
+      iter f l;
+      f v;
+      iter f r
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc
+
+let sum t =
+  let acc = ref 0 in
+  iter (fun v -> acc := !acc + v) t;
+  !acc

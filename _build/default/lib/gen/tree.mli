@@ -1,0 +1,19 @@
+(** Complete binary trees, the data structure of the generator
+    benchmark (§6.3.1: traversing a complete binary tree of depth 25
+    through a derived generator). *)
+
+type t = Leaf | Node of t * int * t
+
+val complete : depth:int -> t
+(** A complete tree of the given depth whose nodes are numbered in
+    in-order starting from 1; [complete ~depth:0] is a leaf. *)
+
+val size : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** In-order traversal — the [iter] from which generators are derived. *)
+
+val to_list : t -> int list
+
+val sum : t -> int
+(** In-order sum via [iter], used as the benchmark checksum. *)

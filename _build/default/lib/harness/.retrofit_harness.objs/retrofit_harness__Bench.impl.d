@@ -1,0 +1,1 @@
+lib/harness/bench.ml: Array Clock Int64 Retrofit_util Sys

@@ -1,0 +1,1 @@
+lib/harness/clock.ml: Int64 Monotonic_clock

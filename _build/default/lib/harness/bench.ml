@@ -1,0 +1,29 @@
+type measurement = {
+  runs_ns : float array;
+  median_ns : float;
+  mean_ns : float;
+  stddev_ns : float;
+}
+
+let measure ?(warmups = 2) ?(runs = 5) f =
+  if runs < 1 then invalid_arg "Bench.measure: runs must be positive";
+  for _ = 1 to warmups do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let runs_ns =
+    Array.init runs (fun _ ->
+        let _, dt = Clock.elapsed_ns (fun () -> Sys.opaque_identity (f ())) in
+        Int64.to_float dt)
+  in
+  {
+    runs_ns;
+    median_ns = Retrofit_util.Stats.median runs_ns;
+    mean_ns = Retrofit_util.Stats.mean runs_ns;
+    stddev_ns = Retrofit_util.Stats.stddev runs_ns;
+  }
+
+let median_ns ?warmups ?runs f = (measure ?warmups ?runs f).median_ns
+
+let per_op_ns ?warmups ?runs ~iters f =
+  if iters <= 0 then invalid_arg "Bench.per_op_ns: iters must be positive";
+  median_ns ?warmups ?runs f /. float_of_int iters

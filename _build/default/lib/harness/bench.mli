@@ -1,0 +1,23 @@
+(** Timing harness for the wall-clock experiments.
+
+    Microarchitectural noise makes sub-15 % differences unreliable
+    (§6.1 notes loop-alignment effects of that size); the harness
+    therefore reports the median of repeated runs after warmups, and
+    the experiment write-ups compare ratios, not absolute times. *)
+
+type measurement = {
+  runs_ns : float array;  (** per-run wall time *)
+  median_ns : float;
+  mean_ns : float;
+  stddev_ns : float;
+}
+
+val measure : ?warmups:int -> ?runs:int -> (unit -> 'a) -> measurement
+(** Defaults: 2 warmups, 5 measured runs.  The thunk's result is
+    guarded with [Sys.opaque_identity] so the work cannot be
+    eliminated. *)
+
+val median_ns : ?warmups:int -> ?runs:int -> (unit -> 'a) -> float
+
+val per_op_ns : ?warmups:int -> ?runs:int -> iters:int -> (unit -> 'a) -> float
+(** Median divided by the iteration count. *)

@@ -1,0 +1,1 @@
+lib/httpsim/experiment.ml: List Loadgen Server Server_effects Server_go Server_monad

@@ -1,0 +1,1 @@
+lib/httpsim/experiment.mli: Loadgen Server

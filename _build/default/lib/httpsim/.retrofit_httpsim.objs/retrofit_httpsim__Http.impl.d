@@ -1,0 +1,1 @@
+lib/httpsim/http.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/httpsim/loadgen.ml: Http List Netsim Retrofit_util Server

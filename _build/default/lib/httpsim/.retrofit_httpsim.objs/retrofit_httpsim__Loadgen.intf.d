@@ -1,0 +1,1 @@
+lib/httpsim/loadgen.mli: Server

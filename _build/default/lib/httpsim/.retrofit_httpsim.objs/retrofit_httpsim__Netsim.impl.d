@@ -1,0 +1,1 @@
+lib/httpsim/netsim.ml: Http List Retrofit_util

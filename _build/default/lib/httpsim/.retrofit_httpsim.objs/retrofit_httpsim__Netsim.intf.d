@@ -1,0 +1,1 @@
+lib/httpsim/netsim.mli: Retrofit_util

@@ -1,0 +1,1 @@
+lib/httpsim/server.ml: Buffer Http Printf

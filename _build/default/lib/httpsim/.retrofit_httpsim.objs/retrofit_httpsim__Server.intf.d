@@ -1,0 +1,1 @@
+lib/httpsim/server.mli: Http

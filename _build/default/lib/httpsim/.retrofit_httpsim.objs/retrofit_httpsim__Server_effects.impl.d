@@ -1,0 +1,1 @@
+lib/httpsim/server_effects.ml: Effect Fun Http Server

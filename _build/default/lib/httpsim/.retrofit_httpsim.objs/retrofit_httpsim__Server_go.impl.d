@@ -1,0 +1,1 @@
+lib/httpsim/server_go.ml: Http Queue Server

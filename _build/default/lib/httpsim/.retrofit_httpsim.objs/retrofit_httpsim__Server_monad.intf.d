@@ -1,0 +1,1 @@
+lib/httpsim/server_monad.mli:

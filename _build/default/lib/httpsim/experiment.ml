@@ -1,0 +1,27 @@
+let servers =
+  [
+    (Server.mc, Server_effects.process_raw);
+    (Server.lwt, Server_monad.process_raw);
+    (Server.go, Server_go.process_raw);
+  ]
+
+let default_rates = [ 5_000; 10_000; 15_000; 20_000; 25_000; 30_000; 35_000; 40_000 ]
+
+let fig6a ?(duration_ms = 2_000) () =
+  List.map
+    (fun (model, process) ->
+      let outcomes =
+        Loadgen.throughput_sweep ~model ~process ~rates:default_rates ~duration_ms ()
+      in
+      ( model.Server.name,
+        List.map
+          (fun (o : Loadgen.outcome) -> (o.offered_rps, o.achieved_rps))
+          outcomes ))
+    servers
+
+let fig6b ?(rate_rps = 20_000) ?(duration_ms = 4_000) () =
+  List.map
+    (fun (model, process) -> Loadgen.run ~model ~process ~rate_rps ~duration_ms ())
+    servers
+
+let plateau points = List.fold_left (fun acc (_, a) -> max acc a) 0.0 points

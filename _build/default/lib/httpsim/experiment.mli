@@ -1,0 +1,19 @@
+(** The Fig 6 experiment: throughput and tail latency for the three
+    server architectures. *)
+
+val servers : (Server.model * (string -> string)) list
+(** Each model paired with its real code path. *)
+
+val default_rates : int list
+(** The offered-load sweep (requests per second). *)
+
+val fig6a : ?duration_ms:int -> unit -> (string * (int * float) list) list
+(** Per server: offered rate → achieved rate.  All three plateau at the
+    service capacity (the paper observes ≈30k requests/s). *)
+
+val fig6b : ?rate_rps:int -> ?duration_ms:int -> unit -> Loadgen.outcome list
+(** Latency distributions at the default 20k requests/s — two thirds of
+    the plateau, the paper's "optimal load" point. *)
+
+val plateau : (int * float) list -> float
+(** Largest achieved rate in a sweep. *)

@@ -1,0 +1,213 @@
+type meth = GET | HEAD | POST | PUT | DELETE | OPTIONS | Other of string
+
+type request = {
+  meth : meth;
+  target : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let meth_to_string = function
+  | GET -> "GET"
+  | HEAD -> "HEAD"
+  | POST -> "POST"
+  | PUT -> "PUT"
+  | DELETE -> "DELETE"
+  | OPTIONS -> "OPTIONS"
+  | Other s -> s
+
+let meth_of_string = function
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | "PUT" -> PUT
+  | "DELETE" -> DELETE
+  | "OPTIONS" -> OPTIONS
+  | s -> Other s
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let keep_alive req =
+  match (req.version, header req "connection") with
+  | _, Some c when String.lowercase_ascii c = "close" -> false
+  | "HTTP/1.0", Some c when String.lowercase_ascii c = "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let find_crlf s from =
+  let n = String.length s in
+  let rec go i = if i + 1 >= n then None else if s.[i] = '\r' && s.[i + 1] = '\n' then Some i else go (i + 1) in
+  go from
+
+let parse_headers s start =
+  (* Returns (headers, offset just past the blank line) *)
+  let rec go acc pos =
+    match find_crlf s pos with
+    | None -> Error "incomplete headers"
+    | Some eol when eol = pos -> Ok (List.rev acc, pos + 2)
+    | Some eol -> (
+        let line = String.sub s pos (eol - pos) in
+        match String.index_opt line ':' with
+        | None -> Error (Printf.sprintf "malformed header %S" line)
+        | Some colon ->
+            let name = String.lowercase_ascii (String.trim (String.sub line 0 colon)) in
+            let value =
+              String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+            in
+            if name = "" then Error "empty header name"
+            else go ((name, value) :: acc) (eol + 2))
+  in
+  go [] start
+
+let split_on_spaces line =
+  line |> String.split_on_char ' ' |> List.filter (fun s -> s <> "")
+
+let content_length headers =
+  match List.assoc_opt "content-length" headers with
+  | None -> Ok 0
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (Printf.sprintf "bad content-length %S" v))
+
+let parse_request s =
+  match find_crlf s 0 with
+  | None -> Error "incomplete request line"
+  | Some eol -> (
+      let line = String.sub s 0 eol in
+      match split_on_spaces line with
+      | [ m; target; version ] -> (
+          if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+            Error (Printf.sprintf "unsupported version %S" version)
+          else begin
+            match parse_headers s (eol + 2) with
+            | Error e -> Error e
+            | Ok (headers, body_start) -> (
+                match content_length headers with
+                | Error e -> Error e
+                | Ok len ->
+                    if String.length s < body_start + len then
+                      Error "incomplete body"
+                    else begin
+                      let body = String.sub s body_start len in
+                      Ok
+                        ( { meth = meth_of_string m; target; version; headers; body },
+                          body_start + len )
+                    end)
+          end)
+      | _ -> Error (Printf.sprintf "malformed request line %S" line))
+
+let format_headers buf headers =
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf value;
+      Buffer.add_string buf "\r\n")
+    headers
+
+let format_request req =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (meth_to_string req.meth);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf req.target;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf req.version;
+  Buffer.add_string buf "\r\n";
+  let headers =
+    if List.mem_assoc "content-length" req.headers || req.body = "" then req.headers
+    else req.headers @ [ ("content-length", string_of_int (String.length req.body)) ]
+  in
+  format_headers buf headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf req.body;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 301 -> "Moved Permanently"
+  | 302 -> "Found"
+  | 304 -> "Not Modified"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | n -> Printf.sprintf "Status %d" n
+
+let response ?(headers = []) ~status body =
+  {
+    status;
+    reason = reason_phrase status;
+    resp_headers = headers @ [ ("content-length", string_of_int (String.length body)) ];
+    resp_body = body;
+  }
+
+let ok body = response ~status:200 body
+
+let not_found = response ~status:404 "not found"
+
+let bad_request msg = response ~status:400 msg
+
+let format_response r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "HTTP/1.1 ";
+  Buffer.add_string buf (string_of_int r.status);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf r.reason;
+  Buffer.add_string buf "\r\n";
+  format_headers buf r.resp_headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.resp_body;
+  Buffer.contents buf
+
+let parse_response s =
+  match find_crlf s 0 with
+  | None -> Error "incomplete status line"
+  | Some eol -> (
+      let line = String.sub s 0 eol in
+      match split_on_spaces line with
+      | version :: status :: reason_words when version = "HTTP/1.1" || version = "HTTP/1.0"
+        -> (
+          match int_of_string_opt status with
+          | None -> Error (Printf.sprintf "bad status %S" status)
+          | Some status -> (
+              match parse_headers s (eol + 2) with
+              | Error e -> Error e
+              | Ok (headers, body_start) -> (
+                  match content_length headers with
+                  | Error e -> Error e
+                  | Ok len ->
+                      if String.length s < body_start + len then Error "incomplete body"
+                      else begin
+                        Ok
+                          ( {
+                              status;
+                              reason = String.concat " " reason_words;
+                              resp_headers = headers;
+                              resp_body = String.sub s body_start len;
+                            },
+                            body_start + len )
+                      end)))
+      | _ -> Error (Printf.sprintf "malformed status line %S" line))

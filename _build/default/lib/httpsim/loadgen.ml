@@ -1,0 +1,87 @@
+module Rng = Retrofit_util.Rng
+module Histogram = Retrofit_util.Histogram
+
+type outcome = {
+  model_name : string;
+  offered_rps : int;
+  achieved_rps : float;
+  completed : int;
+  errors : int;
+  gc_pauses : int;
+  mean_ns : float;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+}
+
+let run ?(seed = 42) ?(connections = 1000) ~model ~process ~rate_rps ~duration_ms () =
+  let rng = Rng.create seed in
+  let events =
+    Netsim.poisson_rate ~rng ~connections ~rate_rps ~duration_ms ~target:"/" ()
+  in
+  let hist = Histogram.create ~max_value:60_000_000_000 () in
+  let cpu_free = ref 0 in
+  let alloc_since_gc = ref 0 in
+  let gc_pauses = ref 0 in
+  let errors = ref 0 in
+  let completed = ref 0 in
+  let last_completion = ref 0 in
+  List.iter
+    (fun (ev : Netsim.event) ->
+      (* Really execute the server's code path and check the reply. *)
+      let reply = process ev.raw in
+      (match Http.parse_response reply with
+      | Ok (resp, _) when resp.Http.status = 200 -> ()
+      | _ -> incr errors);
+      (* Virtual timing: single CPU, FIFO, with stop-the-world GC pauses
+         driven by the machinery's allocation rate. *)
+      alloc_since_gc := !alloc_since_gc + model.Server.alloc_per_request;
+      let gc_pause =
+        if !alloc_since_gc >= model.Server.gc_threshold then begin
+          alloc_since_gc := 0;
+          incr gc_pauses;
+          model.Server.gc_pause_ns
+        end
+        else 0
+      in
+      (* Exponential service-time variance models cache misses and
+         allocator noise; the occasional slow request models page-cache
+         misses on the served file. *)
+      let noise =
+        int_of_float
+          (Rng.exponential rng ~mean:(float_of_int model.Server.service_ns /. 5.0))
+        + (if Rng.int rng 100 = 0 then model.Server.service_ns else 0)
+      in
+      let cost =
+        model.Server.dispatch_overhead_ns + model.Server.parse_ns
+        + model.Server.service_ns + noise + gc_pause
+      in
+      let start = max ev.arrival_ns !cpu_free in
+      let finish = start + cost in
+      cpu_free := finish;
+      last_completion := finish;
+      incr completed;
+      Histogram.record hist (finish - ev.arrival_ns))
+    events;
+  let span_ns = max 1 !last_completion in
+  {
+    model_name = model.Server.name;
+    offered_rps = rate_rps;
+    achieved_rps = float_of_int !completed *. 1e9 /. float_of_int span_ns;
+    completed = !completed;
+    errors = !errors;
+    gc_pauses = !gc_pauses;
+    mean_ns = Histogram.mean hist;
+    p50_ns = Histogram.value_at_percentile hist 50.0;
+    p90_ns = Histogram.value_at_percentile hist 90.0;
+    p99_ns = Histogram.value_at_percentile hist 99.0;
+    p999_ns = Histogram.value_at_percentile hist 99.9;
+    max_ns = Histogram.max_recorded hist;
+  }
+
+let throughput_sweep ?seed ?connections ~model ~process ~rates ~duration_ms () =
+  List.map
+    (fun rate_rps -> run ?seed ?connections ~model ~process ~rate_rps ~duration_ms ())
+    rates

@@ -1,0 +1,47 @@
+(** The wrk2-style measurement harness (Fig 6).
+
+    Drives a server (a cost model plus a real [process_raw] code path)
+    with an open-loop constant-rate workload and records
+    coordinated-omission-free latencies in an HDR histogram: each
+    request's latency is measured from its {e scheduled} arrival time,
+    so a backed-up server accrues queueing delay instead of silently
+    slowing the load down. *)
+
+type outcome = {
+  model_name : string;
+  offered_rps : int;
+  achieved_rps : float;
+  completed : int;
+  errors : int;  (** non-200 responses or unparseable replies *)
+  gc_pauses : int;
+  mean_ns : float;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  max_ns : int;
+}
+
+val run :
+  ?seed:int ->
+  ?connections:int ->
+  model:Server.model ->
+  process:(string -> string) ->
+  rate_rps:int ->
+  duration_ms:int ->
+  unit ->
+  outcome
+(** Simulate [duration_ms] of constant-rate load (default 1000
+    connections, as in the paper).  Each request really executes
+    [process]; its virtual completion time comes from the model's cost
+    constants and a single-CPU queue with GC pauses. *)
+
+val throughput_sweep :
+  ?seed:int ->
+  ?connections:int ->
+  model:Server.model ->
+  process:(string -> string) ->
+  rates:int list ->
+  duration_ms:int ->
+  unit ->
+  outcome list

@@ -1,0 +1,42 @@
+(** Server cost models and the shared application handler.
+
+    Three server architectures are compared (§6.3.4): thread-per-request
+    on effect handlers (MC), monadic callbacks (lwt), and Go-style
+    goroutines (go).  Each architecture pairs a {e cost model} — the
+    per-request scheduling overhead, allocation footprint and GC pause
+    behaviour of that machinery — with a {e real code path} implemented
+    in the corresponding style (see {!Server_effects}, {!Server_monad},
+    {!Server_go}).
+
+    Model constants are calibrated to the qualitative relationships the
+    paper reports and measures elsewhere in its evaluation: effect
+    fibers have the cheapest dispatch and smallest allocation (stack
+    frames live on the fiber, §6.2); promise chains allocate every
+    continuation on the heap, giving higher dispatch cost and more GC
+    work; Go sits between, with preemptable threads.  The absolute
+    numbers are a model, documented in EXPERIMENTS.md. *)
+
+type model = {
+  name : string;
+  dispatch_overhead_ns : int;  (** accept + schedule one request *)
+  parse_ns : int;  (** HTTP parsing CPU *)
+  service_ns : int;  (** application handler CPU for the static page *)
+  alloc_per_request : int;  (** bytes the machinery allocates *)
+  gc_threshold : int;  (** bytes of allocation between collections *)
+  gc_pause_ns : int;  (** stop-the-world pause per collection *)
+}
+
+val mc : model
+
+val lwt : model
+
+val go : model
+
+val all : model list
+
+val static_page : string
+(** The 1 KiB page every benchmark request serves. *)
+
+val app_handler : Http.request -> Http.response
+(** The shared application logic: [GET /] serves {!static_page}; other
+    targets get 404; non-GET methods get 405. *)

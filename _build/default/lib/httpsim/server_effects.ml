@@ -1,0 +1,30 @@
+type _ Effect.t += Io_ready : unit Effect.t
+
+let handled = ref 0
+
+let requests_handled () = !handled
+
+(* The per-request thread body, in direct style: wait for the socket,
+   parse, handle, serialise. *)
+let request_thread raw () =
+  Effect.perform Io_ready;
+  match Http.parse_request raw with
+  | Ok (req, _) -> Http.format_response (Server.app_handler req)
+  | Error e -> Http.format_response (Http.bad_request e)
+
+let process_raw raw =
+  incr handled;
+  Effect.Deep.match_with (request_thread raw) ()
+    {
+      Effect.Deep.retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | Io_ready ->
+              (* In the simulation the bytes have already arrived, so the
+                 scheduler resumes the fiber immediately. *)
+              Some (fun (k : (c, string) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k ())
+          | _ -> None);
+    }

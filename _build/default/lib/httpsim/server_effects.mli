@@ -1,0 +1,14 @@
+(** Thread-per-request server on effect handlers (the MC server).
+
+    Every request runs in its own fiber, written in direct style: it
+    performs an I/O-readiness effect where a real server would block on
+    the socket, parses the request, runs the application handler and
+    serialises the response.  The paper's point — a backtrace exists per
+    request because each has a stack — is demonstrated by
+    {!request_backtrace_demo} in the examples. *)
+
+val process_raw : string -> string
+(** Handle one raw request through the fiber machinery. *)
+
+val requests_handled : unit -> int
+(** Total requests processed since program start. *)

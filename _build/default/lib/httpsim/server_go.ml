@@ -1,0 +1,27 @@
+let handled = ref 0
+
+let requests_handled () = !handled
+
+(* A single-threaded GOMAXPROCS=1 world: goroutines are queued closures
+   run to completion. *)
+let runq : (unit -> unit) Queue.t = Queue.create ()
+
+let go f = Queue.push f runq
+
+let run_all () =
+  while not (Queue.is_empty runq) do
+    (Queue.pop runq) ()
+  done
+
+let process_raw raw =
+  incr handled;
+  let result = ref "" in
+  go (fun () ->
+      let resp =
+        match Http.parse_request raw with
+        | Ok (req, _) -> Server.app_handler req
+        | Error e -> Http.bad_request e
+      in
+      result := Http.format_response resp);
+  run_all ();
+  !result

@@ -1,0 +1,10 @@
+(** Go-model server: one goroutine per request.
+
+    Goroutines are modelled as closures on a run queue with
+    channel-style result delivery — the structure of [net/http]'s
+    handler dispatch, minus preemption (requests here never block
+    mid-handler). *)
+
+val process_raw : string -> string
+
+val requests_handled : unit -> int

@@ -1,0 +1,15 @@
+module L = Retrofit_monad.Lwtlike
+
+let handled = ref 0
+
+let requests_handled () = !handled
+
+let process_raw raw =
+  incr handled;
+  let open L in
+  run
+    ( pause () >>= fun () ->
+      (match Http.parse_request raw with
+      | Ok (req, _) -> return (Server.app_handler req)
+      | Error e -> return (Http.bad_request e))
+      >>= fun resp -> return (Http.format_response resp) )

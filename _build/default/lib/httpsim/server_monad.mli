@@ -1,0 +1,10 @@
+(** Monadic callback server (the lwt baseline of §6.3.4).
+
+    The same request logic as {!Server_effects} but as a promise chain:
+    parsing and handling are [bind]-sequenced callbacks with a [pause]
+    where the socket wait would be.  There is no per-request stack —
+    the property the paper contrasts with the effect version. *)
+
+val process_raw : string -> string
+
+val requests_handled : unit -> int

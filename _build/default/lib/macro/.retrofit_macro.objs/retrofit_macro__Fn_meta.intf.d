@@ -1,0 +1,1 @@
+lib/macro/fn_meta.mli:

@@ -1,0 +1,1 @@
+lib/macro/registry.mli: Workload

@@ -1,0 +1,1 @@
+lib/macro/runtime.ml: Sys

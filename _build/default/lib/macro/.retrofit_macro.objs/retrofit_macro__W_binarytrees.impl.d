@@ -1,0 +1,1 @@
+lib/macro/w_binarytrees.ml: Fn_meta Runtime

@@ -1,0 +1,1 @@
+lib/macro/w_fannkuch.ml: Array Fn_meta Fun Runtime

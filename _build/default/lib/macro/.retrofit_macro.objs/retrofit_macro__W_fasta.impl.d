@@ -1,0 +1,1 @@
+lib/macro/w_fasta.ml: Buffer Fn_meta Hashtbl List Runtime String

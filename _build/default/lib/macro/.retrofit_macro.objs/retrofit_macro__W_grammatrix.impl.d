@@ -1,0 +1,1 @@
+lib/macro/w_grammatrix.ml: Array Fn_meta Runtime

@@ -1,0 +1,1 @@
+lib/macro/w_huffman.ml: Array Buffer Char Fn_meta Hashtbl List Runtime String

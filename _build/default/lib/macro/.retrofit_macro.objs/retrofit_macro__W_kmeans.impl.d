@@ -1,0 +1,1 @@
+lib/macro/w_kmeans.ml: Array Fn_meta Runtime

@@ -1,0 +1,1 @@
+lib/macro/w_knucleotide.ml: Buffer Char Fn_meta Hashtbl List Runtime String W_fasta

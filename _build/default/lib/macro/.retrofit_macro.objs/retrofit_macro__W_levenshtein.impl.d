@@ -1,0 +1,1 @@
+lib/macro/w_levenshtein.ml: Array Char Fn_meta Fun List Runtime String

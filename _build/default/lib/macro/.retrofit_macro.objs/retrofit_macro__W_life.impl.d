@@ -1,0 +1,1 @@
+lib/macro/w_life.ml: Array Fn_meta Runtime

@@ -1,0 +1,1 @@
+lib/macro/w_lu.ml: Array Float Fn_meta Runtime

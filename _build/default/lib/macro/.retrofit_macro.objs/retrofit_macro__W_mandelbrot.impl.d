@@ -1,0 +1,1 @@
+lib/macro/w_mandelbrot.ml: Bytes Char Fn_meta Hashtbl Runtime

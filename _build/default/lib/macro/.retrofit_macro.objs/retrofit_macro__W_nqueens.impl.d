@@ -1,0 +1,1 @@
+lib/macro/w_nqueens.ml: Fn_meta Runtime

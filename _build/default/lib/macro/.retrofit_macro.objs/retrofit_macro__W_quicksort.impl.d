@@ -1,0 +1,1 @@
+lib/macro/w_quicksort.ml: Array Fn_meta Runtime

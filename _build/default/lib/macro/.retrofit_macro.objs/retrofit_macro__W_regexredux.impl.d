@@ -1,0 +1,1 @@
+lib/macro/w_regexredux.ml: Fn_meta List Retrofit_regex Runtime String W_fasta

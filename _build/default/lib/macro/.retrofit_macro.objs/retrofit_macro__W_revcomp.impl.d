@@ -1,0 +1,1 @@
+lib/macro/w_revcomp.ml: Array Bytes Char Fn_meta Hashtbl List Runtime String W_fasta

@@ -1,0 +1,1 @@
+lib/macro/w_sexp.ml: Buffer Fn_meta List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/macro/w_spectralnorm.ml: Array Fn_meta Runtime

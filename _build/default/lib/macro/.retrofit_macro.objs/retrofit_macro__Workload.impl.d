@@ -1,0 +1,1 @@
+lib/macro/workload.ml: Fn_meta Runtime

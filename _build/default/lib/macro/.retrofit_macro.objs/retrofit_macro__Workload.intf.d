@@ -1,0 +1,1 @@
+lib/macro/workload.mli: Fn_meta Runtime

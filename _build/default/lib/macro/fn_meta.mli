@@ -1,0 +1,25 @@
+(** Function inventories for the macro-suite OTSS model (Fig 5).
+
+    Each workload declares its functions with their shape class and an
+    approximate compiled body size; the OTSS model adds the size of an
+    overflow-check sequence for each function the configuration checks
+    — the same rule {!Retrofit_fiber.Otss} applies to compiled fiber
+    programs. *)
+
+type kind = Leaf_small | Leaf_mid | Leaf_big | Nonleaf
+
+type t = { fn_name : string; kind : kind; body_bytes : int }
+
+val make : string -> kind -> body_bytes:int -> t
+
+val checked : red_zone:int option -> kind -> bool
+(** [red_zone = None] is stock: nothing checked. *)
+
+val check_bytes : int
+(** Size of one emitted check sequence; shared with
+    {!Retrofit_fiber.Otss.check_bytes}'s role but defined here to keep
+    the libraries independent. *)
+
+val otss : red_zone:int option -> t list -> int
+
+val checked_count : red_zone:int option -> t list -> int

@@ -1,0 +1,29 @@
+let all : Workload.t list =
+  [
+    (module W_nbody);
+    (module W_binarytrees);
+    (module W_fannkuch);
+    (module W_fasta);
+    (module W_knucleotide);
+    (module W_revcomp);
+    (module W_regexredux);
+    (module W_mandelbrot);
+    (module W_spectralnorm);
+    (module W_lu);
+    (module W_grammatrix);
+    (module W_life);
+    (module W_nqueens);
+    (module W_quicksort);
+    (module W_json);
+    (module W_sexp);
+    (module W_levenshtein);
+    (module W_huffman);
+    (module W_kmeans);
+  ]
+
+let find name = List.find_opt (fun w -> Workload.name w = name) all
+
+let names () = List.map Workload.name all
+
+let total_functions () =
+  List.fold_left (fun acc w -> acc + List.length (Workload.functions w)) 0 all

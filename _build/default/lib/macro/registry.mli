@@ -1,0 +1,14 @@
+(** All macro workloads, in a fixed order.
+
+    The suite spans the paper's categories (§6.1): numerical analysis,
+    GC-heavy allocation, bioinformatics text processing, regular
+    expressions, parsers, simulation, search and sorting. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t option
+
+val names : unit -> string list
+
+val total_functions : unit -> int
+(** Size of the combined function inventory, for OTSS reporting. *)

@@ -1,0 +1,109 @@
+module type RUNTIME = sig
+  val name : string
+
+  val red_zone : int option
+
+  val nonleaf : unit -> unit
+
+  val leaf_small : unit -> unit
+
+  val leaf_mid : unit -> unit
+
+  val leaf_big : unit -> unit
+end
+
+(* The simulated stack-pointer state: the check compares and (almost)
+   never branches, exactly like a real prologue whose stack has room.
+   [Sys.opaque_identity] keeps the compiler from folding the compare
+   away. *)
+let sim_sp = ref 0x7FFF_FFFF
+
+let sim_threshold = ref 64
+
+let[@inline] check () =
+  if Sys.opaque_identity !sim_sp < !sim_threshold then sim_sp := 0x7FFF_FFFF
+
+let nop () = ()
+
+module Stock = struct
+  let name = "stock"
+
+  let red_zone = None
+
+  let nonleaf = nop
+
+  let leaf_small = nop
+
+  let leaf_mid = nop
+
+  let leaf_big = nop
+end
+
+module Mc16 = struct
+  let name = "mc"
+
+  let red_zone = Some 16
+
+  let nonleaf = check
+
+  let leaf_small = nop
+
+  let leaf_mid = check
+
+  let leaf_big = check
+end
+
+module Rz0 = struct
+  let name = "mc+rz0"
+
+  let red_zone = Some 0
+
+  let nonleaf = check
+
+  let leaf_small = check
+
+  let leaf_mid = check
+
+  let leaf_big = check
+end
+
+module Rz32 = struct
+  let name = "mc+rz32"
+
+  let red_zone = Some 32
+
+  let nonleaf = check
+
+  let leaf_small = nop
+
+  let leaf_mid = nop
+
+  let leaf_big = check
+end
+
+let all : (module RUNTIME) list =
+  [ (module Stock); (module Mc16); (module Rz0); (module Rz32) ]
+
+let check_count = ref 0
+
+let checks_counted () = !check_count
+
+let reset_check_count () = check_count := 0
+
+module Mc16_counting = struct
+  let name = "mc-counting"
+
+  let red_zone = Some 16
+
+  let counted () =
+    incr check_count;
+    check ()
+
+  let nonleaf = counted
+
+  let leaf_small = nop
+
+  let leaf_mid = counted
+
+  let leaf_big = counted
+end

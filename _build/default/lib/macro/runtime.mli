@@ -1,0 +1,61 @@
+(** Prologue-check injection for the macro suite (Fig 4).
+
+    The paper compares stock OCaml against Multicore variants that add a
+    stack-overflow check to function prologues, eliding it for leaf
+    functions whose frame fits in the red zone (§5.2).  We cannot
+    recompile the OCaml compiler, so each macro workload is a functor
+    over a [RUNTIME] whose prologue operations either do nothing (stock)
+    or perform the check (a two-load compare against a threshold, the
+    same work as the emitted [cmp]/[jb] pair).
+
+    Because the functor call itself costs the same in every
+    instantiation, the measured Stock→MC delta isolates the check body —
+    the quantity Fig 4 reports.  Call sites are classified by the
+    function's shape:
+
+    - [nonleaf]: the function makes calls — always checked under MC;
+    - [leaf_small]: a leaf with a frame of at most 16 words — elided
+      under red zones 16 and 32, checked under red zone 0;
+    - [leaf_mid]: a leaf with a 17–32-word frame — checked under red
+      zones 0 and 16, elided under 32;
+    - [leaf_big]: a leaf with a frame above 32 words — always checked
+      under MC. *)
+
+module type RUNTIME = sig
+  val name : string
+
+  val red_zone : int option
+  (** [None] for stock (no checks at all). *)
+
+  val nonleaf : unit -> unit
+
+  val leaf_small : unit -> unit
+
+  val leaf_mid : unit -> unit
+
+  val leaf_big : unit -> unit
+end
+
+module Stock : RUNTIME
+
+module Mc16 : RUNTIME
+(** The Multicore default: red zone of 16 words. *)
+
+module Rz0 : RUNTIME
+(** MC+RedZone0: every function checked. *)
+
+module Rz32 : RUNTIME
+
+val all : (module RUNTIME) list
+(** In Fig 4's order: stock, MC, MC+RedZone0, MC+RedZone32. *)
+
+val checks_counted : unit -> int
+(** Dynamic check count accumulated by the {e counting} variants below;
+    zero unless they are used.  The measuring variants above do not
+    count (counting would perturb timing). *)
+
+val reset_check_count : unit -> unit
+
+module Mc16_counting : RUNTIME
+(** Like {!Mc16} but tallies executed checks, for the check-density
+    analysis. *)

@@ -1,0 +1,54 @@
+(* Binary trees: allocation- and GC-heavy tree building and checking,
+   with deep non-tail recursion — the shape the red zone targets. *)
+
+let name = "binarytrees"
+
+let category = "gc"
+
+let default_size = 14  (* max tree depth *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "make_tree" Fn_meta.Nonleaf ~body_bytes:90;
+    Fn_meta.make "check_tree" Fn_meta.Nonleaf ~body_bytes:70;
+    Fn_meta.make "stretch" Fn_meta.Nonleaf ~body_bytes:60;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:200;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  type tree = Nil | Node of tree * tree
+
+  let rec make_tree depth =
+    R.nonleaf ();
+    if depth = 0 then Node (Nil, Nil)
+    else Node (make_tree (depth - 1), make_tree (depth - 1))
+
+  let rec check_tree = function
+    | Nil -> 0
+    | Node (l, r) ->
+        R.nonleaf ();
+        1 + check_tree l + check_tree r
+
+  let stretch depth =
+    R.nonleaf ();
+    check_tree (make_tree depth)
+
+  let run ~size =
+    R.nonleaf ();
+    let max_depth = max (size + 1) 6 in
+    let acc = ref (stretch (max_depth + 1)) in
+    let long_lived = make_tree max_depth in
+    let depth = ref 4 in
+    while !depth <= max_depth do
+      let iterations = 1 lsl (max_depth - !depth + 4) in
+      let sum = ref 0 in
+      for _ = 1 to iterations do
+        sum := !sum + check_tree (make_tree !depth)
+      done;
+      acc := !acc lxor (!sum + !depth);
+      depth := !depth + 2
+    done;
+    !acc lxor check_tree long_lived
+end

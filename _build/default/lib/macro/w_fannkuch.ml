@@ -1,0 +1,82 @@
+(* Fannkuch-redux: permutation generation and prefix reversal;
+   array-intensive integer code with small leaf helpers. *)
+
+let name = "fannkuch"
+
+let category = "numerical"
+
+let default_size = 9  (* permutation width *)
+
+let expected = Some 11629
+(* checksum 8629 and max flips 30 for n = 9, encoded as
+   |checksum| + 100 * maxflips = 8629 + 3000 *)
+
+let functions =
+  [
+    Fn_meta.make "flip_count" Fn_meta.Leaf_small ~body_bytes:140;
+    Fn_meta.make "next_perm" Fn_meta.Leaf_small ~body_bytes:150;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:220;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let flip_count perm scratch =
+    R.leaf_small ();
+    Array.blit perm 0 scratch 0 (Array.length perm);
+    let flips = ref 0 in
+    while scratch.(0) <> 0 do
+      let k = scratch.(0) in
+      (* reverse scratch[0..k] *)
+      let i = ref 0 and j = ref k in
+      while !i < !j do
+        let tmp = scratch.(!i) in
+        scratch.(!i) <- scratch.(!j);
+        scratch.(!j) <- tmp;
+        incr i;
+        decr j
+      done;
+      incr flips
+    done;
+    !flips
+
+  (* Advance [perm] to the next permutation in fannkuch order using the
+     count array; returns false when exhausted. *)
+  let next_perm perm count =
+    R.leaf_small ();
+    let n = Array.length perm in
+    let rec rotate i =
+      if i >= n then false
+      else begin
+        let first = perm.(0) in
+        for j = 0 to i - 1 do
+          perm.(j) <- perm.(j + 1)
+        done;
+        perm.(i) <- first;
+        count.(i) <- count.(i) - 1;
+        if count.(i) > 0 then true
+        else begin
+          count.(i) <- i + 1;
+          rotate (i + 1)
+        end
+      end
+    in
+    rotate 1
+
+  let run ~size =
+    R.nonleaf ();
+    let n = max size 3 in
+    let perm = Array.init n Fun.id in
+    let scratch = Array.make n 0 in
+    let count = Array.init n (fun i -> i + 1) in
+    let checksum = ref 0 in
+    let max_flips = ref 0 in
+    let sign = ref 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      let flips = flip_count perm scratch in
+      checksum := !checksum + (!sign * flips);
+      if flips > !max_flips then max_flips := flips;
+      sign := - !sign;
+      continue_ := next_perm perm count
+    done;
+    abs !checksum + (100 * !max_flips)
+end

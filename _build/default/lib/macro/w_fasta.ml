@@ -1,0 +1,139 @@
+(* Fasta: pseudo-random DNA sequence generation (bioinformatics,
+   string/buffer heavy).  Also the input producer for knucleotide and
+   revcomp, so the generator is exposed. *)
+
+let name = "fasta"
+
+let category = "bioinformatics"
+
+let default_size = 25_000  (* bases per section *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_random" Fn_meta.Leaf_small ~body_bytes:60;
+    Fn_meta.make "select_base" Fn_meta.Leaf_small ~body_bytes:80;
+    Fn_meta.make "repeat_fasta" Fn_meta.Nonleaf ~body_bytes:180;
+    Fn_meta.make "random_fasta" Fn_meta.Nonleaf ~body_bytes:200;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:120;
+  ]
+
+let alu =
+  "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGATCACCTGAGGTC\
+   AGGAGTTCGAGACCAGCCTGGCCAACATGGTGAAACCCCGTCTCTACTAAAAATACAAAAATTAGCCGGGCG\
+   TGGTGGCGCGCGCCTGTAATCCCAGCTACTCGGGAGGCTGAGGCAGGAGAATCGCTTGAACCCGGGAGGCGG\
+   AGGTTGCAGTGAGCCGAGATCGCGCCACTGCACTCCAGCCTGGGCGACAGAGCGAGACTCCGTCTCAAAAA"
+
+let iub =
+  [
+    ('a', 0.27); ('c', 0.12); ('g', 0.12); ('t', 0.27); ('B', 0.02); ('D', 0.02);
+    ('H', 0.02); ('K', 0.02); ('M', 0.02); ('N', 0.02); ('R', 0.02); ('S', 0.02);
+    ('V', 0.02); ('W', 0.02); ('Y', 0.02);
+  ]
+
+let homosapiens =
+  [
+    ('a', 0.3029549426680); ('c', 0.1979883004921); ('g', 0.1975473066391);
+    ('t', 0.3015094502008);
+  ]
+
+(* Shared between variants so all workloads consume identical input. *)
+let make_dna ~size =
+  let module I = struct
+    (* the benchmarks-game linear congruential generator *)
+    let seed = ref 42
+
+    let gen_random max =
+      seed := ((!seed * 3877) + 29573) mod 139968;
+      max *. float_of_int !seed /. 139968.0
+  end in
+  let buf = Buffer.create (size * 4) in
+  let cumulative table =
+    let acc = ref 0.0 in
+    List.map
+      (fun (c, p) ->
+        acc := !acc +. p;
+        (c, !acc))
+      table
+  in
+  let select table r =
+    let rec go = function
+      | [ (c, _) ] -> c
+      | (c, bound) :: rest -> if r < bound then c else go rest
+      | [] -> assert false
+    in
+    go table
+  in
+  let random_section table n =
+    let table = cumulative table in
+    for i = 1 to n do
+      Buffer.add_char buf (select table (I.gen_random 1.0));
+      if i mod 60 = 0 then Buffer.add_char buf '\n'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let repeat_section n =
+    let len = String.length alu in
+    for i = 0 to n - 1 do
+      Buffer.add_char buf alu.[i mod len];
+      if (i + 1) mod 60 = 0 then Buffer.add_char buf '\n'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  repeat_section (size * 2);
+  random_section iub (size * 3);
+  random_section homosapiens (size * 5);
+  Buffer.contents buf
+
+module Make (R : Runtime.RUNTIME) = struct
+  let seed = ref 42
+
+  let gen_random max =
+    R.leaf_small ();
+    seed := ((!seed * 3877) + 29573) mod 139968;
+    max *. float_of_int !seed /. 139968.0
+
+  let select_base table r =
+    R.leaf_small ();
+    let rec go = function
+      | [ (c, _) ] -> c
+      | (c, bound) :: rest -> if r < bound then c else go rest
+      | [] -> assert false
+    in
+    go table
+
+  let repeat_fasta buf n =
+    R.nonleaf ();
+    let len = String.length alu in
+    for i = 0 to n - 1 do
+      Buffer.add_char buf alu.[i mod len];
+      if (i + 1) mod 60 = 0 then Buffer.add_char buf '\n'
+    done;
+    Buffer.add_char buf '\n'
+
+  let random_fasta buf table n =
+    R.nonleaf ();
+    let cumulative =
+      let acc = ref 0.0 in
+      List.map
+        (fun (c, p) ->
+          acc := !acc +. p;
+          (c, !acc))
+        table
+    in
+    for i = 1 to n do
+      Buffer.add_char buf (select_base cumulative (gen_random 1.0));
+      if i mod 60 = 0 then Buffer.add_char buf '\n'
+    done;
+    Buffer.add_char buf '\n'
+
+  let run ~size =
+    R.nonleaf ();
+    seed := 42;
+    let buf = Buffer.create (size * 4) in
+    repeat_fasta buf (size * 2);
+    random_fasta buf iub (size * 3);
+    random_fasta buf homosapiens (size * 5);
+    Hashtbl.hash (Buffer.contents buf)
+end

@@ -1,0 +1,62 @@
+(* Gram matrix: pairwise dot products of feature vectors plus a
+   Frobenius-norm reduction (the paper's suite has grammatrix). *)
+
+let name = "grammatrix"
+
+let category = "numerical"
+
+let default_size = 320  (* number of vectors; dimension fixed *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_vectors" Fn_meta.Leaf_mid ~body_bytes:100;
+    Fn_meta.make "dot" Fn_meta.Leaf_small ~body_bytes:70;
+    Fn_meta.make "gram" Fn_meta.Nonleaf ~body_bytes:130;
+    Fn_meta.make "frobenius" Fn_meta.Leaf_mid ~body_bytes:90;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:100;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let dim = 64
+
+  let gen_vectors n =
+    R.leaf_mid ();
+    Array.init n (fun i ->
+        Array.init dim (fun j ->
+            sin (float_of_int ((i * dim) + j) *. 0.1) +. (float_of_int (i mod 7) *. 0.01)))
+
+  let dot a b =
+    R.leaf_small ();
+    let sum = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      sum := !sum +. (a.(i) *. b.(i))
+    done;
+    !sum
+
+  let gram vectors =
+    R.nonleaf ();
+    let n = Array.length vectors in
+    let g = Array.make_matrix n n 0.0 in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        let d = dot vectors.(i) vectors.(j) in
+        g.(i).(j) <- d;
+        g.(j).(i) <- d
+      done
+    done;
+    g
+
+  let frobenius g =
+    R.leaf_mid ();
+    let sum = ref 0.0 in
+    Array.iter (fun row -> Array.iter (fun x -> sum := !sum +. (x *. x)) row) g;
+    sqrt !sum
+
+  let run ~size =
+    R.nonleaf ();
+    let vectors = gen_vectors size in
+    let g = gram vectors in
+    int_of_float (frobenius g *. 1e6)
+end

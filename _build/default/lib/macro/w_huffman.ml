@@ -1,0 +1,128 @@
+(* Huffman coding: build a code from symbol frequencies, encode a
+   corpus to a bit stream, decode it back, and verify the roundtrip —
+   the compression-utility flavour of the paper's suite (decompress). *)
+
+let name = "huffman"
+
+let category = "compression"
+
+let default_size = 60_000  (* corpus bytes *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_corpus" Fn_meta.Leaf_mid ~body_bytes:120;
+    Fn_meta.make "frequencies" Fn_meta.Leaf_small ~body_bytes:80;
+    Fn_meta.make "build_tree" Fn_meta.Nonleaf ~body_bytes:220;
+    Fn_meta.make "assign_codes" Fn_meta.Nonleaf ~body_bytes:140;
+    Fn_meta.make "encode" Fn_meta.Nonleaf ~body_bytes:160;
+    Fn_meta.make "decode" Fn_meta.Nonleaf ~body_bytes:180;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:140;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  type tree = Leaf of int | Node of tree * tree
+
+  let gen_corpus n =
+    R.leaf_mid ();
+    (* skewed symbol distribution so the code is non-trivial *)
+    let state = ref 1_234_567 in
+    String.init n (fun _ ->
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        let r = (!state lsr 12) mod 100 in
+        let sym =
+          if r < 40 then 0
+          else if r < 65 then 1
+          else if r < 80 then 2
+          else if r < 90 then 3
+          else 4 + ((!state lsr 20) mod 12)
+        in
+        Char.chr (Char.code 'a' + sym))
+
+  let frequencies corpus =
+    R.leaf_small ();
+    let freq = Array.make 256 0 in
+    String.iter (fun c -> freq.(Char.code c) <- freq.(Char.code c) + 1) corpus;
+    freq
+
+  (* Standard greedy construction over a leaf worklist: repeatedly merge
+     the two lightest subtrees.  A sorted association list stands in for
+     the priority queue to keep the workload self-contained. *)
+  let build_tree freq =
+    R.nonleaf ();
+    let initial =
+      Array.to_list freq
+      |> List.mapi (fun sym count -> (count, Leaf sym))
+      |> List.filter (fun (count, _) -> count > 0)
+      |> List.sort compare
+    in
+    let rec insert weight tree = function
+      | [] -> [ (weight, tree) ]
+      | (w, t) :: rest when w < weight -> (w, t) :: insert weight tree rest
+      | worklist -> (weight, tree) :: worklist
+    in
+    let rec merge = function
+      | [] -> invalid_arg "empty corpus"
+      | [ (_, tree) ] -> tree
+      | (w1, t1) :: (w2, t2) :: rest -> merge (insert (w1 + w2) (Node (t1, t2)) rest)
+    in
+    merge initial
+
+  let assign_codes tree =
+    R.nonleaf ();
+    let codes = Array.make 256 [] in
+    let rec walk path = function
+      | Leaf sym -> codes.(sym) <- List.rev path
+      | Node (l, r) ->
+          walk (false :: path) l;
+          walk (true :: path) r
+    in
+    (match tree with
+    | Leaf sym -> codes.(sym) <- [ false ]  (* degenerate one-symbol code *)
+    | Node _ -> walk [] tree);
+    codes
+
+  let encode codes corpus =
+    R.nonleaf ();
+    let bits = Buffer.create (String.length corpus) in
+    String.iter
+      (fun c ->
+        List.iter (fun bit -> Buffer.add_char bits (if bit then '1' else '0'))
+          codes.(Char.code c))
+      corpus;
+    Buffer.contents bits
+
+  let decode tree bits n =
+    R.nonleaf ();
+    let out = Buffer.create n in
+    let pos = ref 0 in
+    let total = String.length bits in
+    while Buffer.length out < n do
+      let rec walk = function
+        | Leaf sym -> Buffer.add_char out (Char.chr sym)
+        | Node (l, r) ->
+            if !pos >= total then invalid_arg "truncated bit stream";
+            let bit = bits.[!pos] = '1' in
+            incr pos;
+            walk (if bit then r else l)
+      in
+      (match tree with
+      | Leaf sym ->
+          incr pos;
+          Buffer.add_char out (Char.chr sym)
+      | Node _ -> walk tree)
+    done;
+    Buffer.contents out
+
+  let run ~size =
+    R.nonleaf ();
+    let corpus = gen_corpus size in
+    let freq = frequencies corpus in
+    let tree = build_tree freq in
+    let codes = assign_codes tree in
+    let bits = encode codes corpus in
+    let decoded = decode tree bits (String.length corpus) in
+    if decoded <> corpus then -1
+    else (String.length bits * 31) + (Hashtbl.hash bits land 0xFFFF)
+end

@@ -1,0 +1,198 @@
+(* JSON parsing: a complete recursive-descent JSON parser (the yojson
+   stand-in) run over a synthetic document, then queried. *)
+
+let name = "json"
+
+let category = "parser"
+
+let default_size = 4_000  (* records in the synthetic document *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_doc" Fn_meta.Nonleaf ~body_bytes:180;
+    Fn_meta.make "parse_value" Fn_meta.Nonleaf ~body_bytes:260;
+    Fn_meta.make "parse_string" Fn_meta.Leaf_mid ~body_bytes:160;
+    Fn_meta.make "parse_number" Fn_meta.Leaf_small ~body_bytes:140;
+    Fn_meta.make "query" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:110;
+  ]
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+module Make (R : Runtime.RUNTIME) = struct
+  let gen_doc n =
+    R.nonleaf ();
+    let buf = Buffer.create (n * 80) in
+    Buffer.add_string buf "{\"records\": [";
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\": %d, \"name\": \"record-%d\", \"score\": %d.%02d, \"tags\": \
+            [\"a%d\", \"b%d\"], \"active\": %s, \"ref\": null}"
+           i i (i mod 97) (i mod 100) (i mod 5) (i mod 3)
+           (if i mod 2 = 0 then "true" else "false"))
+    done;
+    Buffer.add_string buf "], \"count\": ";
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  type state = { src : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let skip_ws st =
+    while
+      st.pos < String.length st.src
+      && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done
+
+  let expect st c =
+    skip_ws st;
+    match peek st with
+    | Some x when x = c -> st.pos <- st.pos + 1
+    | _ -> raise (Parse_error (Printf.sprintf "expected %c at %d" c st.pos))
+
+  let parse_string st =
+    R.leaf_mid ();
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> st.pos <- st.pos + 1
+      | Some '\\' ->
+          st.pos <- st.pos + 1;
+          (match peek st with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some c -> Buffer.add_char buf c
+          | None -> raise (Parse_error "dangling escape"));
+          st.pos <- st.pos + 1;
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          st.pos <- st.pos + 1;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number st =
+    R.leaf_small ();
+    let start = st.pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while st.pos < String.length st.src && is_num_char st.src.[st.pos] do
+      st.pos <- st.pos + 1
+    done;
+    match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+    | Some f -> f
+    | None -> raise (Parse_error (Printf.sprintf "bad number at %d" start))
+
+  let literal st word value =
+    if
+      st.pos + String.length word <= String.length st.src
+      && String.sub st.src st.pos (String.length word) = word
+    then begin
+      st.pos <- st.pos + String.length word;
+      value
+    end
+    else raise (Parse_error (Printf.sprintf "bad literal at %d" st.pos))
+
+  let rec parse_value st =
+    R.nonleaf ();
+    skip_ws st;
+    match peek st with
+    | Some '"' -> Str (parse_string st)
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some '}' then begin
+          st.pos <- st.pos + 1;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws st;
+            let key = parse_string st in
+            expect st ':';
+            let value = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                members ((key, value) :: acc)
+            | Some '}' ->
+                st.pos <- st.pos + 1;
+                List.rev ((key, value) :: acc)
+            | _ -> raise (Parse_error "expected , or }")
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        st.pos <- st.pos + 1;
+        skip_ws st;
+        if peek st = Some ']' then begin
+          st.pos <- st.pos + 1;
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                st.pos <- st.pos + 1;
+                elements (v :: acc)
+            | Some ']' ->
+                st.pos <- st.pos + 1;
+                List.rev (v :: acc)
+            | _ -> raise (Parse_error "expected , or ]")
+          in
+          List (elements [])
+        end
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some _ -> Num (parse_number st)
+    | None -> raise (Parse_error "unexpected end of input")
+
+  let parse src =
+    let st = { src; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then raise (Parse_error "trailing input");
+    v
+
+  let rec query v =
+    R.nonleaf ();
+    match v with
+    | Null -> 1
+    | Bool b -> if b then 3 else 5
+    | Num f -> int_of_float (f *. 100.0) lor 1
+    | Str s -> String.length s
+    | List xs -> List.fold_left (fun acc x -> acc + query x) 7 xs
+    | Obj kvs -> List.fold_left (fun acc (k, x) -> acc + String.length k + query x) 11 kvs
+
+  let run ~size =
+    R.nonleaf ();
+    let doc = gen_doc size in
+    let v = parse doc in
+    query v
+end

@@ -1,0 +1,96 @@
+(* K-means clustering: Lloyd's algorithm on 2-D points — the iterative
+   numerical-analysis flavour of the paper's suite. *)
+
+let name = "kmeans"
+
+let category = "numerical"
+
+let default_size = 6_000  (* points *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_points" Fn_meta.Leaf_mid ~body_bytes:110;
+    Fn_meta.make "nearest" Fn_meta.Leaf_small ~body_bytes:110;
+    Fn_meta.make "assign" Fn_meta.Nonleaf ~body_bytes:100;
+    Fn_meta.make "recenter" Fn_meta.Leaf_mid ~body_bytes:150;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:150;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let k = 8
+
+  let gen_points n =
+    R.leaf_mid ();
+    let state = ref 55_555 in
+    let next () =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int ((!state lsr 8) mod 10_000) /. 100.0
+    in
+    Array.init n (fun i ->
+        (* clustered around k seeds so convergence is meaningful *)
+        let cx = float_of_int (i mod k) *. 12.0 in
+        (cx +. (next () /. 25.0), (next () /. 25.0) +. float_of_int (i mod k)))
+
+  let nearest centroids (x, y) =
+    R.leaf_small ();
+    let best = ref 0 and best_d = ref infinity in
+    Array.iteri
+      (fun i (cx, cy) ->
+        let d = ((x -. cx) *. (x -. cx)) +. ((y -. cy) *. (y -. cy)) in
+        if d < !best_d then begin
+          best_d := d;
+          best := i
+        end)
+      centroids;
+    !best
+
+  let assign centroids points memberships =
+    R.nonleaf ();
+    let changed = ref 0 in
+    Array.iteri
+      (fun i p ->
+        let c = nearest centroids p in
+        if memberships.(i) <> c then begin
+          memberships.(i) <- c;
+          incr changed
+        end)
+      points;
+    !changed
+
+  let recenter points memberships =
+    R.leaf_mid ();
+    let sx = Array.make k 0.0 and sy = Array.make k 0.0 and n = Array.make k 0 in
+    Array.iteri
+      (fun i (x, y) ->
+        let c = memberships.(i) in
+        sx.(c) <- sx.(c) +. x;
+        sy.(c) <- sy.(c) +. y;
+        n.(c) <- n.(c) + 1)
+      points;
+    Array.init k (fun c ->
+        if n.(c) = 0 then (float_of_int c, float_of_int c)
+        else (sx.(c) /. float_of_int n.(c), sy.(c) /. float_of_int n.(c)))
+
+  let run ~size =
+    R.nonleaf ();
+    let points = gen_points size in
+    let centroids = ref (Array.init k (fun i -> points.(i * (size / k)))) in
+    let memberships = Array.make size (-1) in
+    let iterations = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !iterations < 50 do
+      let changed = assign !centroids points memberships in
+      centroids := recenter points memberships;
+      incr iterations;
+      if changed = 0 then continue_ := false
+    done;
+    let inertia = ref 0.0 in
+    Array.iteri
+      (fun i (x, y) ->
+        let cx, cy = !centroids.(memberships.(i)) in
+        inertia := !inertia +. ((x -. cx) *. (x -. cx)) +. ((y -. cy) *. (y -. cy)))
+      points;
+    (!iterations * 1_000_000) + int_of_float !inertia
+end

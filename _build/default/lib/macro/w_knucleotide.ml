@@ -1,0 +1,64 @@
+(* K-nucleotide: count k-mer frequencies in generated DNA with a hash
+   table — hashing and allocation heavy, as in the paper's suite. *)
+
+let name = "knucleotide"
+
+let category = "bioinformatics"
+
+let default_size = 8_000
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "clean_sequence" Fn_meta.Nonleaf ~body_bytes:140;
+    Fn_meta.make "count_kmers" Fn_meta.Nonleaf ~body_bytes:160;
+    Fn_meta.make "top_count" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:160;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let clean_sequence raw =
+    R.nonleaf ();
+    let buf = Buffer.create (String.length raw) in
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' -> Buffer.add_char buf (Char.uppercase_ascii c)
+        | 'A' .. 'Z' -> Buffer.add_char buf c
+        | _ -> ())
+      raw;
+    Buffer.contents buf
+
+  let count_kmers seq k =
+    R.nonleaf ();
+    let counts = Hashtbl.create 1024 in
+    for i = 0 to String.length seq - k do
+      let kmer = String.sub seq i k in
+      match Hashtbl.find_opt counts kmer with
+      | Some r -> incr r
+      | None -> Hashtbl.add counts kmer (ref 1)
+    done;
+    counts
+
+  let top_count counts =
+    R.nonleaf ();
+    Hashtbl.fold
+      (fun kmer r (best_k, best_n) ->
+        if !r > best_n || (!r = best_n && kmer < best_k) then (kmer, !r)
+        else (best_k, best_n))
+      counts ("", 0)
+
+  let run ~size =
+    R.nonleaf ();
+    let dna = W_fasta.make_dna ~size in
+    let seq = clean_sequence dna in
+    let acc = ref 0 in
+    List.iter
+      (fun k ->
+        let counts = count_kmers seq k in
+        let kmer, n = top_count counts in
+        acc := !acc lxor Hashtbl.hash (kmer, n, Hashtbl.length counts))
+      [ 1; 2; 3; 4; 6 ];
+    !acc
+end

@@ -1,0 +1,55 @@
+(* Levenshtein distances over a word list: dynamic programming with a
+   small leaf kernel, string-indexing heavy. *)
+
+let name = "levenshtein"
+
+let category = "text"
+
+let default_size = 120  (* number of words *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_words" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "distance" Fn_meta.Leaf_big ~body_bytes:220;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:110;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let gen_words n =
+    R.nonleaf ();
+    let state = ref 24680 in
+    List.init n (fun i ->
+        let len = 4 + (i mod 9) in
+        String.init len (fun _ ->
+            state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+            Char.chr (Char.code 'a' + (!state mod 26))))
+
+  let distance a b =
+    R.leaf_big ();
+    let la = String.length a and lb = String.length b in
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+
+  let run ~size =
+    R.nonleaf ();
+    let words = Array.of_list (gen_words size) in
+    let n = Array.length words in
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc + distance words.(i) words.(j)
+      done
+    done;
+    !acc
+end

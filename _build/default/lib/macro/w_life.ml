@@ -1,0 +1,70 @@
+(* Game of Life: cellular-automaton simulation on a torus (the paper's
+   suite has game_of_life). *)
+
+let name = "game_of_life"
+
+let category = "simulation"
+
+let default_size = 120  (* board side; generations scale with it *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "seed_board" Fn_meta.Leaf_mid ~body_bytes:100;
+    Fn_meta.make "neighbours" Fn_meta.Leaf_small ~body_bytes:120;
+    Fn_meta.make "step_board" Fn_meta.Nonleaf ~body_bytes:140;
+    Fn_meta.make "population" Fn_meta.Leaf_small ~body_bytes:60;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:110;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let seed_board n =
+    R.leaf_mid ();
+    (* deterministic pseudo-random soup *)
+    let state = ref 123456789 in
+    Array.init n (fun _ ->
+        Array.init n (fun _ ->
+            state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+            (* the low bits of an LCG are periodic; sample high bits *)
+            (!state lsr 16) land 7 = 0))
+
+  let neighbours board n x y =
+    R.leaf_small ();
+    let count = ref 0 in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        if dx <> 0 || dy <> 0 then begin
+          let x' = (x + dx + n) mod n and y' = (y + dy + n) mod n in
+          if board.(x').(y') then incr count
+        end
+      done
+    done;
+    !count
+
+  let step_board board =
+    R.nonleaf ();
+    let n = Array.length board in
+    Array.init n (fun x ->
+        Array.init n (fun y ->
+            let alive = board.(x).(y) in
+            let nb = neighbours board n x y in
+            if alive then nb = 2 || nb = 3 else nb = 3))
+
+  let population board =
+    R.leaf_small ();
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a c -> if c then a + 1 else a) acc row)
+      0 board
+
+  let run ~size =
+    R.nonleaf ();
+    let generations = max 10 (size / 4) in
+    let board = ref (seed_board size) in
+    let trace = ref 0 in
+    for g = 1 to generations do
+      board := step_board !board;
+      if g mod 8 = 0 then trace := (!trace * 31) + population !board
+    done;
+    (!trace * 31) + population !board
+end

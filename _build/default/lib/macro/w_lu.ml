@@ -1,0 +1,77 @@
+(* LU decomposition with partial pivoting (the paper's suite includes
+   LU_decomposition): dense linear algebra over float arrays. *)
+
+let name = "lu_decomposition"
+
+let category = "numerical"
+
+let default_size = 220  (* matrix dimension *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_matrix" Fn_meta.Leaf_mid ~body_bytes:100;
+    Fn_meta.make "pivot_row" Fn_meta.Leaf_small ~body_bytes:90;
+    Fn_meta.make "eliminate" Fn_meta.Leaf_mid ~body_bytes:150;
+    Fn_meta.make "decompose" Fn_meta.Nonleaf ~body_bytes:180;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:120;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let gen_matrix n =
+    R.leaf_mid ();
+    (* deterministic well-conditioned test matrix *)
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let v = float_of_int (((i * 37) + (j * 17)) mod 31) /. 31.0 in
+            if i = j then v +. float_of_int n else v))
+
+  let pivot_row m col start =
+    R.leaf_small ();
+    let n = Array.length m in
+    let best = ref start in
+    for r = start + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!best).(col) then best := r
+    done;
+    !best
+
+  let eliminate m row col =
+    R.leaf_mid ();
+    let n = Array.length m in
+    let pivot = m.(col).(col) in
+    let factor = m.(row).(col) /. pivot in
+    m.(row).(col) <- factor;
+    for j = col + 1 to n - 1 do
+      m.(row).(j) <- m.(row).(j) -. (factor *. m.(col).(j))
+    done
+
+  let decompose m =
+    R.nonleaf ();
+    let n = Array.length m in
+    let sign = ref 1.0 in
+    for col = 0 to n - 2 do
+      let p = pivot_row m col col in
+      if p <> col then begin
+        let tmp = m.(p) in
+        m.(p) <- m.(col);
+        m.(col) <- tmp;
+        sign := -. !sign
+      end;
+      for row = col + 1 to n - 1 do
+        eliminate m row col
+      done
+    done;
+    (* log-determinant from the diagonal, with the permutation sign *)
+    let logdet = ref 0.0 in
+    for i = 0 to n - 1 do
+      logdet := !logdet +. log (Float.abs m.(i).(i))
+    done;
+    (!sign, !logdet)
+
+  let run ~size =
+    R.nonleaf ();
+    let m = gen_matrix size in
+    let sign, logdet = decompose m in
+    int_of_float (logdet *. 1e6) * int_of_float sign
+end

@@ -1,0 +1,58 @@
+(* Mandelbrot: escape-time fractal over a bit-packed plane — pure float
+   loops with a small leaf kernel. *)
+
+let name = "mandelbrot"
+
+let category = "numerical"
+
+let default_size = 300  (* image width/height *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "escapes" Fn_meta.Leaf_small ~body_bytes:130;
+    Fn_meta.make "row" Fn_meta.Nonleaf ~body_bytes:110;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:120;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let max_iter = 50
+
+  let escapes cr ci =
+    R.leaf_small ();
+    let zr = ref 0.0 and zi = ref 0.0 in
+    let i = ref 0 in
+    let escaped = ref false in
+    while (not !escaped) && !i < max_iter do
+      let zr2 = !zr *. !zr and zi2 = !zi *. !zi in
+      if zr2 +. zi2 > 4.0 then escaped := true
+      else begin
+        zi := (2.0 *. !zr *. !zi) +. ci;
+        zr := zr2 -. zi2 +. cr;
+        incr i
+      end
+    done;
+    not !escaped
+
+  let row bits n y =
+    R.nonleaf ();
+    let ci = (2.0 *. float_of_int y /. float_of_int n) -. 1.0 in
+    for x = 0 to n - 1 do
+      let cr = (2.0 *. float_of_int x /. float_of_int n) -. 1.5 in
+      if escapes cr ci then begin
+        let idx = (y * n) + x in
+        Bytes.set bits (idx lsr 3)
+          (Char.chr (Char.code (Bytes.get bits (idx lsr 3)) lor (0x80 lsr (idx land 7))))
+      end
+    done
+
+  let run ~size =
+    R.nonleaf ();
+    let n = size in
+    let bits = Bytes.make (((n * n) + 7) / 8) '\000' in
+    for y = 0 to n - 1 do
+      row bits n y
+    done;
+    Hashtbl.hash (Bytes.to_string bits)
+end

@@ -1,0 +1,143 @@
+(* N-body: the Jovian-planet simulation from the benchmarks game.
+   Numerical, loop-heavy, no allocation in the hot path. *)
+
+let name = "nbody"
+
+let category = "numerical"
+
+let default_size = 150_000
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "advance" Fn_meta.Leaf_mid ~body_bytes:640;
+    Fn_meta.make "energy" Fn_meta.Leaf_mid ~body_bytes:320;
+    Fn_meta.make "offset_momentum" Fn_meta.Leaf_small ~body_bytes:120;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:160;
+  ]
+
+let solar_mass = 4.0 *. Float.pi *. Float.pi
+
+let days_per_year = 365.24
+
+module Make (R : Runtime.RUNTIME) = struct
+  type body = {
+    mutable x : float;
+    mutable y : float;
+    mutable z : float;
+    mutable vx : float;
+    mutable vy : float;
+    mutable vz : float;
+    mass : float;
+  }
+
+  let bodies () =
+    [|
+      { x = 0.; y = 0.; z = 0.; vx = 0.; vy = 0.; vz = 0.; mass = solar_mass };
+      {
+        x = 4.84143144246472090;
+        y = -1.16032004402742839;
+        z = -0.103622044471123109;
+        vx = 0.00166007664274403694 *. days_per_year;
+        vy = 0.00769901118419740425 *. days_per_year;
+        vz = -0.0000690460016972063023 *. days_per_year;
+        mass = 0.000954791938424326609 *. solar_mass;
+      };
+      {
+        x = 8.34336671824457987;
+        y = 4.12479856412430479;
+        z = -0.403523417114321381;
+        vx = -0.00276742510726862411 *. days_per_year;
+        vy = 0.00499852801234917238 *. days_per_year;
+        vz = 0.0000230417297573763929 *. days_per_year;
+        mass = 0.000285885980666130812 *. solar_mass;
+      };
+      {
+        x = 12.8943695621391310;
+        y = -15.1111514016986312;
+        z = -0.223307578892655734;
+        vx = 0.00296460137564761618 *. days_per_year;
+        vy = 0.00237847173959480950 *. days_per_year;
+        vz = -0.0000296589568540237556 *. days_per_year;
+        mass = 0.0000436624404335156298 *. solar_mass;
+      };
+      {
+        x = 15.3796971148509165;
+        y = -25.9193146099879641;
+        z = 0.179258772950371181;
+        vx = 0.00268067772490389322 *. days_per_year;
+        vy = 0.00162824170038242295 *. days_per_year;
+        vz = -0.0000951592254519715870 *. days_per_year;
+        mass = 0.0000515138902046611451 *. solar_mass;
+      };
+    |]
+
+  let advance bodies dt =
+    R.leaf_mid ();
+    let n = Array.length bodies in
+    for i = 0 to n - 1 do
+      let b = bodies.(i) in
+      for j = i + 1 to n - 1 do
+        let b' = bodies.(j) in
+        let dx = b.x -. b'.x and dy = b.y -. b'.y and dz = b.z -. b'.z in
+        let dist2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        let mag = dt /. (dist2 *. sqrt dist2) in
+        b.vx <- b.vx -. (dx *. b'.mass *. mag);
+        b.vy <- b.vy -. (dy *. b'.mass *. mag);
+        b.vz <- b.vz -. (dz *. b'.mass *. mag);
+        b'.vx <- b'.vx +. (dx *. b.mass *. mag);
+        b'.vy <- b'.vy +. (dy *. b.mass *. mag);
+        b'.vz <- b'.vz +. (dz *. b.mass *. mag)
+      done
+    done;
+    for i = 0 to n - 1 do
+      let b = bodies.(i) in
+      b.x <- b.x +. (dt *. b.vx);
+      b.y <- b.y +. (dt *. b.vy);
+      b.z <- b.z +. (dt *. b.vz)
+    done
+
+  let energy bodies =
+    R.leaf_mid ();
+    let e = ref 0.0 in
+    let n = Array.length bodies in
+    for i = 0 to n - 1 do
+      let b = bodies.(i) in
+      e :=
+        !e
+        +. (0.5 *. b.mass *. ((b.vx *. b.vx) +. (b.vy *. b.vy) +. (b.vz *. b.vz)));
+      for j = i + 1 to n - 1 do
+        let b' = bodies.(j) in
+        let dx = b.x -. b'.x and dy = b.y -. b'.y and dz = b.z -. b'.z in
+        let dist = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+        e := !e -. (b.mass *. b'.mass /. dist)
+      done
+    done;
+    !e
+
+  let offset_momentum bodies =
+    R.leaf_small ();
+    let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 in
+    Array.iter
+      (fun b ->
+        px := !px +. (b.vx *. b.mass);
+        py := !py +. (b.vy *. b.mass);
+        pz := !pz +. (b.vz *. b.mass))
+      bodies;
+    let sun = bodies.(0) in
+    sun.vx <- -. !px /. solar_mass;
+    sun.vy <- -. !py /. solar_mass;
+    sun.vz <- -. !pz /. solar_mass
+
+  let run ~size =
+    R.nonleaf ();
+    let bodies = bodies () in
+    offset_momentum bodies;
+    let e0 = energy bodies in
+    for _ = 1 to size do
+      advance bodies 0.01
+    done;
+    let e1 = energy bodies in
+    int_of_float (e0 *. 1e9) lxor int_of_float (e1 *. 1e9)
+end

@@ -1,0 +1,42 @@
+(* N-queens: deep non-tail recursion with bit tricks — the recursion
+   pattern the stack-overflow checks tax the most. *)
+
+let name = "nqueens"
+
+let category = "search"
+
+let default_size = 11
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "solve" Fn_meta.Nonleaf ~body_bytes:140;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:70;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  (* Classic bitboard backtracking: cols/diag1/diag2 are occupancy
+     masks; count complete placements. *)
+  let rec solve n row cols diag1 diag2 =
+    R.nonleaf ();
+    if row = n then 1
+    else begin
+      let free = lnot (cols lor diag1 lor diag2) land ((1 lsl n) - 1) in
+      let count = ref 0 in
+      let remaining = ref free in
+      while !remaining <> 0 do
+        let bit = !remaining land - !remaining in
+        remaining := !remaining land lnot bit;
+        count :=
+          !count
+          + solve n (row + 1) (cols lor bit) ((diag1 lor bit) lsl 1)
+              ((diag2 lor bit) lsr 1)
+      done;
+      !count
+    end
+
+  let run ~size =
+    R.nonleaf ();
+    solve size 0 0 0 0
+end

@@ -1,0 +1,93 @@
+(* Quicksort: in-place recursive sort with an insertion-sort base case
+   — branchy integer code with two recursion sites per call. *)
+
+let name = "quicksort"
+
+let category = "sorting"
+
+let default_size = 200_000
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "insertion" Fn_meta.Leaf_small ~body_bytes:120;
+    Fn_meta.make "partition" Fn_meta.Leaf_small ~body_bytes:140;
+    Fn_meta.make "quicksort" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:130;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let insertion arr lo hi =
+    R.leaf_small ();
+    for i = lo + 1 to hi do
+      let key = arr.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && arr.(!j) > key do
+        arr.(!j + 1) <- arr.(!j);
+        decr j
+      done;
+      arr.(!j + 1) <- key
+    done
+
+  let partition arr lo hi =
+    R.leaf_small ();
+    (* median-of-three pivot *)
+    let mid = (lo + hi) / 2 in
+    let a = arr.(lo) and b = arr.(mid) and c = arr.(hi) in
+    let pivot = max (min a b) (min (max a b) c) in
+    let i = ref (lo - 1) and j = ref (hi + 1) in
+    let result = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      incr i;
+      while arr.(!i) < pivot do
+        incr i
+      done;
+      decr j;
+      while arr.(!j) > pivot do
+        decr j
+      done;
+      if !i >= !j then begin
+        result := !j;
+        continue_ := false
+      end
+      else begin
+        let tmp = arr.(!i) in
+        arr.(!i) <- arr.(!j);
+        arr.(!j) <- tmp
+      end
+    done;
+    !result
+
+  let rec quicksort arr lo hi =
+    R.nonleaf ();
+    if hi - lo < 16 then insertion arr lo hi
+    else begin
+      let p = partition arr lo hi in
+      quicksort arr lo p;
+      quicksort arr (p + 1) hi
+    end
+
+  let run ~size =
+    R.nonleaf ();
+    let state = ref 987654321 in
+    let arr =
+      Array.init size (fun _ ->
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state)
+    in
+    quicksort arr 0 (size - 1);
+    (* checksum: sortedness + sampled content *)
+    let sorted = ref true in
+    for i = 1 to size - 1 do
+      if arr.(i - 1) > arr.(i) then sorted := false
+    done;
+    let sample = ref 0 in
+    let i = ref 0 in
+    while !i < size do
+      sample := (!sample * 31) + arr.(!i);
+      i := !i + (size / 13) + 1
+    done;
+    if !sorted then !sample else -1
+end

@@ -1,0 +1,73 @@
+(* Regex-redux on our own Thompson-NFA engine (lib/regex): count DNA
+   variant patterns and apply IUB replacements, as in the benchmarks
+   game (the paper's suite includes regexredux2). *)
+
+let name = "regexredux"
+
+let category = "text"
+
+let default_size = 2_000
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "strip_headers" Fn_meta.Nonleaf ~body_bytes:110;
+    Fn_meta.make "count_variants" Fn_meta.Nonleaf ~body_bytes:130;
+    Fn_meta.make "apply_replacements" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:150;
+  ]
+
+let variants =
+  [
+    "agggtaaa|tttaccct";
+    "[cgt]gggtaaa|tttaccc[acg]";
+    "a[act]ggtaaa|tttacc[agt]t";
+    "ag[act]gtaaa|tttac[agt]ct";
+    "agg[act]taaa|ttta[agt]cct";
+    "aggg[acg]aaa|ttt[cgt]ccct";
+    "agggt[cgt]aa|tt[acg]accct";
+    "agggta[cgt]a|t[acg]taccct";
+    "agggtaa[cgt]|[acg]ttaccct";
+  ]
+
+(* The magic-sequence rewrites of the original benchmark; the two
+   catch-all patterns are omitted because they are line-oriented and our
+   input has headers stripped already. *)
+let replacements =
+  [ ("tHa[Nt]", "<4>"); ("aND|caN|Ha[DS]|WaS", "<3>"); ("a[NSt]|BY", "<2>") ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  module E = Retrofit_regex.Engine
+
+  let strip_headers input =
+    R.nonleaf ();
+    input
+    |> String.split_on_char '\n'
+    |> List.filter (fun line -> String.length line = 0 || line.[0] <> '>')
+    |> String.concat ""
+
+  let count_variants seq =
+    R.nonleaf ();
+    List.map
+      (fun pattern ->
+        let re = E.of_string pattern in
+        (pattern, E.count re seq))
+      variants
+
+  let apply_replacements seq =
+    R.nonleaf ();
+    List.fold_left
+      (fun s (pattern, by) ->
+        let re = E.of_string pattern in
+        E.replace_all re ~by s)
+      seq replacements
+
+  let run ~size =
+    R.nonleaf ();
+    let dna = W_fasta.make_dna ~size in
+    let seq = strip_headers dna in
+    let counts = count_variants seq in
+    let replaced = apply_replacements seq in
+    List.fold_left (fun acc (_, n) -> (acc * 31) + n) (String.length replaced) counts
+end

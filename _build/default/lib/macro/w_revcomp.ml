@@ -1,0 +1,67 @@
+(* Reverse-complement: byte-table translation and in-place reversal of
+   DNA sequences (string processing). *)
+
+let name = "revcomp"
+
+let category = "bioinformatics"
+
+let default_size = 20_000
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "complement" Fn_meta.Leaf_small ~body_bytes:90;
+    Fn_meta.make "revcomp_line_block" Fn_meta.Leaf_mid ~body_bytes:160;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:140;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let table =
+    let t = Array.init 256 Char.chr in
+    let pairs =
+      [
+        ('A', 'T'); ('C', 'G'); ('G', 'C'); ('T', 'A'); ('U', 'A'); ('M', 'K');
+        ('R', 'Y'); ('W', 'W'); ('S', 'S'); ('Y', 'R'); ('K', 'M'); ('V', 'B');
+        ('H', 'D'); ('D', 'H'); ('B', 'V'); ('N', 'N');
+      ]
+    in
+    List.iter
+      (fun (a, b) ->
+        t.(Char.code a) <- b;
+        t.(Char.code (Char.lowercase_ascii a)) <- b)
+      pairs;
+    t
+
+  let complement c =
+    R.leaf_small ();
+    table.(Char.code c)
+
+  let revcomp_block block =
+    R.leaf_mid ();
+    let n = String.length block in
+    let out = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.set out i table.(Char.code block.[n - 1 - i])
+    done;
+    Bytes.to_string out
+
+  let run ~size =
+    R.nonleaf ();
+    let dna = W_fasta.make_dna ~size in
+    let lines = String.split_on_char '\n' dna in
+    let seq = String.concat "" lines in
+    let rc = revcomp_block seq in
+    (* a double reverse-complement must be the identity on ACGT bases *)
+    let rc2 = revcomp_block rc in
+    let sanity = ref 0 in
+    String.iteri
+      (fun i c ->
+        match seq.[i] with
+        | 'A' | 'C' | 'G' | 'T' | 'a' | 'c' | 'g' | 't' ->
+            if Char.uppercase_ascii seq.[i] <> Char.uppercase_ascii c then incr sanity
+        | _ -> ())
+      rc2;
+    ignore (complement 'A');
+    Hashtbl.hash rc lxor !sanity
+end

@@ -1,0 +1,121 @@
+(* S-expression parsing and rewriting — the "verification tool front
+   end" flavour of the paper's suite (Coq, AltErgo are s-expression/term
+   manipulating programs at heart). *)
+
+let name = "sexp"
+
+let category = "parser"
+
+let default_size = 14  (* depth of the generated term *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "gen_term" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "print_sexp" Fn_meta.Nonleaf ~body_bytes:110;
+    Fn_meta.make "parse_sexp" Fn_meta.Nonleaf ~body_bytes:220;
+    Fn_meta.make "rewrite" Fn_meta.Nonleaf ~body_bytes:140;
+    Fn_meta.make "measure" Fn_meta.Nonleaf ~body_bytes:80;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:100;
+  ]
+
+type sexp = Atom of string | List of sexp list
+
+module Make (R : Runtime.RUNTIME) = struct
+  (* A balanced arithmetic term: (add (mul x0 (add ...)) ...) *)
+  let rec gen_term depth idx =
+    R.nonleaf ();
+    if depth = 0 then Atom (Printf.sprintf "x%d" (idx mod 7))
+    else begin
+      let op = if depth mod 2 = 0 then "add" else "mul" in
+      List
+        [ Atom op; gen_term (depth - 1) (idx * 2); gen_term (depth - 1) ((idx * 2) + 1) ]
+    end
+
+  let rec print_sexp buf s =
+    R.nonleaf ();
+    match s with
+    | Atom a -> Buffer.add_string buf a
+    | List xs ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ' ';
+            print_sexp buf x)
+          xs;
+        Buffer.add_char buf ')'
+
+  let to_string s =
+    let buf = Buffer.create 1024 in
+    print_sexp buf s;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse_sexp src =
+    R.nonleaf ();
+    let pos = ref 0 in
+    let n = String.length src in
+    let rec skip () =
+      if !pos < n && src.[!pos] = ' ' then begin
+        incr pos;
+        skip ()
+      end
+    in
+    let rec value () =
+      skip ();
+      if !pos >= n then raise (Parse_error "unexpected end")
+      else if src.[!pos] = '(' then begin
+        incr pos;
+        let items = ref [] in
+        skip ();
+        while !pos < n && src.[!pos] <> ')' do
+          items := value () :: !items;
+          skip ()
+        done;
+        if !pos >= n then raise (Parse_error "unclosed paren");
+        incr pos;
+        List (List.rev !items)
+      end
+      else begin
+        let start = !pos in
+        while !pos < n && src.[!pos] <> ' ' && src.[!pos] <> '(' && src.[!pos] <> ')' do
+          incr pos
+        done;
+        if !pos = start then raise (Parse_error "empty atom");
+        Atom (String.sub src start (!pos - start))
+      end
+    in
+    let v = value () in
+    skip ();
+    if !pos <> n then raise (Parse_error "trailing input");
+    v
+
+  (* Constant-fold-like rewrite: (mul x x) -> (sq x), (add t t) ->
+     (dbl t); applied bottom-up. *)
+  let rec rewrite s =
+    R.nonleaf ();
+    match s with
+    | Atom _ -> s
+    | List [ Atom "mul"; a; b ] when a = b -> List [ Atom "sq"; rewrite a ]
+    | List [ Atom "add"; a; b ] when a = b -> List [ Atom "dbl"; rewrite a ]
+    | List xs -> List (List.map rewrite xs)
+
+  let rec measure s =
+    R.nonleaf ();
+    match s with
+    | Atom a -> String.length a
+    | List xs -> List.fold_left (fun acc x -> acc + measure x) 1 xs
+
+  let run ~size =
+    R.nonleaf ();
+    let term = gen_term size 1 in
+    let text = to_string term in
+    let reparsed = parse_sexp text in
+    if reparsed <> term then -1
+    else begin
+      let rewritten = rewrite reparsed in
+      (measure rewritten * 31) + String.length text
+    end
+end

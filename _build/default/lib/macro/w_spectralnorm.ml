@@ -1,0 +1,69 @@
+(* Spectral-norm: power iteration with the implicit infinite matrix
+   A(i,j) = 1/((i+j)(i+j+1)/2 + i + 1) — float kernels and vector ops. *)
+
+let name = "spectralnorm"
+
+let category = "numerical"
+
+let default_size = 300  (* vector length *)
+
+let expected = None
+
+let functions =
+  [
+    Fn_meta.make "a" Fn_meta.Leaf_small ~body_bytes:50;
+    Fn_meta.make "mult_av" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "mult_atv" Fn_meta.Nonleaf ~body_bytes:120;
+    Fn_meta.make "mult_at_a_v" Fn_meta.Nonleaf ~body_bytes:70;
+    Fn_meta.make "run" Fn_meta.Nonleaf ~body_bytes:150;
+  ]
+
+module Make (R : Runtime.RUNTIME) = struct
+  let a i j =
+    R.leaf_small ();
+    1.0 /. float_of_int (((i + j) * (i + j + 1) / 2) + i + 1)
+
+  let mult_av v out =
+    R.nonleaf ();
+    let n = Array.length v in
+    for i = 0 to n - 1 do
+      let sum = ref 0.0 in
+      for j = 0 to n - 1 do
+        sum := !sum +. (a i j *. v.(j))
+      done;
+      out.(i) <- !sum
+    done
+
+  let mult_atv v out =
+    R.nonleaf ();
+    let n = Array.length v in
+    for i = 0 to n - 1 do
+      let sum = ref 0.0 in
+      for j = 0 to n - 1 do
+        sum := !sum +. (a j i *. v.(j))
+      done;
+      out.(i) <- !sum
+    done
+
+  let mult_at_a_v v out tmp =
+    R.nonleaf ();
+    mult_av v tmp;
+    mult_atv tmp out
+
+  let run ~size =
+    R.nonleaf ();
+    let n = size in
+    let u = Array.make n 1.0 in
+    let v = Array.make n 0.0 in
+    let tmp = Array.make n 0.0 in
+    for _ = 1 to 10 do
+      mult_at_a_v u v tmp;
+      mult_at_a_v v u tmp
+    done;
+    let vbv = ref 0.0 and vv = ref 0.0 in
+    for i = 0 to n - 1 do
+      vbv := !vbv +. (u.(i) *. v.(i));
+      vv := !vv +. (v.(i) *. v.(i))
+    done;
+    int_of_float (sqrt (!vbv /. !vv) *. 1e9)
+end

@@ -1,0 +1,27 @@
+module type S = sig
+  val name : string
+
+  val category : string
+
+  val default_size : int
+
+  val expected : int option
+
+  val functions : Fn_meta.t list
+
+  module Make (_ : Runtime.RUNTIME) : sig
+    val run : size:int -> int
+  end
+end
+
+type t = (module S)
+
+let run_with (module W : S) (module R : Runtime.RUNTIME) ~size =
+  let module I = W.Make (R) in
+  I.run ~size
+
+let name (module W : S) = W.name
+
+let default_size (module W : S) = W.default_size
+
+let functions (module W : S) = W.functions

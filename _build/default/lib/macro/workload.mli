@@ -1,0 +1,36 @@
+(** The interface every macro workload implements.
+
+    A workload is written once as a functor over {!Runtime.RUNTIME};
+    instantiating it at the four runtimes gives the Fig 4 variants.
+    [run] returns a checksum that must be identical across runtimes
+    (the tests enforce it), and [functions] is the inventory the OTSS
+    model consumes. *)
+
+module type S = sig
+  val name : string
+
+  val category : string
+  (** e.g. "numerical", "parser", "simulation" — the suite spans the
+      same categories as the paper's (§6.1). *)
+
+  val default_size : int
+
+  val expected : int option
+  (** The checksum at [default_size], when known in closed form. *)
+
+  val functions : Fn_meta.t list
+
+  module Make (_ : Runtime.RUNTIME) : sig
+    val run : size:int -> int
+  end
+end
+
+type t = (module S)
+
+val run_with : t -> (module Runtime.RUNTIME) -> size:int -> int
+
+val name : t -> string
+
+val default_size : t -> int
+
+val functions : t -> Fn_meta.t list

@@ -1,0 +1,1 @@
+lib/microbench/chameneos.ml: List Retrofit_core Retrofit_monad

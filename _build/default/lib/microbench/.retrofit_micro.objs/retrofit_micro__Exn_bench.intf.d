@@ -1,0 +1,1 @@
+lib/microbench/exn_bench.mli:

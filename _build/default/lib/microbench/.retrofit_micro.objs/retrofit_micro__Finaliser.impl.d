@@ -1,0 +1,1 @@
+lib/microbench/finaliser.ml: Effect Fun Retrofit_core Retrofit_gen

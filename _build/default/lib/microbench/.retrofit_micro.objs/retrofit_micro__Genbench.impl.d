@@ -1,0 +1,1 @@
+lib/microbench/genbench.ml: Hashtbl Retrofit_gen

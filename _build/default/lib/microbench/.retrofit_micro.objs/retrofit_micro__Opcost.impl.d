@@ -1,0 +1,1 @@
+lib/microbench/opcost.ml: Effect Fun Sys

@@ -1,0 +1,1 @@
+lib/microbench/rec_bench.ml: Effect Fun Retrofit_monad

@@ -1,0 +1,1 @@
+lib/microbench/rec_bench.mli:

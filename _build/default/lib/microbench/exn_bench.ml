@@ -1,0 +1,19 @@
+exception E of int
+
+let exnval_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (try i with E x -> x)
+  done;
+  !acc
+
+let exnraise_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (try raise (E i) with E x -> x)
+  done;
+  !acc
+
+let exn_depth_raise ~depth =
+  let rec dive d = if d = 0 then raise (E depth) else 1 + dive (d - 1) in
+  try dive depth with E x -> x

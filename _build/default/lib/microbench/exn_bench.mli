@@ -1,0 +1,15 @@
+(** Exception micro benchmarks (Table 1's exnval/exnraise rows).
+
+    The paper's claim: exceptions cost the same after the retrofit,
+    because Multicore keeps stock OCaml's linked handler frames (§5.1).
+    On OCaml 5 we measure the shipped implementation directly. *)
+
+val exnval_loop : int -> int
+(** Install an exception handler and return normally, [n] times. *)
+
+val exnraise_loop : int -> int
+(** Install a handler and raise into it, [n] times. *)
+
+val exn_depth_raise : depth:int -> int
+(** Raise through [depth] stack frames to a single handler, exercising
+    the constant-cost unwind (§2.2). *)

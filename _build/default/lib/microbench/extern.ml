@@ -1,0 +1,21 @@
+external ext_id : int -> int = "retrofit_ext_id" [@@noalloc]
+
+external ext_add : int -> int -> int = "retrofit_ext_add" [@@noalloc]
+
+external ext_callback : int -> int = "retrofit_ext_callback"
+
+let () = Callback.register "retrofit_cb_id" (fun (x : int) -> x)
+
+let extcall_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + ext_id i
+  done;
+  !acc
+
+let callback_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + ext_callback i
+  done;
+  !acc

@@ -1,0 +1,19 @@
+(** Real external calls and callbacks (Table 1's extcall/callback
+    rows).
+
+    [ext_id] is a [\[@@noalloc\]] external — the fast path of §2.1 where
+    no bookkeeping is needed.  [ext_callback] calls into C, which calls
+    back into a registered OCaml closure via [caml_callback], exercising
+    the fiber-reuse path of §5.3 on OCaml 5. *)
+
+val ext_id : int -> int
+
+val ext_add : int -> int -> int
+
+val ext_callback : int -> int
+(** C calls back into an OCaml identity function with the argument. *)
+
+val extcall_loop : int -> int
+(** [extcall_loop n] performs [n] external calls, returning a checksum. *)
+
+val callback_loop : int -> int

@@ -1,0 +1,77 @@
+module Eff = Retrofit_core.Eff
+
+(* The effect generator of Gen.Effect_gen, with
+   [Eff.finalise_continuation] attached to every captured
+   continuation. *)
+let of_iter_finalised (type a) (iter : (a -> unit) -> unit) : unit -> a option =
+  let module M = struct
+    type _ Effect.t += Yield : a -> unit Effect.t
+  end in
+  let open Effect.Deep in
+  let next = ref (fun () -> None) in
+  let start () =
+    match_with
+      (fun () -> iter (fun x -> Effect.perform (M.Yield x)))
+      ()
+      {
+        retc =
+          (fun () ->
+            next := (fun () -> None);
+            None);
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | M.Yield x ->
+                Some
+                  (fun (k : (c, a option) continuation) ->
+                    Eff.finalise_continuation k;
+                    next := (fun () -> continue k ());
+                    Some x)
+            | _ -> None);
+      }
+  in
+  next := start;
+  fun () -> !next ()
+
+let effect_sum_finalised ~depth =
+  let tree = Retrofit_gen.Tree.complete ~depth in
+  let next = of_iter_finalised (fun f -> Retrofit_gen.Tree.iter f tree) in
+  let rec go acc = match next () with Some v -> go (acc + v) | None -> acc in
+  go 0
+
+type _ Effect.t += Probe : unit Effect.t
+
+let make_handler ~finalise : (int, int) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = Fun.id;
+    exnc = raise;
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Probe ->
+            Some
+              (fun (k : (c, int) Effect.Deep.continuation) ->
+                if finalise then Eff.finalise_continuation k;
+                Effect.Deep.continue k ())
+        | _ -> None);
+  }
+
+let handler_fin = make_handler ~finalise:true
+
+let handler_plain = make_handler ~finalise:false
+
+let[@inline never] body x =
+  Effect.perform Probe;
+  x + 1
+
+let roundtrip handler n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + Effect.Deep.match_with body i handler
+  done;
+  !acc
+
+let roundtrip_finalised n = roundtrip handler_fin n
+
+let roundtrip_plain n = roundtrip handler_plain n

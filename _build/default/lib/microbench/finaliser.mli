@@ -1,0 +1,18 @@
+(** The finalised-continuations experiment (§6.3.3).
+
+    §5.6 shows how a [Gc.finalise] attached to every captured
+    continuation would reclaim abandoned fibers and their resources;
+    the paper measures a 4.1× slowdown on the generator and 2.1× on
+    chameneos, which is why it is not done by default.  These variants
+    attach the finaliser to every continuation the generator captures,
+    to be compared against the plain versions. *)
+
+val effect_sum_finalised : depth:int -> int
+(** The effect generator with a finaliser on every captured
+    continuation. *)
+
+val roundtrip_finalised : int -> int
+(** The opcost roundtrip loop with finalised continuations. *)
+
+val roundtrip_plain : int -> int
+(** Matching loop without finalisers, for the ratio. *)

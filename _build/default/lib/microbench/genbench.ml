@@ -1,0 +1,21 @@
+module G = Retrofit_gen
+
+let tree_cache : (int, G.Tree.t) Hashtbl.t = Hashtbl.create 4
+
+let tree depth =
+  match Hashtbl.find_opt tree_cache depth with
+  | Some t -> t
+  | None ->
+      let t = G.Tree.complete ~depth in
+      Hashtbl.add tree_cache depth t;
+      t
+
+let effect_sum ~depth = G.Effect_gen.sum_all (G.Effect_gen.of_tree (tree depth))
+
+let cps_sum ~depth = G.Cps_gen.sum_all (G.Cps_gen.of_tree (tree depth))
+
+let monad_sum ~depth = G.Monad_gen.sum_all (G.Monad_gen.of_tree (tree depth))
+
+let expected_sum ~depth =
+  let n = (1 lsl depth) - 1 in
+  n * (n + 1) / 2

@@ -1,0 +1,15 @@
+(** Generator benchmark (§6.3.1): traverse a complete binary tree
+    through a generator, in the three implementations of lib/gen.
+
+    The paper traverses depth 25 (2^26 stack switches); the depth here
+    is a parameter so the harness can pick a laptop-scale size — the
+    ratios are depth-independent once the tree dwarfs the caches. *)
+
+val effect_sum : depth:int -> int
+
+val cps_sum : depth:int -> int
+
+val monad_sum : depth:int -> int
+
+val expected_sum : depth:int -> int
+(** n(n+1)/2 for the 2^depth - 1 nodes. *)

@@ -1,0 +1,55 @@
+type _ Effect.t += Probe : unit Effect.t
+
+let handler : (int, int) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = Fun.id;
+    exnc = raise;
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Probe ->
+            Some
+              (fun (k : (c, int) Effect.Deep.continuation) ->
+                Effect.Deep.continue k ())
+        | _ -> None);
+  }
+
+let[@inline never] body_trivial x = x + 1
+
+let[@inline never] body_perform x =
+  Effect.perform Probe;
+  x + 1
+
+let[@inline never] body_perform_n n x =
+  for _ = 1 to n do
+    Effect.perform Probe
+  done;
+  x + 1
+
+let handler_only_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + Effect.Deep.match_with body_trivial i handler
+  done;
+  !acc
+
+let roundtrip_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + Effect.Deep.match_with body_perform i handler
+  done;
+  !acc
+
+let perform_heavy_loop ~iters ~performs =
+  let acc = ref 0 in
+  for i = 1 to iters do
+    acc := !acc + Effect.Deep.match_with (body_perform_n performs) i handler
+  done;
+  !acc
+
+let baseline_call_loop n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + Sys.opaque_identity (body_trivial i)
+  done;
+  !acc

@@ -1,0 +1,25 @@
+(** Effect-operation cost probes (§6.3's annotated a–e sequence).
+
+    The paper uses cycle-accurate tracing to time four segments: fiber
+    allocation+switch (a–b, 23 ns), perform+handle (b–c, 5 ns), resume
+    (c–d, 11 ns), and fiber return+free (d–e, 7 ns).  Without Intel PT
+    we decompose by differencing loop measurements:
+
+    - [handler_only_loop] runs a handler whose body performs nothing —
+      its per-iteration cost is (a–b) + (d–e);
+    - [roundtrip_loop] adds one perform+resume — subtracting gives
+      (b–c) + (c–d);
+    - [perform_heavy_loop n] performs [n] times per handler, so the
+      slope against [n] is the per-perform cost alone. *)
+
+val handler_only_loop : int -> int
+(** [n] iterations of installing a handler around a trivial body. *)
+
+val roundtrip_loop : int -> int
+(** [n] iterations of handler + one perform immediately resumed. *)
+
+val perform_heavy_loop : iters:int -> performs:int -> int
+(** [iters] handlers, each of whose body performs [performs] times. *)
+
+val baseline_call_loop : int -> int
+(** The same loops' skeleton with a plain call, for calibration. *)

@@ -1,0 +1,171 @@
+type impl = {
+  style : string;
+  ack : int -> int -> int;
+  fib : int -> int;
+  motzkin : int -> int;
+  sudan : int -> int -> int -> int;
+  tak : int -> int -> int -> int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Idiomatic versions *)
+
+let rec ack m n =
+  if m = 0 then n + 1
+  else if n = 0 then ack (m - 1) 1
+  else ack (m - 1) (ack m (n - 1))
+
+let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+
+let rec motzkin n =
+  if n < 2 then 1 else motzkin (n - 1) + motzkin_sum n 0
+
+and motzkin_sum n i =
+  if i > n - 2 then 0
+  else (motzkin i * motzkin (n - 2 - i)) + motzkin_sum n (i + 1)
+
+let rec sudan n x y =
+  if n = 0 then x + y
+  else if y = 0 then x
+  else begin
+    let s = sudan n x (y - 1) in
+    sudan (n - 1) s (s + y)
+  end
+
+let rec tak x y z =
+  if y < x then tak (tak (x - 1) y z) (tak (y - 1) z x) (tak (z - 1) x y) else z
+
+let plain = { style = "plain"; ack; fib; motzkin; sudan; tak }
+
+(* ------------------------------------------------------------------ *)
+(* Handler-wrapped versions: each non-tail call runs under a fresh
+   effect handler (a fresh fiber) that performs no effects. *)
+
+let value_handler : ('a, 'a) Effect.Deep.handler =
+  { Effect.Deep.retc = Fun.id; exnc = raise; effc = (fun _ -> None) }
+
+let[@inline never] handle f = Effect.Deep.match_with f () value_handler
+
+let rec h_ack m n =
+  if m = 0 then n + 1
+  else if n = 0 then h_ack (m - 1) 1
+  else h_ack (m - 1) (handle (fun () -> h_ack m (n - 1)))
+
+let rec h_fib n =
+  if n < 2 then n
+  else
+    handle (fun () -> h_fib (n - 1)) + handle (fun () -> h_fib (n - 2))
+
+let rec h_motzkin n =
+  if n < 2 then 1
+  else handle (fun () -> h_motzkin (n - 1)) + handle (fun () -> h_motzkin_sum n 0)
+
+and h_motzkin_sum n i =
+  if i > n - 2 then 0
+  else begin
+    (handle (fun () -> h_motzkin i) * handle (fun () -> h_motzkin (n - 2 - i)))
+    + h_motzkin_sum n (i + 1)
+  end
+
+let rec h_sudan n x y =
+  if n = 0 then x + y
+  else if y = 0 then x
+  else begin
+    let s = handle (fun () -> h_sudan n x (y - 1)) in
+    h_sudan (n - 1) s (s + y)
+  end
+
+let rec h_tak x y z =
+  if y < x then
+    h_tak
+      (handle (fun () -> h_tak (x - 1) y z))
+      (handle (fun () -> h_tak (y - 1) z x))
+      (handle (fun () -> h_tak (z - 1) x y))
+  else z
+
+let handler =
+  { style = "handler"; ack = h_ack; fib = h_fib; motzkin = h_motzkin;
+    sudan = h_sudan; tak = h_tak }
+
+(* ------------------------------------------------------------------ *)
+(* Monadic versions: fork the non-tail call and collect its result
+   through an MVar (Claessen's monad, as in §6.2). *)
+
+module C = Retrofit_monad.Conc
+
+let via_fork m =
+  (* fork [m] and read its result back from an MVar *)
+  let open C in
+  let mv = mvar_empty () in
+  fork (m () >>= put mv) >>= fun () -> take mv
+
+let rec m_ack m n =
+  let open C in
+  if m = 0 then return (n + 1)
+  else if n = 0 then m_ack (m - 1) 1
+  else via_fork (fun () -> m_ack m (n - 1)) >>= fun r -> m_ack (m - 1) r
+
+let rec m_fib n =
+  let open C in
+  if n < 2 then return n
+  else
+    via_fork (fun () -> m_fib (n - 1)) >>= fun a ->
+    m_fib (n - 2) >>= fun b -> return (a + b)
+
+let rec m_motzkin n =
+  let open C in
+  if n < 2 then return 1
+  else
+    via_fork (fun () -> m_motzkin (n - 1)) >>= fun a ->
+    m_motzkin_sum n 0 >>= fun b -> return (a + b)
+
+and m_motzkin_sum n i =
+  let open C in
+  if i > n - 2 then return 0
+  else
+    via_fork (fun () -> m_motzkin i) >>= fun a ->
+    via_fork (fun () -> m_motzkin (n - 2 - i)) >>= fun b ->
+    m_motzkin_sum n (i + 1) >>= fun rest -> return ((a * b) + rest)
+
+let rec m_sudan n x y =
+  let open C in
+  if n = 0 then return (x + y)
+  else if y = 0 then return x
+  else via_fork (fun () -> m_sudan n x (y - 1)) >>= fun s -> m_sudan (n - 1) s (s + y)
+
+let rec m_tak x y z =
+  let open C in
+  if y < x then
+    via_fork (fun () -> m_tak (x - 1) y z) >>= fun a ->
+    via_fork (fun () -> m_tak (y - 1) z x) >>= fun b ->
+    via_fork (fun () -> m_tak (z - 1) x y) >>= fun c -> m_tak a b c
+  else return z
+
+let force name m =
+  match C.run_main m with
+  | Some v -> v
+  | None -> failwith ("monadic " ^ name ^ ": deadlock")
+
+let monadic =
+  {
+    style = "monad";
+    ack = (fun m n -> force "ack" (m_ack m n));
+    fib = (fun n -> force "fib" (m_fib n));
+    motzkin = (fun n -> force "motzkin" (m_motzkin n));
+    sudan = (fun n x y -> force "sudan" (m_sudan n x y));
+    tak = (fun x y z -> force "tak" (m_tak x y z));
+  }
+
+let all = [ plain; handler; monadic ]
+
+let reference = function
+  | "ack 2 3" -> 9
+  | "ack 3 3" -> 61
+  | "fib 15" -> 610
+  | "fib 20" -> 6765
+  | "motzkin 10" -> 2188
+  | "motzkin 12" -> 15511
+  | "sudan 2 2 1" -> 27
+  | "tak 12 8 4" -> 5
+  | "tak 18 12 6" -> 7
+  | _ -> raise Not_found

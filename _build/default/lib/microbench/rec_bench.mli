@@ -1,0 +1,31 @@
+(** The recursive micro benchmarks (ack, fib, motzkin, sudan, tak) in
+    the three styles of Tables 1 and 2:
+
+    - [plain]: idiomatic non-tail recursion (the baseline);
+    - [handler]: every non-tail recursive call surrounded by an effect
+      handler that performs no effects — the setup/teardown cost Table 2
+      isolates (each handler allocates and frees a fiber);
+    - [monadic]: the concurrency-monad version, forking the non-tail
+      call and collecting its result through an MVar, as described in
+      §6.2. *)
+
+type impl = {
+  style : string;
+  ack : int -> int -> int;
+  fib : int -> int;
+  motzkin : int -> int;
+  sudan : int -> int -> int -> int;
+  tak : int -> int -> int -> int;
+}
+
+val plain : impl
+
+val handler : impl
+
+val monadic : impl
+
+val all : impl list
+
+val reference : string -> int
+(** Known values for cross-style checking, keyed by
+    ["ack 2 3"]-style strings.  @raise Not_found for unknown keys. *)

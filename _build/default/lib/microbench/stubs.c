@@ -1,0 +1,25 @@
+/* C stubs for the external-call and callback micro benchmarks
+   (Table 1).  retrofit_ext_id is the classic fast external call: no
+   OCaml allocation, so it is invoked directly.  retrofit_ext_callback
+   re-enters OCaml through caml_callback, the meander pattern of Fig 1. */
+
+#include <caml/mlvalues.h>
+#include <caml/callback.h>
+
+CAMLprim value retrofit_ext_id(value v)
+{
+  return v;
+}
+
+CAMLprim value retrofit_ext_add(value a, value b)
+{
+  return Val_long(Long_val(a) + Long_val(b));
+}
+
+CAMLprim value retrofit_ext_callback(value v)
+{
+  static const value *cb = NULL;
+  if (cb == NULL)
+    cb = caml_named_value("retrofit_cb_id");
+  return caml_callback(*cb, v);
+}

@@ -1,0 +1,1 @@
+lib/monadlib/conc.ml: Queue

@@ -1,0 +1,1 @@
+lib/monadlib/lwtlike.ml: List Queue

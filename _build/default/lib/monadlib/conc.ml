@@ -1,0 +1,111 @@
+(* Claessen's representation: a computation is CPS over actions, and an
+   action is a resumable step tree. *)
+
+type action = Atom of (unit -> action) | Fork_act of action * action | Stop
+
+type 'a t = ('a -> action) -> action
+
+let return v c = c v
+
+let bind m f c = m (fun a -> f a c)
+
+let ( >>= ) = bind
+
+let map f m = bind m (fun a -> return (f a))
+
+let atom f c = Atom (fun () -> c (f ()))
+
+let yield c = Atom (fun () -> c ())
+
+let stop _c = Stop
+
+let fork m c = Fork_act (m (fun () -> Stop), c ())
+
+(* The ready queue of the scheduler currently running.  Parked MVar
+   continuations are enqueued here when their MVar is completed, which
+   is why the scheduler is non-reentrant. *)
+let ready : action Queue.t ref = ref (Queue.create ())
+
+type 'a mv_state =
+  | Full of 'a * ('a * (unit -> action)) Queue.t
+  | Empty of ('a -> action) Queue.t
+
+type 'a mvar = { mutable st : 'a mv_state }
+
+let mvar_empty () = { st = Empty (Queue.create ()) }
+
+let mvar_full v = { st = Full (v, Queue.create ()) }
+
+let put mv v c =
+  Atom
+    (fun () ->
+      match mv.st with
+      | Full (_, putters) ->
+          Queue.push (v, fun () -> c ()) putters;
+          Stop
+      | Empty takers -> (
+          match Queue.pop takers with
+          | taker ->
+              Queue.push (taker v) !ready;
+              c ()
+          | exception Queue.Empty ->
+              mv.st <- Full (v, Queue.create ());
+              c ()))
+
+let take mv c =
+  Atom
+    (fun () ->
+      match mv.st with
+      | Empty takers ->
+          Queue.push c takers;
+          Stop
+      | Full (v, putters) -> (
+          (match Queue.pop putters with
+          | v', putter ->
+              mv.st <- Full (v', putters);
+              Queue.push (putter ()) !ready
+          | exception Queue.Empty -> mv.st <- Empty (Queue.create ()));
+          c v))
+
+let poll mv =
+  match mv.st with
+  | Empty _ -> None
+  | Full (v, putters) ->
+      (match Queue.pop putters with
+      | v', putter ->
+          mv.st <- Full (v', putters);
+          Queue.push (putter ()) !ready
+      | exception Queue.Empty -> mv.st <- Empty (Queue.create ()));
+      Some v
+
+type stepper = action Queue.t
+
+let start m =
+  let q = Queue.create () in
+  ready := q;
+  Queue.push (m (fun () -> Stop)) q;
+  q
+
+let step q =
+  ready := q;
+  match Queue.pop q with
+  | Atom thunk ->
+      Queue.push (thunk ()) q;
+      true
+  | Fork_act (a, b) ->
+      Queue.push a q;
+      Queue.push b q;
+      true
+  | Stop -> not (Queue.is_empty q)
+  | exception Queue.Empty -> false
+
+let run m =
+  let q = start m in
+  while step q do
+    ()
+  done
+
+let run_main m =
+  let result = ref None in
+  run (bind m (fun v -> atom (fun () -> result := Some v)) >>= fun () -> stop);
+  !result

@@ -1,0 +1,163 @@
+type 'a state_internal =
+  | Resolved of 'a
+  | Failed of exn
+  | Pending of ('a -> unit) list ref * (exn -> unit) list ref
+
+type 'a t = { mutable st : 'a state_internal }
+
+type 'a resolver = 'a t
+
+let return v = { st = Resolved v }
+
+let fail e = { st = Failed e }
+
+let wait () =
+  let p = { st = Pending (ref [], ref []) } in
+  (p, p)
+
+let on_completion p ~ok ~err =
+  match p.st with
+  | Resolved v -> ok v
+  | Failed e -> err e
+  | Pending (oks, errs) ->
+      oks := ok :: !oks;
+      errs := err :: !errs
+
+let wakeup p v =
+  match p.st with
+  | Pending (oks, _) ->
+      p.st <- Resolved v;
+      List.iter (fun f -> f v) (List.rev !oks)
+  | _ -> invalid_arg "Lwtlike.wakeup: already completed"
+
+let wakeup_exn p e =
+  match p.st with
+  | Pending (_, errs) ->
+      p.st <- Failed e;
+      List.iter (fun f -> f e) (List.rev !errs)
+  | _ -> invalid_arg "Lwtlike.wakeup_exn: already completed"
+
+let bind m f =
+  match m.st with
+  | Resolved v -> f v
+  | Failed e -> fail e
+  | Pending _ ->
+      let p, r = wait () in
+      on_completion m
+        ~ok:(fun v ->
+          let inner = try f v with e -> fail e in
+          on_completion inner ~ok:(fun w -> wakeup r w) ~err:(fun e -> wakeup_exn r e))
+        ~err:(fun e -> wakeup_exn r e);
+      p
+
+let ( >>= ) = bind
+
+let map f m = bind m (fun v -> return (f v))
+
+let catch f handler =
+  match (try f () with e -> fail e) with
+  | { st = Resolved _ } as p -> p
+  | { st = Failed e; _ } -> handler e
+  | pending ->
+      let p, r = wait () in
+      on_completion pending
+        ~ok:(fun v -> wakeup r v)
+        ~err:(fun e ->
+          let recovered = try handler e with e' -> fail e' in
+          on_completion recovered ~ok:(fun v -> wakeup r v)
+            ~err:(fun e' -> wakeup_exn r e'));
+      p
+
+(* The pause queue, drained by [run]'s main loop. *)
+let paused : unit resolver Queue.t = Queue.create ()
+
+let pause () =
+  let p, r = wait () in
+  Queue.push r paused;
+  p
+
+exception Async_failure of exn
+
+let async f =
+  let p = try f () with e -> fail e in
+  on_completion p ~ok:(fun () -> ()) ~err:(fun e -> raise (Async_failure e))
+
+let join ps =
+  let remaining = ref (List.length ps) in
+  if !remaining = 0 then return ()
+  else begin
+    let p, r = wait () in
+    let failed = ref None in
+    let finish () =
+      decr remaining;
+      if !remaining = 0 then begin
+        match !failed with None -> wakeup r () | Some e -> wakeup_exn r e
+      end
+    in
+    List.iter
+      (fun q ->
+        on_completion q ~ok:(fun () -> finish ())
+          ~err:(fun e ->
+            if !failed = None then failed := Some e;
+            finish ()))
+      ps;
+    p
+  end
+
+let state p =
+  match p.st with
+  | Resolved v -> `Resolved v
+  | Failed e -> `Failed e
+  | Pending _ -> `Pending
+
+let run p =
+  let rec loop () =
+    match p.st with
+    | Resolved v -> v
+    | Failed e -> raise e
+    | Pending _ -> (
+        match Queue.pop paused with
+        | r ->
+            wakeup r ();
+            loop ()
+        | exception Queue.Empty -> failwith "Lwtlike.run: deadlock")
+  in
+  loop ()
+
+(* MVar from promises, mirroring Lwt_mvar. *)
+type 'a mv_state =
+  | Full of 'a * ('a * unit resolver) Queue.t
+  | Empty of 'a resolver Queue.t
+
+type 'a mvar = { mutable mst : 'a mv_state }
+
+let mvar_empty () = { mst = Empty (Queue.create ()) }
+
+let mvar_put mv v =
+  match mv.mst with
+  | Full (_, putters) ->
+      let p, r = wait () in
+      Queue.push (v, r) putters;
+      p
+  | Empty takers -> (
+      match Queue.pop takers with
+      | taker ->
+          wakeup taker v;
+          return ()
+      | exception Queue.Empty ->
+          mv.mst <- Full (v, Queue.create ());
+          return ())
+
+let mvar_take mv =
+  match mv.mst with
+  | Empty takers ->
+      let p, r = wait () in
+      Queue.push r takers;
+      p
+  | Full (v, putters) ->
+      (match Queue.pop putters with
+      | v', putter ->
+          mv.mst <- Full (v', putters);
+          wakeup putter ()
+      | exception Queue.Empty -> mv.mst <- Empty (Queue.create ()));
+      return v

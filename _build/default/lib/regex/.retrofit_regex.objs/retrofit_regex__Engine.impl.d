@@ -1,0 +1,1 @@
+lib/regex/engine.ml: Buffer List Nfa Parse String

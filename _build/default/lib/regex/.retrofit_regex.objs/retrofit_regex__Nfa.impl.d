@@ -1,0 +1,1 @@
+lib/regex/nfa.ml: Array Char Retrofit_util String Syntax

@@ -1,0 +1,123 @@
+exception Error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Error (Printf.sprintf "%s at position %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_escaped st =
+  advance st;
+  match peek st with
+  | None -> fail st "dangling backslash"
+  | Some c ->
+      advance st;
+      let resolved =
+        match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c
+      in
+      resolved
+
+let parse_class st =
+  eat st '[';
+  let negated = peek st = Some '^' in
+  if negated then advance st;
+  let ranges = ref [] in
+  let rec items () =
+    match peek st with
+    | None -> fail st "unterminated class"
+    | Some ']' -> advance st
+    | Some c ->
+        let lo = if c = '\\' then parse_escaped st else (advance st; c) in
+        (match (peek st, st.pos + 1 < String.length st.src) with
+        | Some '-', true when st.src.[st.pos + 1] <> ']' ->
+            advance st;
+            let hi =
+              match peek st with
+              | Some '\\' -> parse_escaped st
+              | Some h ->
+                  advance st;
+                  h
+              | None -> fail st "unterminated range"
+            in
+            if hi < lo then fail st "inverted range";
+            ranges := (lo, hi) :: !ranges
+        | _ -> ranges := (lo, lo) :: !ranges);
+        items ()
+  in
+  items ();
+  if !ranges = [] then fail st "empty class";
+  Syntax.Class { negated; ranges = List.rev !ranges }
+
+let rec parse_alt st =
+  let left = parse_concat st in
+  match peek st with
+  | Some '|' ->
+      advance st;
+      Syntax.Alt (left, parse_alt st)
+  | _ -> left
+
+and parse_concat st =
+  let rec go acc =
+    match peek st with
+    | None | Some ')' | Some '|' -> acc
+    | _ ->
+        let atom = parse_repeat st in
+        go (if acc = Syntax.Empty then atom else Syntax.Seq (acc, atom))
+  in
+  go Syntax.Empty
+
+and parse_repeat st =
+  let atom = parse_atom st in
+  let rec go acc =
+    match peek st with
+    | Some '*' ->
+        advance st;
+        go (Syntax.Star acc)
+    | Some '+' ->
+        advance st;
+        go (Syntax.Plus acc)
+    | Some '?' ->
+        advance st;
+        go (Syntax.Opt acc)
+    | _ -> acc
+  in
+  go atom
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st "expected an atom"
+  | Some '(' ->
+      advance st;
+      let inner = parse_alt st in
+      eat st ')';
+      inner
+  | Some '[' -> parse_class st
+  | Some '.' ->
+      advance st;
+      Syntax.Any
+  | Some '\\' -> Syntax.Char (parse_escaped st)
+  | Some ('*' | '+' | '?' | ')' | '|' | ']') -> fail st "unexpected metacharacter"
+  | Some c ->
+      advance st;
+      Syntax.Char c
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_alt st with
+  | re ->
+      if st.pos <> String.length src then
+        Result.Error (Printf.sprintf "trailing input at position %d" st.pos)
+      else Result.Ok re
+  | exception Error msg -> Result.Error msg
+
+let parse_exn src =
+  match parse src with
+  | Ok re -> re
+  | Error msg -> invalid_arg ("Regex.Parse: " ^ msg)

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for regex source strings.
+
+    Grammar (standard precedence: alternation < concatenation <
+    repetition):
+
+    {v
+      alt    ::= concat ('|' concat)*
+      concat ::= repeat*
+      repeat ::= atom ('*' | '+' | '?')*
+      atom   ::= literal | '.' | class | '(' alt ')' | '\' meta
+      class  ::= '[' '^'? (item)+ ']'     item ::= c | c '-' c
+    v} *)
+
+val parse : string -> (Syntax.t, string) result
+(** [Error msg] carries a human-readable description including the
+    offending position. *)
+
+val parse_exn : string -> Syntax.t
+(** @raise Invalid_argument on a malformed pattern. *)

@@ -1,0 +1,1 @@
+lib/semantics/ast.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/semantics/ast.mli: Format

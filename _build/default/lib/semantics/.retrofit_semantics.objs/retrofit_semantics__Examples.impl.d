@@ -1,0 +1,1 @@
+lib/semantics/examples.ml: List Machine Printf Syntax

@@ -1,0 +1,1 @@
+lib/semantics/lexer.ml: List Printf String

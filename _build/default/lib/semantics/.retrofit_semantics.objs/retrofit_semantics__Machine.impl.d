@@ -1,0 +1,1 @@
+lib/semantics/machine.ml: Ast List Parser Printf Syntax

@@ -1,0 +1,1 @@
+lib/semantics/machine.mli: Ast Syntax

@@ -1,0 +1,1 @@
+lib/semantics/parser.ml: Ast Lexer List Printf Result

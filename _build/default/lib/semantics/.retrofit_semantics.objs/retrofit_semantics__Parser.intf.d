@@ -1,0 +1,1 @@
+lib/semantics/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/semantics/syntax.ml: Ast Format List

@@ -1,0 +1,1 @@
+lib/semantics/syntax.mli: Ast Format

@@ -1,0 +1,251 @@
+type expected = Returns of int | Raises of string
+
+type t = { name : string; description : string; source : string; expected : expected }
+
+let all =
+  [
+    {
+      name = "arith";
+      description = "arithmetic and precedence";
+      source = "2 + 3 * 4 - 6 / 2";
+      expected = Returns 11;
+    };
+    {
+      name = "let-shadowing";
+      description = "let bindings shadow correctly";
+      source = "let x = 1 in let x = x + 1 in x * 10";
+      expected = Returns 20;
+    };
+    {
+      name = "fib";
+      description = "recursion through let rec";
+      source = "let rec fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib 15";
+      expected = Returns 610;
+    };
+    {
+      name = "higher-order";
+      description = "closures capture their environment";
+      source = "let add = fun a -> fun b -> a + b in let inc = add 1 in inc 41";
+      expected = Returns 42;
+    };
+    {
+      name = "exn-handled";
+      description = "ExnHn: a raised exception reaches its handler";
+      source = "match 1 + raise E 7 with v -> v | exception E x -> x * 2 end";
+      expected = Returns 14;
+    };
+    {
+      name = "exn-forwarded";
+      description = "ExnFwdFib: exceptions skip non-matching handlers";
+      source =
+        "match (match raise E 5 with v -> 0 | exception F x -> 1 end) with v -> v \
+         | exception E x -> x + 100 end";
+      expected = Returns 105;
+    };
+    {
+      name = "exn-uncaught";
+      description = "fatal_uncaught: no handler anywhere";
+      source = "1 + raise Boom 0";
+      expected = Raises "Boom";
+    };
+    {
+      name = "div-by-zero";
+      description = "division by zero raises Division_by_zero";
+      source = "match 1 / 0 with v -> v | exception Division_by_zero x -> 42 end";
+      expected = Returns 42;
+    };
+    {
+      name = "meander";
+      description =
+        "Fig 1: OCaml calls C (cfun), C calls back into OCaml, the callback \
+         raises E1, which unwinds across the C frames to the outer OCaml \
+         handler";
+      source =
+        "let c_to_ocaml = fun u -> raise E1 0 in\n\
+         let ocaml_to_c = cfun u -> c_to_ocaml u in\n\
+         match (match ocaml_to_c 0 with v -> v | exception E2 x -> 0 end)\n\
+         with v -> v | exception E1 x -> 42 end";
+      expected = Returns 42;
+    };
+    {
+      name = "extcall-return";
+      description = "ExtCall/RetToO: values return across C frames";
+      source = "let double = cfun x -> x * 2 in double 21";
+      expected = Returns 42;
+    };
+    {
+      name = "callback-return";
+      description = "Callback/RetToC: values return from OCaml to C";
+      source =
+        "let ocaml_id = fun x -> x + 1 in let c_wrap = cfun x -> ocaml_id x in \
+         c_wrap 41";
+      expected = Returns 42;
+    };
+    {
+      name = "eff-handled";
+      description = "EffHn: perform with an immediate resume";
+      source =
+        "match perform E 0 + 1 with v -> v | effect (E x) k -> continue k 41 end";
+      expected = Returns 42;
+    };
+    {
+      name = "eff-sum-yields";
+      description = "deep handlers: one handler serves every perform";
+      source =
+        "let rec loop i = if i = 0 then 0 else perform Yield i + loop (i - 1) in\n\
+         match loop 5 with v -> v | effect (Yield x) k -> x + continue k 0 end";
+      expected = Returns 15;
+    };
+    {
+      name = "eff-forwarded";
+      description = "EffFwd/reperform: inner handler passes the effect out";
+      source =
+        "match (match perform E 3 with v -> v | effect (F x) k -> 0 end)\n\
+         with v -> v | effect (E x) k -> continue k (x * 10) end";
+      expected = Returns 30;
+    };
+    {
+      name = "eff-state";
+      description = "parameter-passing state handler (get/put)";
+      source =
+        "let prog = fun u -> perform Put (perform Get 0 + 40) + perform Get 0 in\n\
+         let run =\n\
+         match prog 0 with\n\
+         | v -> fun s -> v\n\
+         | effect (Get u) k -> fun s -> (continue k s) s\n\
+         | effect (Put s2) k -> fun s -> (continue k 0) s2\n\
+         end in run 2";
+      expected = Returns 42;
+    };
+    {
+      name = "eff-unhandled";
+      description = "EffUnHn: an unhandled effect raises Unhandled";
+      source = "perform Nope 0";
+      expected = Raises "Unhandled";
+    };
+    {
+      name = "eff-unhandled-cleanup";
+      description =
+        "§3.2: Unhandled is raised at the perform site, so surrounding \
+         exception handlers (resource cleanup) still run";
+      source =
+        "match (match perform Nope 0 with v -> v | exception Unhandled x -> 99 end)\n\
+         with v -> v end";
+      expected = Returns 99;
+    };
+    {
+      name = "eff-not-across-c";
+      description =
+        "effects do not cross C frames: a perform inside a callback finds \
+         only the callback's identity fiber, raises Unhandled, and that \
+         exception unwinds across C to the outer OCaml handler";
+      source =
+        "let inner = fun u -> perform E 0 in\n\
+         let through_c = cfun u -> inner u in\n\
+         match (match through_c 0 with v -> v | effect (E x) k -> continue k 1 end)\n\
+         with v -> v | exception Unhandled x -> 7 end";
+      expected = Returns 7;
+    };
+    {
+      name = "multi-shot";
+      description =
+        "the semantics is multi-shot: resuming one continuation twice";
+      source =
+        "match 10 * perform Choice 0 with v -> v\n\
+         | effect (Choice u) k -> continue k 1 + continue k 2 end";
+      expected = Returns 30;
+    };
+    {
+      name = "discontinue";
+      description =
+        "discontinue raises at the perform site; the performer's handler \
+         cleans up";
+      source =
+        "let body = fun u ->\n\
+         match perform Ask 0 with v -> v | exception Cancel x -> x + 1 end in\n\
+         match body 0 with v -> v | effect (Ask u) k -> discontinue k Cancel 41 end";
+      expected = Returns 42;
+    };
+    {
+      name = "return-case";
+      description = "RetFib: the return case transforms the handled value";
+      source = "match 21 with v -> v * 2 end";
+      expected = Returns 42;
+    };
+    {
+      name = "handler-in-recursion";
+      description = "handlers install and tear down inside recursion";
+      source =
+        "let rec go n = if n = 0 then 0\n\
+         else (match perform Tick 0 with v -> v | effect (Tick u) k -> continue k 1 end)\n\
+         + go (n - 1) in go 10";
+      expected = Returns 10;
+    };
+    {
+      name = "exn-through-extcall";
+      description =
+        "OCaml exception raised by a C function (ExtCall then raise) is \
+         caught by the enclosing OCaml handler";
+      source =
+        "let c_raiser = cfun u -> raise E 5 in\n\
+         match c_raiser 0 with v -> v | exception E x -> x * 4 end";
+      expected = Returns 20;
+    };
+    {
+      name = "church-scheduler";
+      description =
+        "the §3.1 Fork/Yield scheduler written inside the calculus: the run \
+         queue is a Church-encoded list, suspended threads are \
+         queue-consuming closures, and an outer Emit handler observes the \
+         interleaving (digits arrive in FIFO order 1,3,2,4)";
+      source =
+        "let nil = fun n -> fun c -> n 0 in\n\
+         let cons = fun h -> fun t -> fun n -> fun c -> c h t in\n\
+         let rec append q = fun x ->\n\
+         q (fun z -> cons x nil) (fun h -> fun t -> cons h (append t x)) in\n\
+         let run_next = fun q -> q (fun z -> 0) (fun h -> fun t -> h t) in\n\
+         let rec spawn f =\n\
+         match f 0 with\n\
+         | v -> fun q -> run_next q\n\
+         | effect (Fork g) k -> fun q -> spawn g (append q (fun q2 -> (continue k 0) q2))\n\
+         | effect (Yield u) k -> fun q -> run_next (append q (fun q2 -> (continue k 0) q2))\n\
+         end in\n\
+         let worker_a = fun u ->\n\
+         let z1 = perform Emit 1 in let z2 = perform Yield 0 in perform Emit 2 in\n\
+         let worker_b = fun u ->\n\
+         let z1 = perform Emit 3 in let z2 = perform Yield 0 in perform Emit 4 in\n\
+         let main_thread = fun u ->\n\
+         let z1 = perform Fork worker_a in\n\
+         let z2 = perform Fork worker_b in 0 in\n\
+         match spawn main_thread nil with\n\
+         | v -> v\n\
+         | effect (Emit d) k -> d + 10 * continue k 0\n\
+         end";
+      expected = Returns 4231;
+    };
+    {
+      name = "eff-payload-order";
+      description = "the performed value is evaluated before capture";
+      source =
+        "match perform E (2 + 3) with v -> v | effect (E x) k -> continue k (x * x) end";
+      expected = Returns 25;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let check ex =
+  match Machine.run_string ex.source with
+  | Machine.Value (Syntax.V_int n) -> (
+      match ex.expected with
+      | Returns m when m = n -> Ok ()
+      | Returns m -> Error (Printf.sprintf "expected %d, got %d" m n)
+      | Raises l -> Error (Printf.sprintf "expected uncaught %s, got value %d" l n))
+  | Machine.Value v ->
+      Error ("expected an integer, got " ^ Syntax.value_to_string v)
+  | Machine.Uncaught_exception (l, _) -> (
+      match ex.expected with
+      | Raises l' when l = l' -> Ok ()
+      | Raises l' -> Error (Printf.sprintf "expected uncaught %s, got %s" l' l)
+      | Returns m -> Error (Printf.sprintf "expected %d, got uncaught %s" m l))
+  | other -> Error (Machine.result_to_string other)

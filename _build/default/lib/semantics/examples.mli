@@ -1,0 +1,21 @@
+(** Canonical programs for the executable semantics.
+
+    Each example pairs a surface-language source with its expected
+    outcome; the test suite runs them all and the [interp] executable can
+    print their traces.  Together they exercise every reduction rule of
+    Fig 2, including the meander example of §2 (exceptions thrown across
+    C frames) and the §3.2 behaviour of unhandled effects. *)
+
+type expected =
+  | Returns of int
+  | Raises of string  (** uncaught exception with the given label *)
+
+type t = { name : string; description : string; source : string; expected : expected }
+
+val all : t list
+
+val find : string -> t option
+(** Look up an example by name. *)
+
+val check : t -> (unit, string) result
+(** Runs the example and compares against [expected]. *)

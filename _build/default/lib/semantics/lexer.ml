@@ -1,0 +1,177 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | UIDENT of string
+  | FUN
+  | CFUN
+  | LET
+  | REC
+  | IN
+  | IF
+  | THEN
+  | ELSE
+  | MATCH
+  | WITH
+  | END
+  | EFFECT
+  | EXCEPTION
+  | RAISE
+  | PERFORM
+  | CONTINUE
+  | DISCONTINUE
+  | ARROW
+  | BAR
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | LE
+  | EQ
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s | UIDENT s -> s
+  | FUN -> "fun"
+  | CFUN -> "cfun"
+  | LET -> "let"
+  | REC -> "rec"
+  | IN -> "in"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | MATCH -> "match"
+  | WITH -> "with"
+  | END -> "end"
+  | EFFECT -> "effect"
+  | EXCEPTION -> "exception"
+  | RAISE -> "raise"
+  | PERFORM -> "perform"
+  | CONTINUE -> "continue"
+  | DISCONTINUE -> "discontinue"
+  | ARROW -> "->"
+  | BAR -> "|"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | LT -> "<"
+  | LE -> "<="
+  | EQ -> "="
+  | EOF -> "<eof>"
+
+let keyword = function
+  | "fun" -> Some FUN
+  | "cfun" -> Some CFUN
+  | "let" -> Some LET
+  | "rec" -> Some REC
+  | "in" -> Some IN
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "match" -> Some MATCH
+  | "with" -> Some WITH
+  | "end" -> Some END
+  | "effect" -> Some EFFECT
+  | "exception" -> Some EXCEPTION
+  | "raise" -> Some RAISE
+  | "perform" -> Some PERFORM
+  | "continue" -> Some CONTINUE
+  | "discontinue" -> Some DISCONTINUE
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let is_ident_char c =
+  is_ident_start c || is_upper c || is_digit c || c = '\'' || c = '%'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Lexer: %s at offset %d" msg !pos) in
+  let rec skip_comment depth start =
+    if !pos + 1 >= n then begin
+      pos := start;
+      fail "unterminated comment"
+    end
+    else if src.[!pos] = '*' && src.[!pos + 1] = ')' then begin
+      pos := !pos + 2;
+      if depth > 1 then skip_comment (depth - 1) start
+    end
+    else if src.[!pos] = '(' && src.[!pos + 1] = '*' then begin
+      pos := !pos + 2;
+      skip_comment (depth + 1) start
+    end
+    else begin
+      incr pos;
+      skip_comment depth start
+    end
+  in
+  while !pos < n do
+    let start = !pos in
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '(' && !pos + 1 < n && src.[!pos + 1] = '*' then begin
+      pos := !pos + 2;
+      skip_comment 1 start
+    end
+    else if is_digit c then begin
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      emit (INT (int_of_string (String.sub src start (!pos - start)))) start
+    end
+    else if is_ident_start c then begin
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      emit (match keyword word with Some k -> k | None -> IDENT word) start
+    end
+    else if is_upper c then begin
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      emit (UIDENT (String.sub src start (!pos - start))) start
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match two with
+      | Some "->" ->
+          pos := !pos + 2;
+          emit ARROW start
+      | Some "<=" ->
+          pos := !pos + 2;
+          emit LE start
+      | _ -> (
+          incr pos;
+          match c with
+          | '|' -> emit BAR start
+          | '(' -> emit LPAREN start
+          | ')' -> emit RPAREN start
+          | '+' -> emit PLUS start
+          | '-' -> emit MINUS start
+          | '*' -> emit STAR start
+          | '/' -> emit SLASH start
+          | '<' -> emit LT start
+          | '=' -> emit EQ start
+          | _ ->
+              pos := start;
+              fail (Printf.sprintf "illegal character %C" c))
+    end
+  done;
+  emit EOF n;
+  List.rev !tokens

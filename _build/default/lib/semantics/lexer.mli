@@ -1,0 +1,42 @@
+(** Lexer for the surface language of the core calculus. *)
+
+type token =
+  | INT of int
+  | IDENT of string  (** lowercase identifier: variables *)
+  | UIDENT of string  (** capitalised identifier: effect/exception labels *)
+  | FUN
+  | CFUN
+  | LET
+  | REC
+  | IN
+  | IF
+  | THEN
+  | ELSE
+  | MATCH
+  | WITH
+  | END
+  | EFFECT
+  | EXCEPTION
+  | RAISE
+  | PERFORM
+  | CONTINUE
+  | DISCONTINUE
+  | ARROW
+  | BAR
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | LE
+  | EQ
+  | EOF
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with their byte offsets, ending with [EOF].  Comments
+    are [(* ... *)] and nest.  @raise Failure on an illegal character or
+    unterminated comment, with the offset in the message. *)

@@ -1,0 +1,226 @@
+exception Error of string
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let pos st = match st.toks with (_, p) :: _ -> p | [] -> -1
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st msg =
+  raise
+    (Error
+       (Printf.sprintf "%s at offset %d (found '%s')" msg (pos st)
+          (Lexer.token_to_string (peek st))))
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected '%s'" (Lexer.token_to_string tok))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT x ->
+      advance st;
+      x
+  | _ -> fail st "expected an identifier"
+
+let uident st =
+  match peek st with
+  | Lexer.UIDENT l ->
+      advance st;
+      l
+  | _ -> fail st "expected a label (capitalised identifier)"
+
+let rec parse_expr st =
+  match peek st with
+  | Lexer.FUN ->
+      advance st;
+      let x = ident st in
+      eat st Lexer.ARROW;
+      Ast.Lam (Ast.OCaml_lam, x, parse_expr st)
+  | Lexer.CFUN ->
+      advance st;
+      let x = ident st in
+      eat st Lexer.ARROW;
+      Ast.Lam (Ast.C_lam, x, parse_expr st)
+  | Lexer.LET ->
+      advance st;
+      if peek st = Lexer.REC then begin
+        advance st;
+        let f = ident st in
+        let x = ident st in
+        eat st Lexer.EQ;
+        let body = parse_expr st in
+        eat st Lexer.IN;
+        Ast.Letrec (f, x, body, parse_expr st)
+      end
+      else begin
+        let x = ident st in
+        eat st Lexer.EQ;
+        let e1 = parse_expr st in
+        eat st Lexer.IN;
+        Ast.Let (x, e1, parse_expr st)
+      end
+  | Lexer.IF ->
+      advance st;
+      let c = parse_expr st in
+      eat st Lexer.THEN;
+      let t = parse_expr st in
+      eat st Lexer.ELSE;
+      Ast.If (c, t, parse_expr st)
+  | Lexer.MATCH -> parse_match st
+  | _ -> parse_cmp st
+
+and parse_match st =
+  eat st Lexer.MATCH;
+  let scrutinee = parse_expr st in
+  eat st Lexer.WITH;
+  if peek st = Lexer.BAR then advance st;
+  let return_var = ident st in
+  eat st Lexer.ARROW;
+  let return_body = parse_expr st in
+  let exn_cases = ref [] in
+  let eff_cases = ref [] in
+  let rec more () =
+    if peek st = Lexer.BAR then begin
+      advance st;
+      (match peek st with
+      | Lexer.EXCEPTION ->
+          advance st;
+          let l = uident st in
+          let x = ident st in
+          eat st Lexer.ARROW;
+          let body = parse_expr st in
+          exn_cases := (l, x, body) :: !exn_cases
+      | Lexer.EFFECT ->
+          advance st;
+          eat st Lexer.LPAREN;
+          let l = uident st in
+          let x = ident st in
+          eat st Lexer.RPAREN;
+          let k = ident st in
+          eat st Lexer.ARROW;
+          let body = parse_expr st in
+          eff_cases := (l, x, k, body) :: !eff_cases
+      | _ -> fail st "expected 'exception' or 'effect' case");
+      more ()
+    end
+  in
+  more ();
+  eat st Lexer.END;
+  Ast.Match
+    ( scrutinee,
+      {
+        Ast.return_var;
+        return_body;
+        exn_cases = List.rev !exn_cases;
+        eff_cases = List.rev !eff_cases;
+      } )
+
+and parse_cmp st =
+  let left = parse_add st in
+  match peek st with
+  | Lexer.LT ->
+      advance st;
+      Ast.Binop (Ast.Lt, left, parse_add st)
+  | Lexer.LE ->
+      advance st;
+      Ast.Binop (Ast.Le, left, parse_add st)
+  | Lexer.EQ ->
+      advance st;
+      Ast.Binop (Ast.Eq, left, parse_add st)
+  | _ -> left
+
+and parse_add st =
+  let rec go left =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        go (Ast.Binop (Ast.Add, left, parse_mul st))
+    | Lexer.MINUS ->
+        advance st;
+        go (Ast.Binop (Ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go left =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        go (Ast.Binop (Ast.Mul, left, parse_prefix st))
+    | Lexer.SLASH ->
+        advance st;
+        go (Ast.Binop (Ast.Div, left, parse_prefix st))
+    | _ -> left
+  in
+  go (parse_prefix st)
+
+and parse_prefix st =
+  match peek st with
+  | Lexer.RAISE ->
+      advance st;
+      let l = uident st in
+      Ast.Raise (l, parse_atom st)
+  | Lexer.PERFORM ->
+      advance st;
+      let l = uident st in
+      Ast.Perform (l, parse_atom st)
+  | Lexer.CONTINUE ->
+      advance st;
+      let k = parse_atom st in
+      Ast.Continue (k, parse_atom st)
+  | Lexer.DISCONTINUE ->
+      advance st;
+      let k = parse_atom st in
+      let l = uident st in
+      Ast.Discontinue (k, l, parse_atom st)
+  | _ -> parse_app st
+
+and parse_app st =
+  let rec go left =
+    match peek st with
+    | Lexer.INT _ | Lexer.IDENT _ | Lexer.LPAREN -> go (Ast.App (left, parse_atom st))
+    | _ -> left
+  in
+  go (parse_atom st)
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Int n
+  | Lexer.MINUS -> (
+      advance st;
+      match peek st with
+      | Lexer.INT n ->
+          advance st;
+          Ast.Int (-n)
+      | _ -> fail st "expected an integer after unary minus")
+  | Lexer.IDENT x ->
+      advance st;
+      Ast.Var x
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      eat st Lexer.RPAREN;
+      e
+  | _ -> fail st "expected an expression"
+
+let parse src =
+  match
+    let st = { toks = Lexer.tokenize src } in
+    let e = parse_expr st in
+    if peek st <> Lexer.EOF then fail st "trailing input";
+    e
+  with
+  | e -> Result.Ok e
+  | exception Error msg -> Result.Error msg
+  | exception Failure msg -> Result.Error msg
+
+let parse_exn src =
+  match parse src with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Parser: " ^ msg)

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for the surface language.
+
+    Grammar (lowest precedence first):
+
+    {v
+      expr    ::= 'fun' x '->' expr | 'cfun' x '->' expr
+                | 'let' x '=' expr 'in' expr
+                | 'let' 'rec' f x '=' expr 'in' expr
+                | 'if' expr 'then' expr 'else' expr
+                | 'match' expr 'with' cases 'end'
+                | cmp
+      cmp     ::= add (('<' | '<=' | '=') add)?
+      add     ::= mul (('+' | '-') mul)*
+      mul     ::= prefix (('*' | '/') prefix)*
+      prefix  ::= 'raise' L atom | 'perform' L atom
+                | 'continue' atom atom | 'discontinue' atom L atom
+                | app
+      app     ::= atom atom+ | atom
+      atom    ::= INT | '-' INT | x | '(' expr ')'
+      cases   ::= '|'? x '->' expr case*
+      case    ::= '|' 'exception' L x '->' expr
+                | '|' 'effect' '(' L x ')' k '->' expr
+    v}
+
+    The value (return) case is mandatory and written first, as in the
+    paper's [match e with h] whose handler always carries a return case.
+    [end] closes every match so that handlers nest unambiguously. *)
+
+val parse : string -> (Ast.t, string) result
+
+val parse_exn : string -> Ast.t
+(** @raise Invalid_argument on a syntax error. *)

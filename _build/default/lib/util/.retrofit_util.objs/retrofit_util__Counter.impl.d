@@ -1,0 +1,1 @@
+lib/util/counter.ml: Hashtbl List String

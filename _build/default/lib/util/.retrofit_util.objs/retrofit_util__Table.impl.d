@@ -1,0 +1,1 @@
+lib/util/table.ml: Buffer Bytes Float List Printf Stdlib String

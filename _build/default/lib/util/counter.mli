@@ -1,0 +1,25 @@
+(** Named monotonic counters.
+
+    The fiber machine reports its costs (instructions executed, overflow
+    checks, stack copies, mallocs, cache hits, fiber switches) through a
+    counter set so that experiments can diff configurations. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 for names never incremented. *)
+
+val reset : t -> unit
+
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val diff : t -> t -> (string * int) list
+(** [diff a b] is, for each name present in either, [get a n - get b n],
+    omitting zero entries; sorted by name. *)

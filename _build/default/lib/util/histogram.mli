@@ -1,0 +1,48 @@
+(** HDR-style latency histogram.
+
+    The paper's web-server experiment (Fig 6b) records latency percentiles
+    with wrk2, which uses an HdrHistogram: fixed-precision log-linear
+    buckets that record values in constant time and answer percentile
+    queries with bounded relative error.  This module is our equivalent.
+
+    Values are non-negative integers (we use nanoseconds of simulated
+    time).  With [significant_figures = 3] any recorded value is recovered
+    to within 0.1 %. *)
+
+type t
+
+val create : ?significant_figures:int -> max_value:int -> unit -> t
+(** [create ~max_value ()] can record values in [\[0, max_value\]].
+    [significant_figures] (1–5, default 3) bounds the relative error.
+    @raise Invalid_argument on out-of-range parameters. *)
+
+val record : t -> int -> unit
+(** Record one value.  Values above [max_value] are clamped to it and
+    counted in [saturated].  @raise Invalid_argument on negatives. *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v n] records [v] with multiplicity [n]. *)
+
+val count : t -> int
+(** Total number of recorded values. *)
+
+val saturated : t -> int
+(** How many recorded values exceeded [max_value]. *)
+
+val min_value : t -> int
+(** Smallest recorded value (bucket lower bound); 0 if empty. *)
+
+val max_recorded : t -> int
+(** Largest recorded value (bucket representative); 0 if empty. *)
+
+val value_at_percentile : t -> float -> int
+(** [value_at_percentile t p] for [p] in (0,100]: the smallest recorded
+    bucket value such that at least [p] percent of recordings are <= it.
+    @raise Invalid_argument if empty or [p] out of range. *)
+
+val mean : t -> float
+(** Mean of bucket representatives, weighted by count; 0 if empty. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add all recordings of the source into [dst].  Both histograms must
+    have identical parameters.  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,65 @@
+type 'a entry = { prio : int; seq : int; value : 'a }
+
+type 'a t = { heap : 'a entry Vec.t; mutable next_seq : int }
+
+let create () = { heap = Vec.create (); next_seq = 0 }
+
+let length t = Vec.length t.heap
+
+let is_empty t = Vec.length t.heap = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let x = Vec.get t.heap i in
+  Vec.set t.heap i (Vec.get t.heap j);
+  Vec.set t.heap j x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (Vec.get t.heap i) (Vec.get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less (Vec.get t.heap l) (Vec.get t.heap !smallest) then smallest := l;
+  if r < n && less (Vec.get t.heap r) (Vec.get t.heap !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~priority value =
+  let entry = { prio = priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  Vec.push t.heap entry;
+  sift_up t (Vec.length t.heap - 1)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let min = Vec.get t.heap 0 in
+    let last = Vec.pop t.heap in
+    if not (is_empty t) then begin
+      Vec.set t.heap 0 last;
+      sift_down t 0
+    end;
+    Some (min.prio, min.value)
+  end
+
+let peek t =
+  if is_empty t then None
+  else begin
+    let min = Vec.get t.heap 0 in
+    Some (min.prio, min.value)
+  end
+
+let clear t =
+  Vec.clear t.heap;
+  t.next_seq <- 0

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the reproduction (workload generators, the
+    network simulator, property tests that need auxiliary randomness) draw
+    from explicitly seeded generators so that every experiment is exactly
+    repeatable.  The implementation is xoshiro256** seeded via splitmix64,
+    the combination recommended by Blackman and Vigna. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of (but determined by) the
+    parent's current state.  Advances the parent. *)
+
+val bits64 : t -> int64
+(** The next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** A draw from the exponential distribution with the given mean; used for
+    Poisson arrival processes in the load generator. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** A draw from the Pareto distribution; used for heavy-tailed service
+    times. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

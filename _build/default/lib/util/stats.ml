@@ -1,0 +1,69 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  let sum_logs =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (sum_logs /. float_of_int (Array.length xs))
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let min xs =
+  check_nonempty "Stats.min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "Stats.max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let normalize ~baseline xs =
+  if Array.length baseline <> Array.length xs then
+    invalid_arg "Stats.normalize: length mismatch";
+  Array.map2
+    (fun b x ->
+      if b = 0.0 then invalid_arg "Stats.normalize: zero baseline";
+      x /. b)
+    baseline xs
+
+let percent_diff ~baseline x =
+  if baseline = 0.0 then invalid_arg "Stats.percent_diff: zero baseline";
+  (x -. baseline) /. baseline *. 100.0
+
+let slowdown ~baseline x =
+  if baseline = 0.0 then invalid_arg "Stats.slowdown: zero baseline";
+  x /. baseline

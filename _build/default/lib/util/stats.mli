@@ -1,0 +1,39 @@
+(** Summary statistics used by the benchmark harness.
+
+    The evaluation in the paper reports geometric means of normalized
+    runtimes (Fig 4, Fig 5), percentage differences (Table 1), slowdown
+    factors (Table 2) and latency percentiles (Fig 6b); these helpers
+    compute each of those. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean; all inputs must be positive.
+    @raise Invalid_argument on an empty array or a non-positive entry. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics.  @raise Invalid_argument on an empty array or [p]
+    outside the range. *)
+
+val min : float array -> float
+
+val max : float array -> float
+
+val normalize : baseline:float array -> float array -> float array
+(** Pointwise ratio [x_i / baseline_i], as used for the normalized-time
+    bars of Fig 4.  @raise Invalid_argument on length mismatch or a zero
+    baseline entry. *)
+
+val percent_diff : baseline:float -> float -> float
+(** [(x - baseline) / baseline * 100], the "+17" style entries of
+    Table 1. *)
+
+val slowdown : baseline:float -> float -> float
+(** [x / baseline], the "12.25×" style entries of Table 2. *)

@@ -1,0 +1,20 @@
+(** ASCII table rendering for the benchmark reports.
+
+    The benchmark harness prints each of the paper's tables and figures as
+    a plain-text table; this module handles alignment and layout. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out under the header with a
+    separator rule.  Columns default to left alignment; [align] overrides
+    per column (missing entries default to [Left]).  Rows shorter than the
+    header are padded with empty cells. *)
+
+val render_kv : (string * string) list -> string
+(** Two-column key/value block without a header. *)
+
+val bar_chart : ?width:int -> ?baseline:float -> (string * float) list -> string
+(** A horizontal ASCII bar chart: one row per (label, value).  [baseline]
+    (default 1.0) draws a reference mark, used for normalized-time figures
+    like Fig 4.  [width] is the maximum bar width in characters. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Buffer Effect Fun List Printf Retrofit_core

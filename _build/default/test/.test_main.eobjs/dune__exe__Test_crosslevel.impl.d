@@ -1,0 +1,1 @@
+test/test_crosslevel.ml: Alcotest Effect Fun List Printf QCheck QCheck_alcotest Retrofit_fiber Retrofit_micro Retrofit_semantics

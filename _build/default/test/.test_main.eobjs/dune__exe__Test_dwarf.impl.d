@@ -1,0 +1,1 @@
+test/test_dwarf.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Retrofit_dwarf Retrofit_experiments Retrofit_fiber String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Int64 List Printf Retrofit_experiments Retrofit_harness String Sys

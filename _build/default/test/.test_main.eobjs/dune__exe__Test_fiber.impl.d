@@ -1,0 +1,1 @@
+test/test_fiber.ml: Alcotest Array List Option QCheck QCheck_alcotest Retrofit_fiber Retrofit_util String

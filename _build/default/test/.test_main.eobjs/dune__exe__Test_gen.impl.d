@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Fun List Printf QCheck QCheck_alcotest Retrofit_gen String

@@ -1,0 +1,1 @@
+test/test_httpsim.ml: Alcotest List Printf QCheck QCheck_alcotest Retrofit_httpsim Retrofit_util String

@@ -1,0 +1,1 @@
+test/test_macro.ml: Alcotest List Option Printf Retrofit_macro

@@ -1,0 +1,1 @@
+test/test_micro.ml: Alcotest Gc List Retrofit_micro

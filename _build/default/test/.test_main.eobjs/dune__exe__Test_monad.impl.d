@@ -1,0 +1,1 @@
+test/test_monad.ml: Alcotest Buffer List Printf Retrofit_monad

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest QCheck QCheck_alcotest Retrofit_regex String

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest List QCheck QCheck_alcotest Retrofit_semantics

@@ -1,0 +1,349 @@
+(* Eff, Sched, Mvar, Evloop, Chan, Aio *)
+module C = Retrofit_core
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* ---------------- Eff ---------------- *)
+
+type _ Effect.t += Ask : int Effect.t
+
+exception Boom
+
+let eff_match_with () =
+  let r =
+    C.Eff.match_with
+      (fun () -> C.Eff.perform Ask + 1)
+      {
+        C.Eff.retc = (fun v -> v * 10);
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c C.Eff.eff) ->
+            match eff with
+            | Ask -> Some (fun (k : (c, int) C.Eff.continuation) -> C.Eff.continue k 3)
+            | _ -> None);
+      }
+  in
+  Alcotest.(check int) "deep handler applies retc" 40 r
+
+let eff_value_handler () =
+  let h = C.Eff.value_handler (fun v -> v + 1) in
+  Alcotest.(check int) "retc" 42 (C.Eff.match_with (fun () -> 41) h);
+  Alcotest.check_raises "exn reraised" Boom (fun () ->
+      ignore (C.Eff.match_with (fun () -> raise Boom) h))
+
+let eff_discontinue () =
+  let r =
+    C.Eff.match_with
+      (fun () -> try C.Eff.perform Ask with Boom -> -1)
+      {
+        C.Eff.retc = Fun.id;
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c C.Eff.eff) ->
+            match eff with
+            | Ask ->
+                Some (fun (k : (c, int) C.Eff.continuation) -> C.Eff.discontinue k Boom)
+            | _ -> None);
+      }
+  in
+  Alcotest.(check int) "raised at perform site" (-1) r
+
+let eff_unhandled () =
+  Alcotest.check_raises "Unhandled" (Effect.Unhandled Ask) (fun () ->
+      ignore (Effect.perform Ask))
+
+let eff_one_shot () =
+  let f = C.Eff.one_shot (fun x -> x + 1) in
+  Alcotest.(check int) "first" 2 (f 1);
+  Alcotest.check_raises "second" (Invalid_argument "one_shot: already invoked")
+    (fun () -> ignore (f 1))
+
+let eff_protect () =
+  let log = ref [] in
+  let r = C.Eff.protect ~finally:(fun () -> log := "f" :: !log) (fun () -> 7) in
+  Alcotest.(check int) "value" 7 r;
+  (try
+     C.Eff.protect ~finally:(fun () -> log := "g" :: !log) (fun () -> raise Boom)
+   with Boom -> ());
+  Alcotest.(check (list string)) "both ran" [ "g"; "f" ] !log
+
+(* ---------------- Sched ---------------- *)
+
+let sched_runs_all () =
+  let done_ = ref 0 in
+  C.Sched.run (fun () ->
+      for _ = 1 to 10 do
+        C.Sched.fork (fun () -> incr done_)
+      done);
+  Alcotest.(check int) "all forks ran" 10 !done_
+
+(* Fork runs the child immediately (§3.1), so policies only differ once
+   threads yield: under FIFO the yielders alternate, under LIFO the
+   yielding thread is resumed first and runs to completion. *)
+let policy_trace policy =
+  let log = ref [] in
+  let worker tag () =
+    log := (tag ^ "1") :: !log;
+    C.Sched.yield ();
+    log := (tag ^ "2") :: !log
+  in
+  C.Sched.run ~policy (fun () ->
+      C.Sched.fork (worker "a");
+      C.Sched.fork (worker "b"));
+  List.rev !log
+
+let sched_fifo_order () =
+  Alcotest.(check (list string)) "fifo alternates yielders"
+    [ "a1"; "b1"; "a2"; "b2" ]
+    (policy_trace C.Sched.Fifo)
+
+let sched_lifo_order () =
+  Alcotest.(check (list string)) "lifo runs yielder to completion"
+    [ "a1"; "a2"; "b1"; "b2" ]
+    (policy_trace C.Sched.Lifo)
+
+let sched_yield_interleaves () =
+  let log = Buffer.create 16 in
+  C.Sched.run (fun () ->
+      C.Sched.fork (fun () ->
+          Buffer.add_char log 'a';
+          C.Sched.yield ();
+          Buffer.add_char log 'a');
+      C.Sched.fork (fun () ->
+          Buffer.add_char log 'b';
+          C.Sched.yield ();
+          Buffer.add_char log 'b'));
+  Alcotest.(check string) "interleaved" "abab" (Buffer.contents log)
+
+let sched_nested_fork () =
+  let count = ref 0 in
+  C.Sched.run (fun () ->
+      C.Sched.fork (fun () ->
+          C.Sched.fork (fun () -> incr count);
+          incr count);
+      incr count);
+  Alcotest.(check int) "nested" 3 !count
+
+let sched_suspend_resume () =
+  let resumer = ref None in
+  let got = ref 0 in
+  C.Sched.run (fun () ->
+      C.Sched.fork (fun () -> got := C.Sched.suspend (fun r -> resumer := Some r));
+      C.Sched.fork (fun () ->
+          match !resumer with Some r -> r 42 | None -> Alcotest.fail "no resumer"));
+  Alcotest.(check int) "resumed with value" 42 !got
+
+let sched_resumer_once () =
+  let boom = ref None in
+  C.Sched.run (fun () ->
+      let r = ref (fun (_ : int) -> ()) in
+      C.Sched.fork (fun () -> ignore (C.Sched.suspend (fun resume -> r := resume)));
+      C.Sched.fork (fun () ->
+          !r 1;
+          match !r 2 with () -> () | exception Invalid_argument _ -> boom := Some ()));
+  Alcotest.(check bool) "second resume rejected" true (!boom = Some ())
+
+(* ---------------- Mvar ---------------- *)
+
+let mvar_basic () =
+  C.Sched.run (fun () ->
+      let mv = C.Mvar.create 1 in
+      Alcotest.(check int) "take full" 1 (C.Mvar.take mv);
+      Alcotest.(check bool) "now empty" true (C.Mvar.is_empty mv);
+      C.Mvar.put mv 2;
+      Alcotest.(check (option int)) "try_take" (Some 2) (C.Mvar.try_take mv);
+      Alcotest.(check (option int)) "try_take empty" None (C.Mvar.try_take mv))
+
+let mvar_blocking_take () =
+  let got = ref [] in
+  C.Sched.run (fun () ->
+      let mv = C.Mvar.create_empty () in
+      C.Sched.fork (fun () ->
+          let v = C.Mvar.take mv in
+          got := ("a", v) :: !got);
+      C.Sched.fork (fun () ->
+          let v = C.Mvar.take mv in
+          got := ("b", v) :: !got);
+      C.Sched.fork (fun () ->
+          C.Mvar.put mv 1;
+          C.Mvar.put mv 2));
+  (* takers are served in FIFO order *)
+  Alcotest.(check (list (pair string int))) "fifo takers" [ ("a", 1); ("b", 2) ]
+    (List.rev !got)
+
+let mvar_blocking_put () =
+  let order = ref [] in
+  C.Sched.run (fun () ->
+      let mv = C.Mvar.create 0 in
+      C.Sched.fork (fun () ->
+          C.Mvar.put mv 1;
+          order := "p1 done" :: !order);
+      C.Sched.fork (fun () ->
+          let a = C.Mvar.take mv in
+          order := Printf.sprintf "take %d" a :: !order;
+          let b = C.Mvar.take mv in
+          order := Printf.sprintf "take %d" b :: !order));
+  Alcotest.(check (list string)) "put parked then served"
+    [ "take 0"; "take 1"; "p1 done" ]
+    (List.rev !order)
+
+(* ---------------- Evloop ---------------- *)
+
+let evloop_ordering () =
+  let loop = C.Evloop.create () in
+  let log = ref [] in
+  C.Evloop.after loop ~delay:30 (fun () -> log := 30 :: !log);
+  C.Evloop.after loop ~delay:10 (fun () -> log := 10 :: !log);
+  C.Evloop.after loop ~delay:20 (fun () -> log := 20 :: !log);
+  C.Evloop.drain loop;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last" 30 (C.Evloop.now loop)
+
+let evloop_same_instant () =
+  let loop = C.Evloop.create () in
+  let log = ref [] in
+  C.Evloop.after loop ~delay:5 (fun () -> log := "a" :: !log);
+  C.Evloop.after loop ~delay:5 (fun () -> log := "b" :: !log);
+  Alcotest.(check bool) "one advance runs both" true (C.Evloop.advance_once loop);
+  Alcotest.(check (list string)) "both" [ "a"; "b" ] (List.rev !log)
+
+let evloop_advance_until () =
+  let loop = C.Evloop.create () in
+  let flag = ref false in
+  C.Evloop.after loop ~delay:50 (fun () -> flag := true);
+  C.Evloop.after loop ~delay:100 (fun () -> ());
+  Alcotest.(check bool) "reached" true (C.Evloop.advance_until loop (fun () -> !flag));
+  Alcotest.(check int) "stopped at 50" 50 (C.Evloop.now loop);
+  Alcotest.(check int) "one pending" 1 (C.Evloop.pending loop)
+
+let evloop_negative_delay () =
+  let loop = C.Evloop.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Evloop.after: negative delay")
+    (fun () -> C.Evloop.after loop ~delay:(-1) (fun () -> ()))
+
+(* ---------------- Chan ---------------- *)
+
+let chan_feed_and_read () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic loop in
+  C.Chan.feed_line ic ~delay:10 "hello";
+  C.Chan.feed_eof ic ~delay:20;
+  Alcotest.(check bool) "not ready" true (C.Chan.read_line_nonblock ic = `Not_ready);
+  Alcotest.(check string) "blocking read" "hello" (C.Chan.read_line_blocking ic);
+  Alcotest.check_raises "eof" End_of_file (fun () ->
+      ignore (C.Chan.read_line_blocking ic))
+
+let chan_closed () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic loop in
+  C.Chan.close_in ic;
+  Alcotest.(check bool) "sys_error" true
+    (match C.Chan.read_line_nonblock ic with
+    | _ -> false
+    | exception Sys_error _ -> true);
+  let oc = C.Chan.make_oc loop in
+  C.Chan.write_string oc "x";
+  C.Chan.close_out oc;
+  Alcotest.(check bool) "write closed" true
+    (match C.Chan.write_string oc "y" with
+    | _ -> false
+    | exception Sys_error _ -> true);
+  Alcotest.(check string) "contents" "x" (C.Chan.contents oc)
+
+let chan_lazy_latency () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic_lazy loop ~latency:100 [ "a"; "b" ] in
+  Alcotest.(check string) "first" "a" (C.Chan.read_line_blocking ic);
+  Alcotest.(check int) "after first" 100 (C.Evloop.now loop);
+  Alcotest.(check string) "second" "b" (C.Chan.read_line_blocking ic);
+  Alcotest.(check int) "after second" 200 (C.Evloop.now loop);
+  Alcotest.check_raises "eof after latency" End_of_file (fun () ->
+      ignore (C.Chan.read_line_blocking ic));
+  Alcotest.(check int) "eof costs latency too" 300 (C.Evloop.now loop)
+
+let chan_blocked_forever () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic loop in
+  Alcotest.(check bool) "sys_error" true
+    (match C.Chan.read_line_blocking ic with
+    | _ -> false
+    | exception Sys_error _ -> true)
+
+(* ---------------- Aio ---------------- *)
+
+let aio_copy_both_runners () =
+  List.iter
+    (fun runner ->
+      let loop = C.Evloop.create () in
+      let ic = C.Chan.make_ic_lazy loop ~latency:10 [ "x"; "y" ] in
+      let oc = C.Chan.make_oc loop in
+      runner loop (fun () -> C.Aio.copy ic oc);
+      Alcotest.(check string) "copied" "x\ny\n" (C.Chan.contents oc))
+    [ C.Aio.run_sync; C.Aio.run_async ]
+
+let aio_async_overlaps () =
+  let time runner =
+    let loop = C.Evloop.create () in
+    let mk () = C.Chan.make_ic_lazy loop ~latency:100 [ "1"; "2" ] in
+    let a = mk () and b = mk () in
+    let oa = C.Chan.make_oc loop and ob = C.Chan.make_oc loop in
+    runner loop (fun () ->
+        C.Sched.fork (fun () -> C.Aio.copy a oa);
+        C.Aio.copy b ob);
+    C.Evloop.now loop
+  in
+  let sync = time C.Aio.run_sync and async = time C.Aio.run_async in
+  Alcotest.(check bool)
+    (Printf.sprintf "async (%d) < sync (%d)" async sync)
+    true (async < sync)
+
+let aio_deadlock_detected () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic loop in
+  (* no data will ever arrive *)
+  Alcotest.(check bool) "failure" true
+    (match C.Aio.run_async loop (fun () -> ignore (C.Aio.input_line ic)) with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let aio_mix_with_mvar () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic_lazy loop ~latency:5 [ "data" ] in
+  let result = ref "" in
+  C.Aio.run_async loop (fun () ->
+      let mv = C.Mvar.create_empty () in
+      C.Sched.fork (fun () -> C.Mvar.put mv (C.Aio.input_line ic));
+      result := C.Mvar.take mv);
+  Alcotest.(check string) "threaded through mvar" "data" !result
+
+let suite =
+  [
+    test "eff match_with deep" eff_match_with;
+    test "eff value handler" eff_value_handler;
+    test "eff discontinue" eff_discontinue;
+    test "eff unhandled" eff_unhandled;
+    test "eff one_shot" eff_one_shot;
+    test "eff protect" eff_protect;
+    test "sched runs all forks" sched_runs_all;
+    test "sched fifo" sched_fifo_order;
+    test "sched lifo" sched_lifo_order;
+    test "sched yield interleaves" sched_yield_interleaves;
+    test "sched nested fork" sched_nested_fork;
+    test "sched suspend/resume" sched_suspend_resume;
+    test "sched resumer once" sched_resumer_once;
+    test "mvar basics" mvar_basic;
+    test "mvar blocking take" mvar_blocking_take;
+    test "mvar blocking put" mvar_blocking_put;
+    test "evloop ordering" evloop_ordering;
+    test "evloop same instant" evloop_same_instant;
+    test "evloop advance_until" evloop_advance_until;
+    test "evloop negative delay" evloop_negative_delay;
+    test "chan feed and read" chan_feed_and_read;
+    test "chan closed" chan_closed;
+    test "chan lazy latency" chan_lazy_latency;
+    test "chan blocked forever" chan_blocked_forever;
+    test "aio copy both runners" aio_copy_both_runners;
+    test "aio async overlaps" aio_async_overlaps;
+    test "aio deadlock detected" aio_deadlock_detected;
+    test "aio with mvar" aio_mix_with_mvar;
+  ]

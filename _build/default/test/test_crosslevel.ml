@@ -1,0 +1,253 @@
+(* Cross-level validation: the same computations expressed in the
+   formal semantics (§4), on the fiber machine (§5), and on OCaml 5
+   itself must agree — and where the levels intentionally differ
+   (multi-shot semantics vs one-shot implementations, §5.2), the
+   difference itself is pinned. *)
+
+module S = Retrofit_semantics
+module F = Retrofit_fiber
+module R = Retrofit_micro.Rec_bench
+
+let test name f = Alcotest.test_case name `Quick f
+
+let sem src = S.Machine.int_result (S.Machine.run_string src)
+
+let fib_src n =
+  Printf.sprintf
+    "let rec fib n = if n < 2 then n else fib (n-1) + fib (n-2) in fib %d" n
+
+let machine ?cfuns p =
+  match F.Machine.run ?cfuns F.Config.mc (F.Compile.compile p) with
+  | F.Machine.Done v, _ -> v
+  | F.Machine.Uncaught (l, _), _ -> Alcotest.failf "machine uncaught %s" l
+  | F.Machine.Fatal m, _ -> Alcotest.failf "machine fatal %s" m
+
+let machine_uncaught p =
+  match F.Machine.run F.Config.mc (F.Compile.compile p) with
+  | F.Machine.Uncaught (l, _), _ -> l
+  | _ -> Alcotest.fail "expected an uncaught exception"
+
+(* ---------------- pure recursion ---------------- *)
+
+let fib_three_levels () =
+  List.iter
+    (fun n ->
+      let native = R.plain.R.fib n in
+      Alcotest.(check int) (Printf.sprintf "semantics fib %d" n) native
+        (sem (fib_src n));
+      Alcotest.(check int) (Printf.sprintf "machine fib %d" n) native
+        (machine (F.Programs.fib ~n)))
+    [ 0; 1; 2; 7; 12 ]
+
+let ack_three_levels () =
+  let native = R.plain.R.ack 2 3 in
+  Alcotest.(check int) "semantics" native
+    (sem
+       "let rec ack m = fun n ->\n\
+        if m = 0 then n + 1 else\n\
+        if n = 0 then (ack (m - 1)) 1 else\n\
+        (ack (m - 1)) ((ack m) (n - 1)) in (ack 2) 3");
+  Alcotest.(check int) "machine" native (machine (F.Programs.ack ~m:2 ~n:3))
+
+let tak_three_levels () =
+  let native = R.plain.R.tak 12 8 4 in
+  Alcotest.(check int) "machine" native (machine (F.Programs.tak ~x:12 ~y:8 ~z:4))
+
+(* ---------------- effects ---------------- *)
+
+(* sum of yields 1..n: counter_effect on the machine, the same handler
+   in the semantics and on OCaml 5 *)
+
+type _ Effect.t += Tick : int -> int Effect.t
+
+let native_counter upto =
+  let rec body i = if i = 0 then 0 else Effect.perform (Tick i) + body (i - 1) in
+  Effect.Deep.match_with body upto
+    {
+      Effect.Deep.retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | Tick x ->
+              Some
+                (fun (k : (c, int) Effect.Deep.continuation) ->
+                  x + Effect.Deep.continue k 0)
+          | _ -> None);
+    }
+
+let counter_three_levels () =
+  List.iter
+    (fun upto ->
+      let native = native_counter upto in
+      Alcotest.(check int) "triangular" (upto * (upto + 1) / 2) native;
+      Alcotest.(check int)
+        (Printf.sprintf "semantics counter %d" upto)
+        native
+        (sem
+           (Printf.sprintf
+              "let rec loop i = if i = 0 then 0 else perform Tick i + loop (i - 1) in\n\
+               match loop %d with v -> v | effect (Tick x) k -> x + continue k 0 end"
+              upto));
+      Alcotest.(check int)
+        (Printf.sprintf "machine counter %d" upto)
+        native
+        (machine (F.Programs.counter_effect ~upto)))
+    [ 1; 5; 10 ]
+
+(* discontinue-based cleanup agrees everywhere *)
+
+exception Cancel of int
+
+type _ Effect.t += Ask : unit Effect.t
+
+let native_discontinue () =
+  Effect.Deep.match_with
+    (fun () -> try (Effect.perform Ask; 0) with Cancel x -> x + 1)
+    ()
+    {
+      Effect.Deep.retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | Ask ->
+              Some
+                (fun (k : (c, int) Effect.Deep.continuation) ->
+                  Effect.Deep.discontinue k (Cancel 41))
+          | _ -> None);
+    }
+
+let discontinue_three_levels () =
+  let native = native_discontinue () in
+  Alcotest.(check int) "native" 42 native;
+  Alcotest.(check int) "semantics" native
+    (sem
+       "let body = fun u ->\n\
+        match perform Ask 0 with v -> v | exception Cancel x -> x + 1 end in\n\
+        match body 0 with v -> v | effect (Ask u) k -> discontinue k Cancel 41 end");
+  Alcotest.(check int) "machine" native (machine F.Programs.discontinue_cleanup)
+
+(* unhandled effects become exceptions at every level: Unhandled in the
+   paper's design (semantics and machine), Effect.Unhandled on OCaml 5 *)
+
+type _ Effect.t += Nope : unit Effect.t
+
+let unhandled_three_levels () =
+  (match S.Machine.run_string "perform Nope 0" with
+  | S.Machine.Uncaught_exception ("Unhandled", _) -> ()
+  | other -> Alcotest.failf "semantics: %s" (S.Machine.result_to_string other));
+  Alcotest.(check string) "machine" "Unhandled"
+    (machine_uncaught F.Programs.unhandled_effect);
+  Alcotest.(check bool) "ocaml5" true
+    (match Effect.perform Nope with
+    | () -> false
+    | exception Effect.Unhandled _ -> true)
+
+(* ---------------- the documented divergence: shot discipline ---------- *)
+
+(* §5.2: the operational semantics is multi-shot (continuations are
+   values, resuming copies nothing away); the implementation is one-shot
+   (second resume raises Invalid_argument / Continuation_already_resumed).
+   This test pins BOTH behaviours. *)
+
+type _ Effect.t += Choice : unit Effect.t
+
+let shot_discipline () =
+  (* semantics: both resumes succeed, 10*1 + 10*2 = 30 *)
+  Alcotest.(check int) "semantics is multi-shot" 30
+    (sem
+       "match 10 * perform Choice 0 with v -> v\n\
+        | effect (Choice u) k -> continue k 1 + continue k 2 end");
+  (* fiber machine: the second resume raises Invalid_argument *)
+  Alcotest.(check string) "machine is one-shot" "Invalid_argument"
+    (machine_uncaught F.Programs.one_shot_violation);
+  (* OCaml 5: Continuation_already_resumed *)
+  let second_raises =
+    Effect.Deep.match_with
+      (fun () ->
+        Effect.perform Choice;
+        false)
+      ()
+      {
+        Effect.Deep.retc = Fun.id;
+        exnc = raise;
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Choice ->
+                Some
+                  (fun (k : (c, bool) Effect.Deep.continuation) ->
+                    ignore (Effect.Deep.continue k ());
+                    match Effect.Deep.continue k () with
+                    | _ -> false
+                    | exception Effect.Continuation_already_resumed -> true)
+            | _ -> None);
+      }
+  in
+  Alcotest.(check bool) "ocaml5 is one-shot" true second_raises
+
+(* ---------------- random arithmetic across levels ---------------- *)
+
+(* Generate arithmetic expression trees, translate to both the
+   semantics AST and the fiber IR, and require agreement. *)
+
+type arith = Lit of int | Add of arith * arith | Sub of arith * arith | Mul of arith * arith
+
+let rec to_sem = function
+  | Lit n -> S.Ast.Int n
+  | Add (a, b) -> S.Ast.Binop (S.Ast.Add, to_sem a, to_sem b)
+  | Sub (a, b) -> S.Ast.Binop (S.Ast.Sub, to_sem a, to_sem b)
+  | Mul (a, b) -> S.Ast.Binop (S.Ast.Mul, to_sem a, to_sem b)
+
+let rec to_ir = function
+  | Lit n -> F.Ir.Int n
+  | Add (a, b) -> F.Ir.Binop (F.Ir.Add, to_ir a, to_ir b)
+  | Sub (a, b) -> F.Ir.Binop (F.Ir.Sub, to_ir a, to_ir b)
+  | Mul (a, b) -> F.Ir.Binop (F.Ir.Mul, to_ir a, to_ir b)
+
+let rec eval_native = function
+  | Lit n -> n
+  | Add (a, b) -> eval_native a + eval_native b
+  | Sub (a, b) -> eval_native a - eval_native b
+  | Mul (a, b) -> eval_native a * eval_native b
+
+let gen_arith =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then map (fun n -> Lit n) (int_range (-9) 9)
+    else
+      frequency
+        [
+          (1, map (fun n -> Lit n) (int_range (-9) 9));
+          (2, map2 (fun a b -> Add (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (2, map2 (fun a b -> Sub (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> Mul (a, b)) (go (depth - 1)) (go (depth - 1)));
+        ]
+  in
+  go 4
+
+let prop_levels_agree =
+  QCheck.Test.make ~name:"semantics = fiber machine = native on arithmetic"
+    ~count:150 (QCheck.make gen_arith) (fun e ->
+      let native = eval_native e in
+      let sem_v = S.Machine.int_result (S.Machine.run (to_sem e)) in
+      let prog = { F.Ir.fns = [ F.Ir.fn "main" [] (to_ir e) ]; main = "main" } in
+      let mach_v =
+        match F.Machine.run F.Config.mc (F.Compile.compile prog) with
+        | F.Machine.Done v, _ -> v
+        | _ -> min_int
+      in
+      native = sem_v && native = mach_v)
+
+let suite =
+  [
+    test "fib on three levels" fib_three_levels;
+    test "ack on three levels" ack_three_levels;
+    test "tak machine vs native" tak_three_levels;
+    test "counter effect on three levels" counter_three_levels;
+    test "discontinue on three levels" discontinue_three_levels;
+    test "unhandled effects on three levels" unhandled_three_levels;
+    test "shot discipline divergence (§5.2)" shot_discipline;
+    QCheck_alcotest.to_alcotest prop_levels_agree;
+  ]

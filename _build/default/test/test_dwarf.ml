@@ -1,0 +1,209 @@
+module F = Retrofit_fiber
+module D = Retrofit_dwarf
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* ---------------- CFI encode/decode ---------------- *)
+
+let cfi_roundtrip () =
+  let program = [ D.Cfi.Def_cfa_offset 3; Advance_loc 5; Def_cfa_offset 5 ] in
+  Alcotest.(check bool) "roundtrip" true
+    (D.Cfi.decode (D.Cfi.encode program) = program)
+
+let cfi_bad_encoding () =
+  Alcotest.(check bool) "odd length" true
+    (match D.Cfi.decode [| 1 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad opcode" true
+    (match D.Cfi.decode [| 99; 0 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_cfi_roundtrip =
+  QCheck.Test.make ~name:"cfi encode/decode roundtrip" ~count:200
+    QCheck.(
+      list
+        (oneof
+           [
+             map (fun n -> D.Cfi.Advance_loc n) (int_range 0 100);
+             map (fun n -> D.Cfi.Def_cfa_offset n) (int_range 0 100);
+           ]))
+    (fun program -> D.Cfi.decode (D.Cfi.encode program) = program)
+
+(* ---------------- Table ---------------- *)
+
+let table_find () =
+  let compiled = F.Compile.compile (F.Programs.fib ~n:5) in
+  let table = D.Table.build compiled in
+  Array.iter
+    (fun (f : F.Compile.cfn) ->
+      (match D.Table.find table ~pc:f.F.Compile.entry with
+      | Some fde -> Alcotest.(check string) "entry" f.F.Compile.fn_name fde.D.Table.fde_fn
+      | None -> Alcotest.fail "missing fde");
+      match D.Table.find table ~pc:(f.F.Compile.code_end - 1) with
+      | Some fde -> Alcotest.(check string) "last" f.F.Compile.fn_name fde.D.Table.fde_fn
+      | None -> Alcotest.fail "missing fde at end")
+    compiled.F.Compile.fns;
+  Alcotest.(check bool) "past end" true (D.Table.find table ~pc:100_000 = None);
+  Alcotest.(check bool) "negative" true (D.Table.find table ~pc:(-5) = None)
+
+(* ---------------- Interp vs Precompiled ---------------- *)
+
+let interp_matches_precompiled () =
+  let compiled = F.Compile.compile (F.Programs.exnraise ~iters:3) in
+  let table = D.Table.build compiled in
+  let pre = D.Interp.Precompiled.of_table table in
+  Array.iter
+    (fun (fde : D.Table.fde) ->
+      for pc = fde.D.Table.fde_start to fde.D.Table.fde_end - 1 do
+        let interp = D.Interp.cfa_offset fde ~pc in
+        match D.Interp.Precompiled.cfa_offset pre ~pc with
+        | Some p -> Alcotest.(check int) (Printf.sprintf "pc %d" pc) interp p
+        | None -> Alcotest.failf "precompiled missing pc %d" pc
+      done)
+    (D.Table.fdes table)
+
+let interp_counts_ops () =
+  let compiled = F.Compile.compile (F.Programs.exnraise ~iters:1) in
+  let table = D.Table.build compiled in
+  let fde = Option.get (D.Table.find table ~pc:compiled.F.Compile.fns.(0).F.Compile.entry) in
+  let ops = ref 0 in
+  ignore (D.Interp.cfa_offset ~ops fde ~pc:(fde.D.Table.fde_end - 1));
+  Alcotest.(check bool) "counted" true (!ops > 0)
+
+(* ---------------- Unwinding validation ---------------- *)
+
+let validated name ?cfuns cfg p =
+  let compiled = F.Compile.compile p in
+  let outcome, report = D.Validate.run_validated ?cfuns cfg compiled in
+  (match outcome with
+  | F.Machine.Fatal m -> Alcotest.failf "%s: fatal %s" name m
+  | _ -> ());
+  (match report.D.Validate.mismatches with
+  | [] -> ()
+  | (ctx, unwound, shadow) :: _ ->
+      Alcotest.failf "%s: %s\n  unwound: %s\n  shadow: %s" name ctx
+        (String.concat ";" unwound) (String.concat ";" shadow));
+  Alcotest.(check bool) (name ^ " probed") true (report.D.Validate.probes > 0)
+
+let cfuns = F.Programs.standard_cfuns
+
+let validate_recursion () =
+  validated "fib stock" ~cfuns F.Config.stock (F.Programs.fib ~n:10);
+  validated "fib mc" ~cfuns F.Config.mc (F.Programs.fib ~n:10);
+  validated "ack mc" ~cfuns F.Config.mc (F.Programs.ack ~m:2 ~n:3)
+
+let validate_exceptions () =
+  validated "exnraise stock" ~cfuns F.Config.stock (F.Programs.exnraise ~iters:30);
+  validated "exnraise mc" ~cfuns F.Config.mc (F.Programs.exnraise ~iters:30)
+
+let validate_c_boundaries () =
+  validated "extcall" ~cfuns F.Config.mc (F.Programs.extcall ~iters:30);
+  validated "callback" ~cfuns F.Config.mc (F.Programs.callback ~iters:30);
+  validated "meander" ~cfuns F.Config.mc F.Programs.meander
+
+let validate_effects () =
+  validated "roundtrip" ~cfuns F.Config.mc (F.Programs.effect_roundtrip ~iters:30);
+  validated "reperform" ~cfuns F.Config.mc (F.Programs.effect_depth ~depth:4 ~iters:4);
+  validated "counter" ~cfuns F.Config.mc (F.Programs.counter_effect ~upto:8);
+  validated "discontinue" ~cfuns F.Config.mc F.Programs.discontinue_cleanup;
+  validated "effect in callback" ~cfuns F.Config.mc F.Programs.effect_in_callback;
+  validated "cross-fiber resume" ~cfuns F.Config.mc F.Programs.cross_resume;
+  validated "multishot copies" ~cfuns
+    (F.Config.with_multishot true F.Config.mc)
+    F.Programs.multishot_choice
+
+let validate_growth () =
+  (* unwinding across grown (moved) stacks *)
+  validated "deep recursion" ~cfuns F.Config.mc (F.Programs.deep_recursion ~depth:2_000);
+  validated "deep small-initial" ~cfuns
+    (F.Config.with_initial_words 16 F.Config.mc)
+    (F.Programs.deep_recursion ~depth:1_000)
+
+let meander_backtrace_names () =
+  let compiled = F.Compile.compile F.Programs.meander in
+  let table = D.Table.build compiled in
+  let seen = ref [] in
+  let hook m =
+    let f = F.Machine.current_fiber m in
+    if f.F.Fiber.regs.fn >= 0 then begin
+      let name = (F.Machine.compiled m).F.Compile.fns.(f.regs.fn).F.Compile.fn_name in
+      if name = "c_to_ocaml" then
+        seen := D.Unwind.names (D.Unwind.backtrace table m)
+    end
+  in
+  (match F.Machine.run ~cfuns ~on_call:hook F.Config.mc compiled with
+  | F.Machine.Done 42, _ -> ()
+  | _ -> Alcotest.fail "meander failed");
+  Alcotest.(check (list string)) "names"
+    [ "c_to_ocaml"; "<C>"; "omain"; "main"; "<main>" ]
+    !seen
+
+let unwind_error_on_bad_pc () =
+  let compiled = F.Compile.compile (F.Programs.fib ~n:5) in
+  let table = D.Table.build compiled in
+  Alcotest.(check bool) "no fde" true (D.Table.find table ~pc:99_999 = None)
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* §6.3.4: a backtrace snapshot of every suspended request *)
+let request_snapshots () =
+  let n = 5 in
+  let compiled = F.Compile.compile (F.Programs.suspended_requests ~n) in
+  let table = D.Table.build compiled in
+  let snapshots = ref [] in
+  let list_pending ctx _args =
+    let m = ctx.F.Machine.machine in
+    snapshots := D.Unwind.snapshot_continuations table m;
+    List.length (F.Machine.live_continuations m)
+  in
+  (match F.Machine.run ~cfuns:[ ("list_pending", list_pending) ] F.Config.mc compiled with
+  | F.Machine.Done v, _ -> Alcotest.(check int) "pending count" n v
+  | _ -> Alcotest.fail "program failed");
+  Alcotest.(check int) "snapshots" n (List.length !snapshots);
+  List.iter
+    (fun (_, entries) ->
+      Alcotest.(check (list string)) "request backtrace"
+        [ "req_inner"; "req_body"; "<captured>" ]
+        (D.Unwind.names entries))
+    !snapshots
+
+let format_renders () =
+  let s = Retrofit_experiments.Exp_backtrace.meander_backtrace () in
+  Alcotest.(check bool) "has frames" true (String.length s > 0);
+  Alcotest.(check bool) "mentions omain" true (contains_substring s "omain");
+  Alcotest.(check bool) "mentions C frames" true (contains_substring s "<C frames>")
+
+(* property: validation holds across random fib sizes and configs *)
+let prop_validation =
+  QCheck.Test.make ~name:"unwind = shadow on random programs" ~count:10
+    QCheck.(pair (int_range 4 10) bool)
+    (fun (n, mc) ->
+      let cfg = if mc then F.Config.mc else F.Config.stock in
+      let compiled = F.Compile.compile (F.Programs.fib ~n) in
+      let _, report = D.Validate.run_validated ~cfuns cfg compiled in
+      report.D.Validate.mismatches = [] && report.D.Validate.probes > 0)
+
+let suite =
+  [
+    test "cfi roundtrip" cfi_roundtrip;
+    test "cfi bad encodings" cfi_bad_encoding;
+    QCheck_alcotest.to_alcotest prop_cfi_roundtrip;
+    test "table find" table_find;
+    test "interp = precompiled" interp_matches_precompiled;
+    test "interp counts ops" interp_counts_ops;
+    test "validate recursion" validate_recursion;
+    test "validate exceptions" validate_exceptions;
+    test "validate C boundaries" validate_c_boundaries;
+    test "validate effects" validate_effects;
+    test "validate across growth" validate_growth;
+    test "meander backtrace names" meander_backtrace_names;
+    test "no fde outside code" unwind_error_on_bad_pc;
+    test "formatted backtrace" format_renders;
+    test "suspended request snapshots (§6.3.4)" request_snapshots;
+    QCheck_alcotest.to_alcotest prop_validation;
+  ]

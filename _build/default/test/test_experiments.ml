@@ -1,0 +1,139 @@
+module E = Retrofit_experiments
+module H = Retrofit_harness
+
+let test name f = Alcotest.test_case name `Quick f
+
+let slow name f = Alcotest.test_case name `Slow f
+
+let harness_measure () =
+  let m = H.Bench.measure ~warmups:1 ~runs:3 (fun () -> Sys.opaque_identity 1) in
+  Alcotest.(check int) "runs" 3 (Array.length m.H.Bench.runs_ns);
+  Alcotest.(check bool) "median positive" true (m.median_ns >= 0.0);
+  Alcotest.(check bool) "per op" true
+    (H.Bench.per_op_ns ~warmups:0 ~runs:1 ~iters:10 (fun () -> ()) >= 0.0)
+
+let harness_clock_monotone () =
+  let a = H.Clock.now_ns () in
+  let b = H.Clock.now_ns () in
+  Alcotest.(check bool) "monotone" true (Int64.compare b a >= 0)
+
+let registry_ids () =
+  Alcotest.(check int) "11 experiments" 11 (List.length E.Registry.all);
+  Alcotest.(check bool) "find" true (E.Registry.find "table1" <> None);
+  Alcotest.(check bool) "missing" true (E.Registry.find "zzz" = None);
+  let ids = E.Registry.ids () in
+  Alcotest.(check int) "unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let table1_shape () =
+  let rows = E.Exp_table1.rows ~quick:true () in
+  Alcotest.(check int) "9 rows" 9 (List.length rows);
+  List.iter
+    (fun (r : E.Exp_table1.row) ->
+      Alcotest.(check bool) (r.bench ^ " mc >= stock") true
+        (r.mc_instr >= r.stock_instr))
+    rows;
+  (* the paper's key qualitative claim: exceptions cost the same *)
+  let exn_rows =
+    List.filter (fun (r : E.Exp_table1.row) -> r.bench = "exnval" || r.bench = "exnraise") rows
+  in
+  List.iter
+    (fun (r : E.Exp_table1.row) ->
+      Alcotest.(check (float 0.01)) (r.bench ^ " +0.0") 0.0 r.instr_pct)
+    exn_rows;
+  (* callback is the most expensive row, as in the paper *)
+  let pct b = (List.find (fun (r : E.Exp_table1.row) -> r.bench = b) rows).instr_pct in
+  Alcotest.(check bool) "callback worst" true
+    (List.for_all (fun (r : E.Exp_table1.row) -> pct "callback" >= r.instr_pct) rows)
+
+let fig5_shape () =
+  let check_rows rows =
+    List.iter
+      (fun (r : E.Exp_fig5.row) ->
+        let v name = List.assoc name r.E.Exp_fig5.normalized in
+        Alcotest.(check bool) (r.workload ^ " rz0 >= mc") true (v "mc+rz0" >= v "mc" -. 1e-9);
+        Alcotest.(check bool) (r.workload ^ " mc >= rz32") true
+          (v "mc" >= v "mc+rz32" -. 1e-9);
+        Alcotest.(check bool) (r.workload ^ " >= 1") true (v "mc+rz32" >= 1.0 -. 1e-9))
+      rows
+  in
+  check_rows (E.Exp_fig5.macro_rows ());
+  check_rows (E.Exp_fig5.ir_rows ());
+  (* headline numbers: rz0 inflates OTSS noticeably more than rz16 *)
+  let gm = E.Exp_fig5.geomeans (E.Exp_fig5.macro_rows ()) in
+  Alcotest.(check bool) "rz0 > mc overall" true
+    (List.assoc "mc+rz0" gm > List.assoc "mc" gm)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let backtrace_report () =
+  let s = E.Exp_backtrace.report ~quick:true () in
+  Alcotest.(check bool) "no mismatches" false (contains s "MISMATCH");
+  Alcotest.(check bool) "no fatals" false (contains s "FATAL");
+  Alcotest.(check bool) "shows the C boundary" true (contains s "<C frames>")
+
+let opcost_sane () =
+  let r = E.Exp_opcost.run ~quick:true () in
+  Alcotest.(check bool) "setup+teardown > 0" true (r.E.Exp_opcost.setup_teardown_ns > 0.0);
+  Alcotest.(check bool) "per perform > 0" true (r.per_perform_ns > 0.0);
+  Alcotest.(check bool) "roundtrip >= setup" true
+    (r.roundtrip_ns >= r.setup_teardown_ns *. 0.5)
+
+let table2_quick () =
+  let rows = E.Exp_table2.rows ~quick:true () in
+  Alcotest.(check int) "5 rows" 5 (List.length rows);
+  List.iter
+    (fun (r : E.Exp_table2.row) ->
+      Alcotest.(check bool) (r.bench ^ " handler slower") true (r.handler_x > 1.0);
+      Alcotest.(check bool) (r.bench ^ " monad slower than handler") true
+        (r.monad_x > r.handler_x))
+    rows
+
+let concurrent_quick () =
+  let g = E.Exp_concurrent.generators ~quick:true () in
+  Alcotest.(check bool) "cps fastest" true
+    (g.E.Exp_concurrent.effect_x > 1.0 && g.monad_x > g.effect_x);
+  let c = E.Exp_concurrent.chameneos ~quick:true () in
+  Alcotest.(check bool) "effects fastest" true (c.E.Exp_concurrent.monad_x > 1.0);
+  let f = E.Exp_concurrent.finalisers ~quick:true () in
+  Alcotest.(check bool) "finalisers cost" true (f.E.Exp_concurrent.generator_x > 1.0)
+
+let fig4_quick () =
+  let rows = E.Exp_fig4.rows ~quick:true () in
+  Alcotest.(check int) "19 rows" 19 (List.length rows);
+  let gms = E.Exp_fig4.geomeans rows in
+  let stock = List.assoc "stock" gms in
+  Alcotest.(check (float 1e-9)) "stock normalized to 1" 1.0 stock;
+  (* the headline claim: overhead is small *)
+  let mc = List.assoc "mc" gms in
+  Alcotest.(check bool) (Printf.sprintf "mc geomean %.3f < 1.25" mc) true (mc < 1.25)
+
+let reports_render () =
+  (* every registry entry produces non-empty text in quick mode *)
+  List.iter
+    (fun (e : E.Registry.t) ->
+      match e.id with
+      | "fig4" | "table2" | "generators" | "chameneos" | "finalisers" | "opcost" ->
+          () (* covered by the dedicated quick tests above; skip double work *)
+      | _ ->
+          let s = e.run ~quick:true () in
+          Alcotest.(check bool) (e.id ^ " nonempty") true (String.length s > 100))
+    E.Registry.all
+
+let suite =
+  [
+    test "harness measure" harness_measure;
+    test "harness clock monotone" harness_clock_monotone;
+    test "registry ids" registry_ids;
+    test "table1 shape" table1_shape;
+    test "fig5 shape" fig5_shape;
+    test "backtrace report clean" backtrace_report;
+    slow "opcost sane" opcost_sane;
+    slow "table2 quick" table2_quick;
+    slow "concurrent quick" concurrent_quick;
+    slow "fig4 quick" fig4_quick;
+    slow "reports render" reports_render;
+  ]

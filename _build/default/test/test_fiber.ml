@@ -1,0 +1,410 @@
+module F = Retrofit_fiber
+
+let test name f = Alcotest.test_case name `Quick f
+
+let run ?cfuns cfg p =
+  let compiled = F.Compile.compile p in
+  F.Machine.run ?cfuns cfg compiled
+
+let run_std cfg p = run ~cfuns:F.Programs.standard_cfuns cfg p
+
+let expect_done ?(cfg = F.Config.mc) ?cfuns p n =
+  match run ?cfuns cfg p with
+  | F.Machine.Done v, _ -> Alcotest.(check int) "result" n v
+  | F.Machine.Uncaught (l, _), _ -> Alcotest.failf "uncaught %s" l
+  | F.Machine.Fatal m, _ -> Alcotest.failf "fatal: %s" m
+
+let expect_uncaught ?(cfg = F.Config.mc) p label =
+  match run ~cfuns:F.Programs.standard_cfuns cfg p with
+  | F.Machine.Uncaught (l, _), _ -> Alcotest.(check string) "label" label l
+  | F.Machine.Done v, _ -> Alcotest.failf "done %d" v
+  | F.Machine.Fatal m, _ -> Alcotest.failf "fatal: %s" m
+
+(* ---------------- Segment / Stack_cache ---------------- *)
+
+let segment_basics () =
+  let s = F.Segment.create ~base:100 ~size:10 in
+  Alcotest.(check int) "limit" 100 (F.Segment.limit s);
+  Alcotest.(check int) "top" 110 (F.Segment.top s);
+  F.Segment.write s 105 42;
+  Alcotest.(check int) "read" 42 (F.Segment.read s 105);
+  Alcotest.(check bool) "contains" true (F.Segment.contains s 109);
+  Alcotest.(check bool) "not contains top" false (F.Segment.contains s 110);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Segment: address 110 outside [100, 110)") (fun () ->
+      ignore (F.Segment.read s 110))
+
+let segment_blit () =
+  let src = F.Segment.create ~base:0 ~size:4 in
+  for i = 0 to 3 do
+    F.Segment.write src i (i + 1)
+  done;
+  let dst = F.Segment.create ~base:100 ~size:8 in
+  F.Segment.blit_into ~src ~dst;
+  (* contents preserved at the high end *)
+  for i = 0 to 3 do
+    Alcotest.(check int) "word" (i + 1) (F.Segment.read dst (104 + i))
+  done
+
+let cache_roundtrip () =
+  let c = F.Stack_cache.create () in
+  let s = F.Segment.create ~base:0 ~size:32 in
+  F.Stack_cache.put c ~size:32 s;
+  Alcotest.(check int) "population" 1 (F.Stack_cache.population c);
+  Alcotest.(check bool) "hit" true (F.Stack_cache.take c ~size:32 <> None);
+  Alcotest.(check bool) "miss after take" true (F.Stack_cache.take c ~size:32 = None);
+  Alcotest.(check bool) "size mismatch" true (F.Stack_cache.take c ~size:64 = None)
+
+let cache_bound () =
+  let c = F.Stack_cache.create ~max_per_bucket:2 () in
+  for i = 0 to 4 do
+    F.Stack_cache.put c ~size:16 (F.Segment.create ~base:(i * 100) ~size:16)
+  done;
+  Alcotest.(check int) "bounded" 2 (F.Stack_cache.population c)
+
+(* ---------------- Compiler ---------------- *)
+
+let compile_leafness () =
+  let compiled = F.Compile.compile (F.Programs.fib ~n:5) in
+  let fib = Option.get (F.Compile.function_at compiled 0) in
+  Alcotest.(check bool) "fib not leaf" false fib.F.Compile.is_leaf;
+  let compiled =
+    F.Compile.compile
+      { F.Ir.fns = [ F.Ir.fn "main" [] (F.Ir.Binop (F.Ir.Add, F.Ir.Int 1, F.Ir.Int 2)) ];
+        main = "main" }
+  in
+  Alcotest.(check bool) "main leaf" true compiled.F.Compile.fns.(0).F.Compile.is_leaf
+
+let compile_frame_words () =
+  let p =
+    { F.Ir.fns =
+        [ F.Ir.fn "main" []
+            (F.Ir.Let ("a", F.Ir.Int 1,
+               F.Ir.Trywith (F.Ir.Var "a", [ ("E", "x", F.Ir.Var "x") ]))) ];
+      main = "main" }
+  in
+  let compiled = F.Compile.compile p in
+  let main = compiled.F.Compile.fns.(0) in
+  (* 1 ra + 2 locals (a, handler slot) + 2 trap words *)
+  Alcotest.(check int) "frame words" 5 main.F.Compile.frame_words;
+  Alcotest.(check int) "max traps" 1 main.F.Compile.max_traps
+
+let compile_errors () =
+  let bad fns main =
+    match F.Compile.compile { F.Ir.fns; main } with
+    | _ -> false
+    | exception F.Compile.Error _ -> true
+  in
+  Alcotest.(check bool) "unknown fn" true
+    (bad [ F.Ir.fn "main" [] (F.Ir.Call ("nope", [])) ] "main");
+  Alcotest.(check bool) "arity" true
+    (bad
+       [ F.Ir.fn "f" [ "x" ] (F.Ir.Var "x"); F.Ir.fn "main" [] (F.Ir.Call ("f", [])) ]
+       "main");
+  Alcotest.(check bool) "unbound var" true
+    (bad [ F.Ir.fn "main" [] (F.Ir.Var "ghost") ] "main");
+  Alcotest.(check bool) "missing main" true (bad [ F.Ir.fn "f" [] (F.Ir.Int 1) ] "zz");
+  Alcotest.(check bool) "duplicate" true
+    (bad [ F.Ir.fn "f" [] (F.Ir.Int 1); F.Ir.fn "f" [] (F.Ir.Int 2) ] "f")
+
+let cfi_edits_shape () =
+  let compiled = F.Compile.compile (F.Programs.exnraise ~iters:1) in
+  let main = compiled.F.Compile.fns.(0) in
+  (* first edit at entry; trap push/pop produce two more *)
+  Alcotest.(check bool) "at least 3 edits" true (List.length main.F.Compile.cfi_edits >= 3);
+  let entry_addr, _ = List.hd main.F.Compile.cfi_edits in
+  Alcotest.(check int) "first edit at entry" main.F.Compile.entry entry_addr
+
+(* ---------------- Machine: results across configs ---------------- *)
+
+let programs_both_configs =
+  [
+    ("fib 15", F.Programs.fib ~n:15, 610);
+    ("ack 2 3", F.Programs.ack ~m:2 ~n:3, 9);
+    ("tak 12 8 4", F.Programs.tak ~x:12 ~y:8 ~z:4, 5);
+    ("motzkin 10", F.Programs.motzkin ~n:10, 2188);
+    ("sudan 2 2 1", F.Programs.sudan ~n:2 ~x:2 ~y:1 (), 27);
+    ("exnval", F.Programs.exnval ~iters:500, 0);
+    ("exnraise", F.Programs.exnraise ~iters:500, 0);
+    ("extcall", F.Programs.extcall ~iters:500, 0);
+    ("callback", F.Programs.callback ~iters:500, 0);
+    ("meander", F.Programs.meander, 42);
+  ]
+
+let both_configs () =
+  List.iter
+    (fun (name, p, expected) ->
+      List.iter
+        (fun cfg ->
+          match run_std cfg p with
+          | F.Machine.Done v, _ ->
+              Alcotest.(check int) (name ^ "/" ^ F.Config.name cfg) expected v
+          | other, _ ->
+              Alcotest.failf "%s/%s: %s" name (F.Config.name cfg)
+                (match other with
+                | F.Machine.Uncaught (l, _) -> "uncaught " ^ l
+                | F.Machine.Fatal m -> m
+                | _ -> "?"))
+        [ F.Config.stock; F.Config.mc ])
+    programs_both_configs
+
+let effect_programs () =
+  expect_done ~cfuns:F.Programs.standard_cfuns (F.Programs.effect_roundtrip ~iters:100) 0;
+  expect_done (F.Programs.counter_effect ~upto:10) 55;
+  expect_done (F.Programs.discontinue_cleanup) 42;
+  expect_done ~cfuns:F.Programs.standard_cfuns F.Programs.effect_in_callback 7;
+  expect_done (F.Programs.effect_depth ~depth:5 ~iters:5) 0;
+  expect_done (F.Programs.deep_recursion ~depth:5000) 5000;
+  expect_uncaught F.Programs.one_shot_violation "Invalid_argument";
+  expect_uncaught F.Programs.unhandled_effect "Unhandled"
+
+let stock_rejects_effects () =
+  match run F.Config.stock (F.Programs.counter_effect ~upto:3) with
+  | F.Machine.Fatal msg, _ ->
+      Alcotest.(check bool) "mentions stock" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Fatal under stock"
+
+let count_down depth =
+  {
+    F.Ir.fns =
+      [
+        F.Ir.fn "count" [ "n" ]
+          (F.Ir.If
+             ( F.Ir.Binop (F.Ir.Eq, F.Ir.Var "n", F.Ir.Int 0),
+               F.Ir.Int 0,
+               F.Ir.Binop
+                 ( F.Ir.Add,
+                   F.Ir.Int 1,
+                   F.Ir.Call ("count", [ F.Ir.Binop (F.Ir.Sub, F.Ir.Var "n", F.Ir.Int 1) ])
+                 ) ));
+        F.Ir.fn "main" [] (F.Ir.Call ("count", [ F.Ir.Int depth ]));
+      ];
+    main = "main";
+  }
+
+let stock_stack_overflow () =
+  let cfg = { F.Config.stock with F.Config.stock_stack_words = 256 } in
+  match run cfg (count_down 1_000) with
+  | F.Machine.Uncaught ("Stack_overflow", _), _ -> ()
+  | F.Machine.Done _, _ -> Alcotest.fail "should overflow"
+  | other, _ ->
+      Alcotest.failf "unexpected %s"
+        (match other with
+        | F.Machine.Uncaught (l, _) -> l
+        | F.Machine.Fatal m -> m
+        | _ -> "?")
+
+let mc_grows_instead () =
+  (* the same deep recursion that overflows a 256-word stock stack just
+     grows fibers under MC *)
+  let counters =
+    match run F.Config.mc (F.Programs.deep_recursion ~depth:3000) with
+    | F.Machine.Done 3000, c -> c
+    | _ -> Alcotest.fail "deep recursion failed"
+  in
+  Alcotest.(check bool) "grew" true
+    (Retrofit_util.Counter.get counters "stack_grow" > 0)
+
+(* invariance: results and key event counts independent of initial size *)
+let growth_transparent () =
+  let results =
+    List.map
+      (fun words ->
+        let cfg = F.Config.with_initial_words words F.Config.mc in
+        match run_std cfg (F.Programs.counter_effect ~upto:30) with
+        | F.Machine.Done v, c ->
+            (v, Retrofit_util.Counter.get c "perform",
+             Retrofit_util.Counter.get c "resume")
+        | _ -> Alcotest.fail "failed")
+      [ 16; 64; 512 ]
+  in
+  match results with
+  | first :: rest ->
+      List.iter (fun r -> Alcotest.(check bool) "invariant" true (r = first)) rest
+  | [] -> ()
+
+let red_zone_transparent () =
+  List.iter
+    (fun rz ->
+      let cfg = F.Config.mc_red_zone rz in
+      match run_std cfg (F.Programs.fib ~n:12) with
+      | F.Machine.Done v, _ -> Alcotest.(check int) "fib" 144 v
+      | _ -> Alcotest.fail "failed")
+    [ 0; 8; 16; 32; 64 ]
+
+let cache_transparent () =
+  List.iter
+    (fun cache ->
+      let cfg = F.Config.with_cache cache F.Config.mc in
+      match run_std cfg (F.Programs.effect_roundtrip ~iters:200) with
+      | F.Machine.Done 0, c ->
+          if cache then
+            Alcotest.(check bool) "hits" true
+              (Retrofit_util.Counter.get c "stack_cache_hit" > 0)
+          else
+            Alcotest.(check int) "no hits" 0
+              (Retrofit_util.Counter.get c "stack_cache_hit")
+      | _ -> Alcotest.fail "failed")
+    [ true; false ]
+
+let check_elision () =
+  (* under red zone 0 every executed call is checked; under a huge red
+     zone leaf calls are not *)
+  let checks rz =
+    let cfg = F.Config.mc_red_zone rz in
+    let _, c = run_std cfg (F.Programs.callback ~iters:100) in
+    ( Retrofit_util.Counter.get c "overflow_check",
+      Retrofit_util.Counter.get c "check_elided" )
+  in
+  let checked0, elided0 = checks 0 in
+  let checked64, elided64 = checks 64 in
+  Alcotest.(check int) "rz0 elides nothing" 0 elided0;
+  Alcotest.(check bool) "rz64 elides leaves" true (elided64 > 0);
+  Alcotest.(check bool) "rz64 checks fewer" true (checked64 < checked0)
+
+let one_shot_enforced () =
+  expect_uncaught F.Programs.one_shot_violation "Invalid_argument"
+
+let cross_fiber_resume () = expect_done F.Programs.cross_resume 42
+
+(* §5.2: the implementation is one-shot by choice; with copying enabled
+   the machine exhibits the multi-shot semantics of §4 exactly. *)
+let multishot_matches_semantics () =
+  expect_uncaught F.Programs.multishot_choice "Invalid_argument";
+  expect_done ~cfg:(F.Config.with_multishot true F.Config.mc)
+    F.Programs.multishot_choice 30;
+  (* copying leaves the continuation usable and counts the copies *)
+  let _, c =
+    run (F.Config.with_multishot true F.Config.mc) F.Programs.multishot_choice
+  in
+  Alcotest.(check int) "two copies" 2 (Retrofit_util.Counter.get c "cont_copy");
+  Alcotest.(check bool) "words copied" true
+    (Retrofit_util.Counter.get c "words_copied" > 0)
+
+(* one-shot programs behave identically whether or not copying is on *)
+let multishot_transparent_for_one_shot () =
+  List.iter
+    (fun p ->
+      let plain =
+        match run ~cfuns:F.Programs.standard_cfuns F.Config.mc p with
+        | F.Machine.Done v, _ -> v
+        | _ -> Alcotest.fail "plain failed"
+      in
+      match
+        run ~cfuns:F.Programs.standard_cfuns
+          (F.Config.with_multishot true F.Config.mc)
+          p
+      with
+      | F.Machine.Done v, _ -> Alcotest.(check int) "same result" plain v
+      | _ -> Alcotest.fail "multishot failed")
+    [
+      F.Programs.effect_roundtrip ~iters:20;
+      F.Programs.counter_effect ~upto:8;
+      F.Programs.cross_resume;
+    ]
+
+let fibers_freed () =
+  let _, c = run_std F.Config.mc (F.Programs.effect_roundtrip ~iters:50) in
+  Alcotest.(check int) "allocs = frees"
+    (Retrofit_util.Counter.get c "fiber_alloc")
+    (Retrofit_util.Counter.get c "fiber_free")
+
+let reperform_cost_linear () =
+  let reperforms depth =
+    let _, c = run F.Config.mc (F.Programs.effect_depth ~depth ~iters:1) in
+    Retrofit_util.Counter.get c "reperform"
+  in
+  Alcotest.(check int) "depth 3" 3 (reperforms 3);
+  Alcotest.(check int) "depth 7" 7 (reperforms 7)
+
+let shadow_backtrace_shape () =
+  let compiled = F.Compile.compile F.Programs.meander in
+  let seen = ref [] in
+  let hook m =
+    let f = F.Machine.current_fiber m in
+    if f.F.Fiber.regs.fn >= 0 then begin
+      let name = (F.Machine.compiled m).F.Compile.fns.(f.regs.fn).F.Compile.fn_name in
+      if name = "c_to_ocaml" then seen := F.Machine.shadow_backtrace m
+    end
+  in
+  (match F.Machine.run ~cfuns:F.Programs.standard_cfuns ~on_call:hook F.Config.mc compiled with
+  | F.Machine.Done 42, _ -> ()
+  | _ -> Alcotest.fail "meander failed");
+  Alcotest.(check (list string)) "backtrace"
+    [ "c_to_ocaml"; "<C>"; "omain"; "main"; "<main>" ]
+    !seen
+
+let unregistered_cfun_fatal () =
+  match run F.Config.mc (F.Programs.extcall ~iters:1) with
+  | F.Machine.Fatal msg, _ ->
+      Alcotest.(check bool) "names the function" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected fatal"
+
+let fuel_bound () =
+  let compiled = F.Compile.compile (F.Programs.fib ~n:25) in
+  match F.Machine.run ~fuel:1_000 F.Config.mc compiled with
+  | F.Machine.Fatal msg, _ ->
+      Alcotest.(check bool) "out of fuel" true
+        (String.length msg >= 11 && String.sub msg 0 11 = "out of fuel")
+  | _ -> Alcotest.fail "expected out of fuel"
+
+(* property: instruction counts are deterministic *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"machine runs are deterministic" ~count:20
+    (QCheck.make (QCheck.Gen.int_range 5 12))
+    (fun n ->
+      let p = F.Programs.fib ~n in
+      let run1 = run F.Config.mc p and run2 = run F.Config.mc p in
+      match (run1, run2) with
+      | (F.Machine.Done a, c1), (F.Machine.Done b, c2) ->
+          a = b
+          && Retrofit_util.Counter.to_list c1 = Retrofit_util.Counter.to_list c2
+      | _ -> false)
+
+(* property: MC instructions >= stock instructions for check-bearing
+   programs, and results agree *)
+let prop_mc_overhead_nonnegative =
+  QCheck.Test.make ~name:"MC cost >= stock cost, same result" ~count:15
+    (QCheck.make (QCheck.Gen.int_range 5 12))
+    (fun n ->
+      let p = F.Programs.fib ~n in
+      match (run F.Config.stock p, run F.Config.mc p) with
+      | (F.Machine.Done a, c1), (F.Machine.Done b, c2) ->
+          a = b
+          && Retrofit_util.Counter.get c2 "instructions"
+             >= Retrofit_util.Counter.get c1 "instructions"
+      | _ -> false)
+
+let suite =
+  [
+    test "segment basics" segment_basics;
+    test "segment blit preserves top" segment_blit;
+    test "stack cache roundtrip" cache_roundtrip;
+    test "stack cache bound" cache_bound;
+    test "compiler leaf analysis" compile_leafness;
+    test "compiler frame words" compile_frame_words;
+    test "compiler errors" compile_errors;
+    test "cfi edits shape" cfi_edits_shape;
+    test "programs on both configs" both_configs;
+    test "effect programs" effect_programs;
+    test "stock rejects effects" stock_rejects_effects;
+    test "stock stack overflow" stock_stack_overflow;
+    test "mc grows instead of overflowing" mc_grows_instead;
+    test "growth is transparent" growth_transparent;
+    test "red zone is transparent" red_zone_transparent;
+    test "stack cache is transparent" cache_transparent;
+    test "check elision by red zone" check_elision;
+    test "one-shot enforced" one_shot_enforced;
+    test "cross-fiber resume" cross_fiber_resume;
+    test "multishot copying matches the semantics" multishot_matches_semantics;
+    test "multishot transparent for one-shot programs" multishot_transparent_for_one_shot;
+    test "fibers freed" fibers_freed;
+    test "reperform cost linear in depth" reperform_cost_linear;
+    test "shadow backtrace shape (Fig 1d)" shadow_backtrace_shape;
+    test "unregistered C function is fatal" unregistered_cfun_fatal;
+    test "fuel bound" fuel_bound;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    QCheck_alcotest.to_alcotest prop_mc_overhead_nonnegative;
+  ]

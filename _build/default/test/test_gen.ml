@@ -1,0 +1,90 @@
+module G = Retrofit_gen
+
+let test name f = Alcotest.test_case name `Quick f
+
+let tree_shape () =
+  Alcotest.(check int) "size depth 0" 0 (G.Tree.size (G.Tree.complete ~depth:0));
+  Alcotest.(check int) "size depth 4" 15 (G.Tree.size (G.Tree.complete ~depth:4));
+  Alcotest.(check (list int)) "in-order labels" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (G.Tree.to_list (G.Tree.complete ~depth:3));
+  Alcotest.(check int) "sum" 28 (G.Tree.sum (G.Tree.complete ~depth:3))
+
+let effect_gen_basic () =
+  let next = G.Effect_gen.of_tree (G.Tree.complete ~depth:3) in
+  Alcotest.(check (option int)) "1" (Some 1) (next ());
+  Alcotest.(check (option int)) "2" (Some 2) (next ());
+  let rest = ref 0 in
+  let rec drain () = match next () with Some _ -> incr rest; drain () | None -> () in
+  drain ();
+  Alcotest.(check int) "remaining" 5 !rest;
+  Alcotest.(check (option int)) "stays None" None (next ());
+  Alcotest.(check (option int)) "still None" None (next ())
+
+let effect_gen_empty () =
+  let next = G.Effect_gen.of_iter (fun _ -> ()) in
+  Alcotest.(check (option int)) "empty" None (next ())
+
+let effect_gen_any_iter () =
+  let next = G.Effect_gen.of_iter (fun f -> String.iter f "abc") in
+  let first = next () in
+  let second = next () in
+  let third = next () in
+  Alcotest.(check (list char)) "string gen" [ 'a'; 'b'; 'c' ]
+    (List.filter_map Fun.id [ first; second; third ])
+
+let effect_gen_independent () =
+  let a = G.Effect_gen.of_tree (G.Tree.complete ~depth:2) in
+  let b = G.Effect_gen.of_tree (G.Tree.complete ~depth:2) in
+  Alcotest.(check (option int)) "a1" (Some 1) (a ());
+  Alcotest.(check (option int)) "b1" (Some 1) (b ());
+  Alcotest.(check (option int)) "a2" (Some 2) (a ())
+
+let implementations_agree () =
+  List.iter
+    (fun depth ->
+      let t = G.Tree.complete ~depth in
+      let e = G.Effect_gen.sum_all (G.Effect_gen.of_tree t) in
+      let c = G.Cps_gen.sum_all (G.Cps_gen.of_tree t) in
+      let m = G.Monad_gen.sum_all (G.Monad_gen.of_tree t) in
+      Alcotest.(check int) (Printf.sprintf "cps d%d" depth) e c;
+      Alcotest.(check int) (Printf.sprintf "monad d%d" depth) e m;
+      Alcotest.(check int) (Printf.sprintf "closed form d%d" depth)
+        (let n = (1 lsl depth) - 1 in
+         n * (n + 1) / 2)
+        e)
+    [ 0; 1; 2; 5; 9 ]
+
+let cps_gen_stream_order () =
+  let next = G.Cps_gen.of_tree (G.Tree.complete ~depth:3) in
+  let out = ref [] in
+  let rec drain () =
+    match next () with
+    | Some v ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "in-order" [ 1; 2; 3; 4; 5; 6; 7 ] (List.rev !out)
+
+let prop_agree =
+  QCheck.Test.make ~name:"generators agree on random lists" ~count:100
+    QCheck.(list (int_range 0 1000))
+    (fun xs ->
+      let next = G.Effect_gen.of_iter (fun f -> List.iter f xs) in
+      let rec drain acc =
+        match next () with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = xs)
+
+let suite =
+  [
+    test "tree shape" tree_shape;
+    test "effect generator basics" effect_gen_basic;
+    test "effect generator empty" effect_gen_empty;
+    test "effect generator over any iter" effect_gen_any_iter;
+    test "generators are independent" effect_gen_independent;
+    test "three implementations agree" implementations_agree;
+    test "cps generator order" cps_gen_stream_order;
+    QCheck_alcotest.to_alcotest prop_agree;
+  ]

@@ -1,0 +1,249 @@
+module H = Retrofit_httpsim
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* ---------------- Http ---------------- *)
+
+let simple_get = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"
+
+let parse_get () =
+  match H.Http.parse_request simple_get with
+  | Ok (req, consumed) ->
+      Alcotest.(check string) "method" "GET" (H.Http.meth_to_string req.H.Http.meth);
+      Alcotest.(check string) "target" "/index.html" req.target;
+      Alcotest.(check string) "version" "HTTP/1.1" req.version;
+      Alcotest.(check (option string)) "host" (Some "x") (H.Http.header req "Host");
+      Alcotest.(check int) "consumed" (String.length simple_get) consumed
+  | Error e -> Alcotest.fail e
+
+let parse_post_body () =
+  let raw = "POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello" in
+  match H.Http.parse_request raw with
+  | Ok (req, consumed) ->
+      Alcotest.(check string) "body" "hello" req.H.Http.body;
+      Alcotest.(check int) "consumed" (String.length raw) consumed
+  | Error e -> Alcotest.fail e
+
+let parse_pipelined () =
+  let raw = simple_get ^ "GET /two HTTP/1.1\r\n\r\n" in
+  match H.Http.parse_request raw with
+  | Ok (_, consumed) -> (
+      match H.Http.parse_request (String.sub raw consumed (String.length raw - consumed)) with
+      | Ok (req2, _) -> Alcotest.(check string) "second" "/two" req2.H.Http.target
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e
+
+let parse_incomplete () =
+  let incomplete s =
+    match H.Http.parse_request s with
+    | Error e ->
+        Alcotest.(check bool) "mentions incomplete" true
+          (String.length e >= 10 && String.sub e 0 10 = "incomplete")
+    | Ok _ -> Alcotest.fail ("parsed " ^ s)
+  in
+  incomplete "GET / HTTP/1.1";
+  incomplete "GET / HTTP/1.1\r\nHost: x\r\n";
+  incomplete "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+
+let parse_malformed () =
+  let bad s =
+    match H.Http.parse_request s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "no version" true (bad "GET /\r\n\r\n");
+  Alcotest.(check bool) "bad version" true (bad "GET / HTTP/3.0\r\n\r\n");
+  Alcotest.(check bool) "bad header" true (bad "GET / HTTP/1.1\r\nnocolon\r\n\r\n");
+  Alcotest.(check bool) "bad content length" true
+    (bad "GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+
+let keep_alive_rules () =
+  let req ?(version = "HTTP/1.1") ?(headers = []) () =
+    { H.Http.meth = H.Http.GET; target = "/"; version; headers; body = "" }
+  in
+  Alcotest.(check bool) "1.1 default" true (H.Http.keep_alive (req ()));
+  Alcotest.(check bool) "1.1 close" false
+    (H.Http.keep_alive (req ~headers:[ ("connection", "close") ] ()));
+  Alcotest.(check bool) "1.0 default" false (H.Http.keep_alive (req ~version:"HTTP/1.0" ()));
+  Alcotest.(check bool) "1.0 keep-alive" true
+    (H.Http.keep_alive (req ~version:"HTTP/1.0" ~headers:[ ("connection", "keep-alive") ] ()))
+
+let response_roundtrip () =
+  let resp = H.Http.ok "hello world" in
+  let raw = H.Http.format_response resp in
+  match H.Http.parse_response raw with
+  | Ok (parsed, consumed) ->
+      Alcotest.(check int) "status" 200 parsed.H.Http.status;
+      Alcotest.(check string) "body" "hello world" parsed.resp_body;
+      Alcotest.(check int) "consumed" (String.length raw) consumed
+  | Error e -> Alcotest.fail e
+
+let request_roundtrip () =
+  let raw = H.Netsim.request_for ~target:"/page" ~conn_id:3 in
+  match H.Http.parse_request raw with
+  | Ok (req, _) ->
+      Alcotest.(check string) "target" "/page" req.H.Http.target;
+      Alcotest.(check (option string)) "conn header" (Some "3")
+        (H.Http.header req "x-conn")
+  | Error e -> Alcotest.fail e
+
+let reason_phrases () =
+  Alcotest.(check string) "200" "OK" (H.Http.reason_phrase 200);
+  Alcotest.(check string) "404" "Not Found" (H.Http.reason_phrase 404);
+  Alcotest.(check string) "unknown" "Status 599" (H.Http.reason_phrase 599)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"format/parse request roundtrip" ~count:100
+    QCheck.(
+      pair
+        (string_gen_of_size (QCheck.Gen.int_range 1 20) QCheck.Gen.(char_range 'a' 'z'))
+        (string_gen_of_size (QCheck.Gen.int_range 0 30) QCheck.Gen.(char_range 'a' 'z')))
+    (fun (target, body) ->
+      let req =
+        {
+          H.Http.meth = H.Http.POST;
+          target = "/" ^ target;
+          version = "HTTP/1.1";
+          headers = [ ("host", "h") ];
+          body;
+        }
+      in
+      match H.Http.parse_request (H.Http.format_request req) with
+      | Ok (parsed, _) ->
+          parsed.H.Http.target = req.H.Http.target && parsed.body = body
+      | Error _ -> false)
+
+(* ---------------- Netsim ---------------- *)
+
+let netsim_constant_rate () =
+  let rng = Retrofit_util.Rng.create 1 in
+  let events =
+    H.Netsim.constant_rate ~rng ~connections:4 ~rate_rps:1000 ~duration_ms:100
+      ~target:"/" ()
+  in
+  Alcotest.(check int) "count" 100 (List.length events);
+  let sorted =
+    List.for_all2
+      (fun (a : H.Netsim.event) b -> a.arrival_ns <= b.H.Netsim.arrival_ns)
+      (List.filteri (fun i _ -> i < 99) events)
+      (List.tl events)
+  in
+  Alcotest.(check bool) "sorted" true sorted;
+  let conns = List.map (fun (e : H.Netsim.event) -> e.conn_id) events in
+  Alcotest.(check bool) "round robin" true
+    (List.filteri (fun i _ -> i < 4) conns = [ 0; 1; 2; 3 ])
+
+let netsim_poisson () =
+  let rng = Retrofit_util.Rng.create 2 in
+  let events =
+    H.Netsim.poisson_rate ~rng ~connections:10 ~rate_rps:10_000 ~duration_ms:200
+      ~target:"/" ()
+  in
+  let n = List.length events in
+  (* expect about 2000 arrivals; allow generous slack *)
+  Alcotest.(check bool) (Printf.sprintf "n=%d near 2000" n) true (n > 1600 && n < 2400);
+  List.iter
+    (fun (e : H.Netsim.event) ->
+      Alcotest.(check bool) "in horizon" true
+        (e.arrival_ns >= 0 && e.arrival_ns < 200_000_000))
+    events
+
+(* ---------------- Servers ---------------- *)
+
+let servers_serve () =
+  let raw = H.Netsim.request_for ~target:"/" ~conn_id:0 in
+  List.iter
+    (fun (model, process) ->
+      match H.Http.parse_response (process raw) with
+      | Ok (resp, _) ->
+          Alcotest.(check int) (model.H.Server.name ^ " 200") 200 resp.H.Http.status;
+          Alcotest.(check string)
+            (model.H.Server.name ^ " body")
+            H.Server.static_page resp.resp_body
+      | Error e -> Alcotest.fail e)
+    H.Experiment.servers
+
+let servers_404_405 () =
+  let process = H.Server_effects.process_raw in
+  let raw = H.Netsim.request_for ~target:"/missing" ~conn_id:0 in
+  (match H.Http.parse_response (process raw) with
+  | Ok (resp, _) -> Alcotest.(check int) "404" 404 resp.H.Http.status
+  | Error e -> Alcotest.fail e);
+  let post = "POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n" in
+  (match H.Http.parse_response (process post) with
+  | Ok (resp, _) -> Alcotest.(check int) "405" 405 resp.H.Http.status
+  | Error e -> Alcotest.fail e);
+  match H.Http.parse_response (process "garbage\r\n\r\n") with
+  | Ok (resp, _) -> Alcotest.(check int) "400" 400 resp.H.Http.status
+  | Error e -> Alcotest.fail e
+
+(* ---------------- Loadgen / Experiment ---------------- *)
+
+let loadgen_sane () =
+  let o =
+    H.Loadgen.run ~model:H.Server.mc ~process:H.Server_effects.process_raw
+      ~rate_rps:10_000 ~duration_ms:200 ()
+  in
+  Alcotest.(check int) "no errors" 0 o.H.Loadgen.errors;
+  Alcotest.(check bool) "completed" true (o.completed > 1_000);
+  Alcotest.(check bool) "p50 <= p99" true (o.p50_ns <= o.p99_ns);
+  Alcotest.(check bool) "p99 <= p99.9" true (o.p99_ns <= o.p999_ns);
+  Alcotest.(check bool) "achieved near offered" true
+    (o.achieved_rps > 9_000. && o.achieved_rps < 11_000.)
+
+let loadgen_deterministic () =
+  let run () =
+    H.Loadgen.run ~model:H.Server.mc ~process:H.Server_effects.process_raw
+      ~rate_rps:5_000 ~duration_ms:100 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "p99 deterministic" a.H.Loadgen.p99_ns b.H.Loadgen.p99_ns;
+  Alcotest.(check int) "completed" a.completed b.completed
+
+let throughput_saturates () =
+  List.iter
+    (fun (model, process) ->
+      let low =
+        H.Loadgen.run ~model ~process ~rate_rps:10_000 ~duration_ms:300 ()
+      in
+      let over =
+        H.Loadgen.run ~model ~process ~rate_rps:60_000 ~duration_ms:300 ()
+      in
+      Alcotest.(check bool)
+        (model.H.Server.name ^ " keeps up at 10k")
+        true
+        (low.H.Loadgen.achieved_rps > 9_500.);
+      Alcotest.(check bool)
+        (model.H.Server.name ^ " saturates under 40k")
+        true
+        (over.H.Loadgen.achieved_rps < 40_000.))
+    H.Experiment.servers
+
+let mc_best_tail () =
+  let outcomes = H.Experiment.fig6b ~rate_rps:20_000 ~duration_ms:1_000 () in
+  let find name =
+    List.find (fun (o : H.Loadgen.outcome) -> o.model_name = name) outcomes
+  in
+  let mc = find "mc" and lwt = find "lwt" in
+  Alcotest.(check bool) "mc p99.9 <= lwt p99.9" true
+    (mc.H.Loadgen.p999_ns <= lwt.H.Loadgen.p999_ns)
+
+let suite =
+  [
+    test "parse GET" parse_get;
+    test "parse POST with body" parse_post_body;
+    test "parse pipelined" parse_pipelined;
+    test "incomplete requests" parse_incomplete;
+    test "malformed requests" parse_malformed;
+    test "keep-alive rules" keep_alive_rules;
+    test "response roundtrip" response_roundtrip;
+    test "loadgen request roundtrip" request_roundtrip;
+    test "reason phrases" reason_phrases;
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    test "netsim constant rate" netsim_constant_rate;
+    test "netsim poisson" netsim_poisson;
+    test "all servers serve the page" servers_serve;
+    test "servers handle 404/405/400" servers_404_405;
+    test "loadgen sanity" loadgen_sane;
+    test "loadgen deterministic" loadgen_deterministic;
+    test "throughput saturates" throughput_saturates;
+    test "mc has best tail" mc_best_tail;
+  ]

@@ -1,0 +1,126 @@
+module M = Retrofit_macro
+
+let test name f = Alcotest.test_case name `Quick f
+
+let small_size w =
+  let d = M.Workload.default_size w in
+  match M.Workload.name w with
+  | "binarytrees" -> 8
+  | "nqueens" -> 7
+  | "sexp" -> 8
+  | "quicksort" -> 5_000
+  | "levenshtein" -> 30
+  | "game_of_life" -> 32
+  | "mandelbrot" -> 64
+  | "spectralnorm" -> 60
+  | "lu_decomposition" -> 40
+  | "grammatrix" -> 40
+  | "json" -> 100
+  | "huffman" -> 4_000
+  | "kmeans" -> 600
+  | _ -> max 1 (d / 10)
+
+let checksums_agree_across_runtimes () =
+  List.iter
+    (fun w ->
+      let size = small_size w in
+      let reference = M.Workload.run_with w (List.hd M.Runtime.all) ~size in
+      List.iter
+        (fun r ->
+          let v = M.Workload.run_with w r ~size in
+          Alcotest.(check int)
+            (Printf.sprintf "%s under %s"
+               (M.Workload.name w)
+               (let module R = (val r : M.Runtime.RUNTIME) in
+                R.name))
+            reference v)
+        (List.tl M.Runtime.all))
+    M.Registry.all
+
+let expected_checksums () =
+  List.iter
+    (fun w ->
+      let module W = (val w : M.Workload.S) in
+      match W.expected with
+      | None -> ()
+      | Some expected ->
+          let module I = W.Make (M.Runtime.Stock) in
+          Alcotest.(check int) W.name expected (I.run ~size:W.default_size))
+    M.Registry.all
+
+let runs_are_deterministic () =
+  List.iter
+    (fun w ->
+      let size = small_size w in
+      let a = M.Workload.run_with w (module M.Runtime.Mc16) ~size in
+      let b = M.Workload.run_with w (module M.Runtime.Mc16) ~size in
+      Alcotest.(check int) (M.Workload.name w) a b)
+    M.Registry.all
+
+let registry_complete () =
+  Alcotest.(check int) "19 workloads" 19 (List.length M.Registry.all);
+  Alcotest.(check bool) "find" true (M.Registry.find "nbody" <> None);
+  Alcotest.(check bool) "find missing" true (M.Registry.find "zzz" = None);
+  let names = M.Registry.names () in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "inventories nonempty" true (M.Registry.total_functions () > 50)
+
+let counting_runtime_counts () =
+  M.Runtime.reset_check_count ();
+  ignore
+    (M.Workload.run_with
+       (Option.get (M.Registry.find "nqueens"))
+       (module M.Runtime.Mc16_counting)
+       ~size:6);
+  Alcotest.(check bool) "counted checks" true (M.Runtime.checks_counted () > 0)
+
+let fn_meta_check_rules () =
+  Alcotest.(check bool) "stock never" false
+    (M.Fn_meta.checked ~red_zone:None M.Fn_meta.Nonleaf);
+  Alcotest.(check bool) "nonleaf always under mc" true
+    (M.Fn_meta.checked ~red_zone:(Some 16) M.Fn_meta.Nonleaf);
+  Alcotest.(check bool) "small leaf elided rz16" false
+    (M.Fn_meta.checked ~red_zone:(Some 16) M.Fn_meta.Leaf_small);
+  Alcotest.(check bool) "small leaf checked rz0" true
+    (M.Fn_meta.checked ~red_zone:(Some 0) M.Fn_meta.Leaf_small);
+  Alcotest.(check bool) "mid leaf checked rz16" true
+    (M.Fn_meta.checked ~red_zone:(Some 16) M.Fn_meta.Leaf_mid);
+  Alcotest.(check bool) "mid leaf elided rz32" false
+    (M.Fn_meta.checked ~red_zone:(Some 32) M.Fn_meta.Leaf_mid);
+  Alcotest.(check bool) "big leaf checked rz32" true
+    (M.Fn_meta.checked ~red_zone:(Some 32) M.Fn_meta.Leaf_big)
+
+let otss_ordering () =
+  List.iter
+    (fun w ->
+      let fns = M.Workload.functions w in
+      let stock = M.Fn_meta.otss ~red_zone:None fns in
+      let rz0 = M.Fn_meta.otss ~red_zone:(Some 0) fns in
+      let rz16 = M.Fn_meta.otss ~red_zone:(Some 16) fns in
+      let rz32 = M.Fn_meta.otss ~red_zone:(Some 32) fns in
+      let name = M.Workload.name w in
+      Alcotest.(check bool) (name ^ " rz0 largest") true (rz0 >= rz16);
+      Alcotest.(check bool) (name ^ " rz16 >= rz32") true (rz16 >= rz32);
+      Alcotest.(check bool) (name ^ " all >= stock") true (rz32 >= stock))
+    M.Registry.all
+
+let categories_span () =
+  let categories =
+    List.sort_uniq compare
+      (List.map (fun w -> let module W = (val w : M.Workload.S) in W.category)
+         M.Registry.all)
+  in
+  Alcotest.(check bool) "at least 6 categories" true (List.length categories >= 6)
+
+let suite =
+  [
+    test "checksums agree across runtimes" checksums_agree_across_runtimes;
+    test "known checksums" expected_checksums;
+    test "determinism" runs_are_deterministic;
+    test "registry complete" registry_complete;
+    test "counting runtime" counting_runtime_counts;
+    test "fn_meta check rules" fn_meta_check_rules;
+    test "otss ordering" otss_ordering;
+    test "categories span the suite" categories_span;
+  ]

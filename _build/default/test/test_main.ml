@@ -1,0 +1,23 @@
+(* The aggregated test runner: one alcotest suite per library area.
+
+   `dune runtest` runs everything, including the Slow experiment tests;
+   set ALCOTEST_QUICK_TESTS=1 to restrict to the quick ones. *)
+
+let () =
+  Alcotest.run "retrofit"
+    [
+      ("util.vec", Test_vec.suite);
+      ("util", Test_util.suite);
+      ("regex", Test_regex.suite);
+      ("semantics", Test_semantics.suite);
+      ("fiber", Test_fiber.suite);
+      ("dwarf", Test_dwarf.suite);
+      ("core", Test_core.suite);
+      ("monad", Test_monad.suite);
+      ("gen", Test_gen.suite);
+      ("httpsim", Test_httpsim.suite);
+      ("macro", Test_macro.suite);
+      ("micro", Test_micro.suite);
+      ("crosslevel", Test_crosslevel.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,95 @@
+module Micro = Retrofit_micro
+module R = Retrofit_micro.Rec_bench
+
+let test name f = Alcotest.test_case name `Quick f
+
+let extern_calls () =
+  Alcotest.(check int) "ext_id" 42 (Micro.Extern.ext_id 42);
+  Alcotest.(check int) "ext_add" 7 (Micro.Extern.ext_add 3 4);
+  Alcotest.(check int) "ext_callback" 5 (Micro.Extern.ext_callback 5);
+  Alcotest.(check int) "extcall loop" 55 (Micro.Extern.extcall_loop 10);
+  Alcotest.(check int) "callback loop" 55 (Micro.Extern.callback_loop 10)
+
+let exn_loops () =
+  Alcotest.(check int) "exnval sums" 55 (Micro.Exn_bench.exnval_loop 10);
+  Alcotest.(check int) "exnraise sums" 55 (Micro.Exn_bench.exnraise_loop 10);
+  Alcotest.(check int) "depth raise" 100 (Micro.Exn_bench.exn_depth_raise ~depth:100)
+
+let rec_styles_agree () =
+  let cases =
+    [
+      ("ack 2 3", fun (i : R.impl) -> i.R.ack 2 3);
+      ("fib 15", fun i -> i.R.fib 15);
+      ("motzkin 10", fun i -> i.R.motzkin 10);
+      ("sudan 2 2 1", fun i -> i.R.sudan 2 2 1);
+      ("tak 12 8 4", fun i -> i.R.tak 12 8 4);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let expected = R.reference name in
+      List.iter
+        (fun impl ->
+          Alcotest.(check int) (name ^ "/" ^ impl.R.style) expected (f impl))
+        R.all)
+    cases
+
+let known_values () =
+  Alcotest.(check int) "ack 3 3" 61 (R.plain.R.ack 3 3);
+  Alcotest.(check int) "fib 20" 6765 (R.plain.R.fib 20);
+  Alcotest.(check int) "motzkin 12" 15511 (R.plain.R.motzkin 12);
+  Alcotest.(check int) "tak 18 12 6" 7 (R.plain.R.tak 18 12 6)
+
+let opcost_loops_compute () =
+  Alcotest.(check int) "handler only" (Micro.Opcost.baseline_call_loop 100)
+    (Micro.Opcost.handler_only_loop 100);
+  Alcotest.(check int) "roundtrip same value" (Micro.Opcost.handler_only_loop 100)
+    (Micro.Opcost.roundtrip_loop 100);
+  Alcotest.(check int) "perform heavy same value"
+    (Micro.Opcost.handler_only_loop 50)
+    (Micro.Opcost.perform_heavy_loop ~iters:50 ~performs:4)
+
+let chameneos_counts () =
+  List.iter
+    (fun (name, run) ->
+      Alcotest.(check int) (name ^ " meetings") 400 (run ~meetings:200))
+    [
+      ("effects", Micro.Chameneos.run_effects);
+      ("monad", Micro.Chameneos.run_monad);
+      ("lwt", Micro.Chameneos.run_lwt);
+    ]
+
+let chameneos_zero () =
+  Alcotest.(check int) "zero meetings" 0 (Micro.Chameneos.run_effects ~meetings:0)
+
+let genbench_sums () =
+  let depth = 8 in
+  let expected = Micro.Genbench.expected_sum ~depth in
+  Alcotest.(check int) "effect" expected (Micro.Genbench.effect_sum ~depth);
+  Alcotest.(check int) "cps" expected (Micro.Genbench.cps_sum ~depth);
+  Alcotest.(check int) "monad" expected (Micro.Genbench.monad_sum ~depth)
+
+let finaliser_correct () =
+  let depth = 8 in
+  Alcotest.(check int) "finalised generator sum"
+    (Micro.Genbench.expected_sum ~depth)
+    (Micro.Finaliser.effect_sum_finalised ~depth);
+  Alcotest.(check int) "finalised roundtrip"
+    (Micro.Finaliser.roundtrip_plain 100)
+    (Micro.Finaliser.roundtrip_finalised 100);
+  (* give the GC a chance to run the finalisers without crashing *)
+  Gc.full_major ();
+  Gc.full_major ()
+
+let suite =
+  [
+    test "extern calls" extern_calls;
+    test "exception loops" exn_loops;
+    test "recursive styles agree" rec_styles_agree;
+    test "known values" known_values;
+    test "opcost loops compute" opcost_loops_compute;
+    test "chameneos counts" chameneos_counts;
+    test "chameneos zero meetings" chameneos_zero;
+    test "generator bench sums" genbench_sums;
+    test "finaliser variants correct" finaliser_correct;
+  ]

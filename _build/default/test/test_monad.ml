@@ -1,0 +1,160 @@
+module Conc = Retrofit_monad.Conc
+module L = Retrofit_monad.Lwtlike
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* ---------------- Conc ---------------- *)
+
+let conc_return_bind () =
+  Alcotest.(check (option int)) "return" (Some 5) (Conc.run_main (Conc.return 5));
+  Alcotest.(check (option int)) "bind" (Some 6)
+    (Conc.run_main Conc.(return 5 >>= fun x -> return (x + 1)));
+  Alcotest.(check (option int)) "map" (Some 10)
+    (Conc.run_main (Conc.map (fun x -> x * 2) (Conc.return 5)))
+
+let conc_fork_interleaves () =
+  let log = Buffer.create 8 in
+  Conc.run
+    Conc.(
+      fork
+        (atom (fun () -> Buffer.add_char log 'a') >>= fun () ->
+         yield >>= fun () -> atom (fun () -> Buffer.add_char log 'a'))
+      >>= fun () ->
+      atom (fun () -> Buffer.add_char log 'b') >>= fun () ->
+      yield >>= fun () -> atom (fun () -> Buffer.add_char log 'b'));
+  Alcotest.(check string) "interleaved" "abab" (Buffer.contents log)
+
+let conc_mvar_rendezvous () =
+  let mv = Conc.mvar_empty () in
+  let result = ref 0 in
+  Conc.run
+    Conc.(
+      fork (take mv >>= fun v -> atom (fun () -> result := v)) >>= fun () ->
+      put mv 42);
+  Alcotest.(check int) "rendezvous" 42 !result
+
+let conc_mvar_put_blocks () =
+  let mv = Conc.mvar_full 1 in
+  let log = ref [] in
+  Conc.run
+    Conc.(
+      fork (put mv 2 >>= fun () -> atom (fun () -> log := "put2" :: !log))
+      >>= fun () ->
+      take mv >>= fun a ->
+      atom (fun () -> log := Printf.sprintf "take%d" a :: !log) >>= fun () ->
+      take mv >>= fun b -> atom (fun () -> log := Printf.sprintf "take%d" b :: !log));
+  (* the parked putter's continuation is requeued before the taker's own
+     continuation action runs *)
+  Alcotest.(check (list string)) "order" [ "put2"; "take1"; "take2" ] (List.rev !log)
+
+let conc_deadlock_none () =
+  Alcotest.(check (option int)) "deadlock yields None" None
+    (Conc.run_main (Conc.take (Conc.mvar_empty ())))
+
+let conc_fib_with_mvars () =
+  let rec mfib n =
+    let open Conc in
+    if n < 2 then return n
+    else begin
+      let mv = mvar_empty () in
+      fork (mfib (n - 1) >>= put mv) >>= fun () ->
+      mfib (n - 2) >>= fun b ->
+      take mv >>= fun a -> return (a + b)
+    end
+  in
+  Alcotest.(check (option int)) "fib 12" (Some 144) (Conc.run_main (mfib 12))
+
+let conc_poll () =
+  let mv = Conc.mvar_full 9 in
+  ignore (Conc.start (Conc.return ()));
+  Alcotest.(check (option int)) "poll full" (Some 9) (Conc.poll mv);
+  Alcotest.(check (option int)) "poll empty" None (Conc.poll mv)
+
+(* ---------------- Lwtlike ---------------- *)
+
+exception Test_exn
+
+let lwt_basics () =
+  Alcotest.(check int) "return" 5 (L.run (L.return 5));
+  Alcotest.(check int) "bind" 6 (L.run L.(return 5 >>= fun x -> return (x + 1)));
+  Alcotest.(check int) "map" 10 (L.run (L.map (fun x -> x * 2) (L.return 5)))
+
+let lwt_wakeup () =
+  let p, r = L.wait () in
+  Alcotest.(check bool) "pending" true (L.state p = `Pending);
+  L.wakeup r 7;
+  Alcotest.(check int) "resolved" 7 (L.run p);
+  Alcotest.check_raises "double wakeup"
+    (Invalid_argument "Lwtlike.wakeup: already completed") (fun () -> L.wakeup r 8)
+
+let lwt_fail_catch () =
+  Alcotest.(check int) "catch" 3
+    (L.run (L.catch (fun () -> L.fail Test_exn) (fun _ -> L.return 3)));
+  Alcotest.(check int) "catch pass-through" 5
+    (L.run (L.catch (fun () -> L.return 5) (fun _ -> L.return 0)));
+  Alcotest.check_raises "uncaught" Test_exn (fun () -> ignore (L.run (L.fail Test_exn)))
+
+let lwt_bind_on_pending () =
+  let p, r = L.wait () in
+  let q = L.(p >>= fun x -> return (x * 2)) in
+  L.wakeup r 21;
+  Alcotest.(check int) "chained" 42 (L.run q)
+
+let lwt_pause_join () =
+  let log = ref [] in
+  let thread tag =
+    L.(
+      pause () >>= fun () ->
+      log := tag :: !log;
+      pause () >>= fun () ->
+      log := tag :: !log;
+      return ())
+  in
+  let ta = thread "a" in
+  let tb = thread "b" in
+  L.run (L.join [ ta; tb ]);
+  Alcotest.(check (list string)) "round robin" [ "a"; "b"; "a"; "b" ] (List.rev !log)
+
+let lwt_join_failure () =
+  Alcotest.check_raises "join propagates" Test_exn (fun () ->
+      ignore (L.run (L.join [ L.return (); L.fail Test_exn ])))
+
+let lwt_deadlock () =
+  let p, _r = L.wait () in
+  Alcotest.(check bool) "deadlock detected" true
+    (match L.run (p : int L.t) with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let lwt_mvar () =
+  let mv = L.mvar_empty () in
+  let got = ref 0 in
+  L.run
+    L.(
+      join
+        [
+          (mvar_take mv >>= fun v ->
+           got := v;
+           return ());
+          mvar_put mv 17;
+        ]);
+  Alcotest.(check int) "mvar" 17 !got
+
+let suite =
+  [
+    test "conc return/bind/map" conc_return_bind;
+    test "conc fork interleaves" conc_fork_interleaves;
+    test "conc mvar rendezvous" conc_mvar_rendezvous;
+    test "conc mvar put blocks" conc_mvar_put_blocks;
+    test "conc deadlock yields None" conc_deadlock_none;
+    test "conc fib via fork+mvar" conc_fib_with_mvars;
+    test "conc poll" conc_poll;
+    test "lwt basics" lwt_basics;
+    test "lwt wakeup" lwt_wakeup;
+    test "lwt fail/catch" lwt_fail_catch;
+    test "lwt bind on pending" lwt_bind_on_pending;
+    test "lwt pause/join round robin" lwt_pause_join;
+    test "lwt join failure" lwt_join_failure;
+    test "lwt deadlock" lwt_deadlock;
+    test "lwt mvar" lwt_mvar;
+  ]

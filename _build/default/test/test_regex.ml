@@ -1,0 +1,171 @@
+module R = Retrofit_regex
+
+let test name f = Alcotest.test_case name `Quick f
+
+let re = R.Engine.of_string
+
+let check_match name pattern subject expected =
+  Alcotest.(check bool) name expected (R.Engine.is_match (re pattern) subject)
+
+let literals () =
+  check_match "simple" "abc" "xxabcxx" true;
+  check_match "missing" "abc" "xxabxcx" false;
+  check_match "empty subject" "a" "" false;
+  check_match "escaped star" "a\\*b" "a*b" true
+
+let classes () =
+  check_match "class" "[abc]x" "bx" true;
+  check_match "class miss" "[abc]x" "dx" false;
+  check_match "range" "[a-f]9" "c9" true;
+  check_match "range miss" "[a-f]9" "g9" false;
+  check_match "negated" "[^0-9]z" "az" true;
+  check_match "negated miss" "[^0-9]z" "5z" false
+
+let repetition () =
+  check_match "star zero" "ab*c" "ac" true;
+  check_match "star many" "ab*c" "abbbbc" true;
+  check_match "plus zero" "ab+c" "ac" false;
+  check_match "plus one" "ab+c" "abc" true;
+  check_match "opt" "ab?c" "ac" true;
+  check_match "opt one" "ab?c" "abc" true;
+  check_match "opt two" "xab?bc" "xabbc" true
+
+let alternation () =
+  check_match "alt left" "cat|dog" "a cat" true;
+  check_match "alt right" "cat|dog" "a dog" true;
+  check_match "alt none" "cat|dog" "a cow" false;
+  check_match "grouping" "a(b|c)d" "acd" true
+
+let find_positions () =
+  let r = re "b+" in
+  Alcotest.(check (option (pair int int))) "find" (Some (2, 3))
+    (R.Engine.find r "aabbba");
+  Alcotest.(check (option (pair int int))) "find from" (Some (8, 1))
+    (R.Engine.find r ~start:6 "aabbba  b");
+  Alcotest.(check (option (pair int int))) "no find" None (R.Engine.find r "aaa")
+
+let longest_match () =
+  (* leftmost-longest: at position 0, a* matches as much as possible *)
+  let r = re "ab*" in
+  Alcotest.(check (option (pair int int))) "longest" (Some (0, 4))
+    (R.Engine.find r "abbbc")
+
+let count_tests () =
+  Alcotest.(check int) "count" 3 (R.Engine.count (re "aa") "aaaaaa");
+  Alcotest.(check int) "count alt" 2 (R.Engine.count (re "cat|dog") "cat dog cow");
+  Alcotest.(check int) "count none" 0 (R.Engine.count (re "zz") "aaa");
+  (* the regex-redux pattern shape *)
+  Alcotest.(check int) "dna variant" 2
+    (R.Engine.count (re "agggtaaa|tttaccct") "xagggtaaax tttaccct")
+
+let replace_tests () =
+  Alcotest.(check string) "replace" "X X cow"
+    (R.Engine.replace_all (re "cat|dog") ~by:"X" "cat dog cow");
+  Alcotest.(check string) "replace classes" "D-D-D"
+    (R.Engine.replace_all (re "[0-9]+") ~by:"D" "12-345-6");
+  Alcotest.(check string) "no match unchanged" "hello"
+    (R.Engine.replace_all (re "zz") ~by:"X" "hello")
+
+let split_tests () =
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "c" ]
+    (R.Engine.split_on (re ",") "a,b,c");
+  Alcotest.(check (list string)) "split no match" [ "abc" ]
+    (R.Engine.split_on (re ",") "abc")
+
+let parse_errors () =
+  let bad p =
+    match R.Parse.parse p with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unclosed paren" true (bad "(ab");
+  Alcotest.(check bool) "unclosed class" true (bad "[ab");
+  Alcotest.(check bool) "dangling star" true (bad "*a");
+  Alcotest.(check bool) "trailing paren" true (bad "ab)");
+  Alcotest.(check bool) "empty class" true (bad "[]");
+  Alcotest.(check bool) "inverted range" true (bad "[z-a]")
+
+let dot_matches () =
+  check_match "dot" "a.c" "abc" true;
+  check_match "dot not newline" "a.c" "a\nc" false
+
+let nfa_properties () =
+  let nfa = R.Nfa.compile (R.Parse.parse_exn "ab|cd") in
+  Alcotest.(check bool) "can start a" true (R.Nfa.can_start nfa 'a');
+  Alcotest.(check bool) "can start c" true (R.Nfa.can_start nfa 'c');
+  Alcotest.(check bool) "cannot start b" false (R.Nfa.can_start nfa 'b');
+  Alcotest.(check bool) "not nullable" false (R.Nfa.nullable nfa);
+  let star = R.Nfa.compile (R.Parse.parse_exn "a*") in
+  Alcotest.(check bool) "star nullable" true (R.Nfa.nullable star)
+
+(* Property: the printer emits a pattern that reparses to an equal AST. *)
+let gen_syntax =
+  let open QCheck.Gen in
+  let lit = map (fun c -> R.Syntax.Char c) (char_range 'a' 'z') in
+  let cls =
+    map
+      (fun (lo, hi) ->
+        let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+        R.Syntax.Class { negated = false; ranges = [ (lo, hi) ] })
+      (pair (char_range 'a' 'z') (char_range 'a' 'z'))
+  in
+  let base = oneof [ lit; cls; return R.Syntax.Any ] in
+  let rec go depth =
+    if depth = 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          (2, map2 (fun a b -> R.Syntax.Seq (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (2, map2 (fun a b -> R.Syntax.Alt (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun a -> R.Syntax.Star a) (go (depth - 1)));
+          (1, map (fun a -> R.Syntax.Plus a) (go (depth - 1)));
+          (1, map (fun a -> R.Syntax.Opt a) (go (depth - 1)));
+        ]
+  in
+  go 4
+
+let prop_print_parse =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300
+    (QCheck.make ~print:R.Syntax.to_string gen_syntax)
+    (fun ast ->
+      match R.Parse.parse (R.Syntax.to_string ast) with
+      | Ok ast' -> R.Syntax.equal ast ast'
+      | Error _ -> false)
+
+(* Property: count agrees with a naive scan using is_match on slices for
+   single-char literal patterns. *)
+let prop_count_char =
+  QCheck.Test.make ~name:"count of a literal char = occurrences" ~count:200
+    QCheck.(
+      pair
+        (make QCheck.Gen.(char_range 'a' 'c'))
+        (string_gen_of_size (QCheck.Gen.int_range 0 40) QCheck.Gen.(char_range 'a' 'c')))
+    (fun (c, s) ->
+      let r = re (String.make 1 c) in
+      let naive = String.fold_left (fun acc x -> if x = c then acc + 1 else acc) 0 s in
+      R.Engine.count r s = naive)
+
+let prop_replace_removes =
+  QCheck.Test.make ~name:"replace_all leaves no matches" ~count:100
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 30) (QCheck.Gen.char_range 'a' 'c'))
+    (fun s ->
+      let r = re "ab" in
+      not (R.Engine.is_match r (R.Engine.replace_all r ~by:"X" s)))
+
+let suite =
+  [
+    test "literals" literals;
+    test "classes" classes;
+    test "repetition" repetition;
+    test "alternation" alternation;
+    test "find positions" find_positions;
+    test "leftmost longest" longest_match;
+    test "count" count_tests;
+    test "replace" replace_tests;
+    test "split" split_tests;
+    test "parse errors" parse_errors;
+    test "dot" dot_matches;
+    test "nfa properties" nfa_properties;
+    QCheck_alcotest.to_alcotest prop_print_parse;
+    QCheck_alcotest.to_alcotest prop_count_char;
+    QCheck_alcotest.to_alcotest prop_replace_removes;
+  ]

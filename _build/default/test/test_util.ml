@@ -1,0 +1,249 @@
+(* Stats, Histogram, Pqueue, Rng, Counter, Table *)
+open Retrofit_util
+
+let test name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ---------------- Stats ---------------- *)
+
+let stats_basics () =
+  feq "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  feq "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  feq "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  feq "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  feq "min" 1.0 (Stats.min [| 3.0; 1.0; 2.0 |]);
+  feq "max" 3.0 (Stats.max [| 3.0; 1.0; 2.0 |]);
+  feq "stddev singleton" 0.0 (Stats.stddev [| 5.0 |]);
+  feq "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let stats_percentile () =
+  let xs = Array.init 101 float_of_int in
+  feq "p0" 0.0 (Stats.percentile xs 0.0);
+  feq "p50" 50.0 (Stats.percentile xs 50.0);
+  feq "p100" 100.0 (Stats.percentile xs 100.0);
+  feq "p25 interp" 1.5 (Stats.percentile [| 1.0; 2.0; 3.0 |] 25.0)
+
+let stats_normalize () =
+  let n = Stats.normalize ~baseline:[| 2.0; 4.0 |] [| 4.0; 2.0 |] in
+  feq "n0" 2.0 n.(0);
+  feq "n1" 0.5 n.(1);
+  feq "pct" 50.0 (Stats.percent_diff ~baseline:2.0 3.0);
+  feq "slowdown" 1.5 (Stats.slowdown ~baseline:2.0 3.0)
+
+let stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "geomean nonpos"
+    (Invalid_argument "Stats.geomean: non-positive entry") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= mean (AM-GM)" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.001 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Stats.geomean a <= Stats.mean a +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range 0. 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let a = Array.of_list xs in
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+(* ---------------- Histogram ---------------- *)
+
+let hist_basic () =
+  let h = Histogram.create ~max_value:1_000_000 () in
+  Histogram.record h 100;
+  Histogram.record h 200;
+  Histogram.record h 300;
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  Alcotest.(check int) "min" 100 (Histogram.min_value h);
+  Alcotest.(check int) "p100 = max" (Histogram.max_recorded h)
+    (Histogram.value_at_percentile h 100.0)
+
+let hist_precision () =
+  let h = Histogram.create ~significant_figures:3 ~max_value:10_000_000 () in
+  List.iter (Histogram.record h) [ 123_456; 500; 9_999_999 ];
+  let p100 = Histogram.value_at_percentile h 100.0 in
+  let err = abs (p100 - 9_999_999) in
+  Alcotest.(check bool) "within 0.1%" true (float_of_int err /. 9_999_999. < 0.001)
+
+let hist_saturation () =
+  let h = Histogram.create ~max_value:1000 () in
+  Histogram.record h 5000;
+  Alcotest.(check int) "saturated" 1 (Histogram.saturated h);
+  Alcotest.(check int) "count" 1 (Histogram.count h)
+
+let hist_merge () =
+  let a = Histogram.create ~max_value:10_000 () in
+  let b = Histogram.create ~max_value:10_000 () in
+  Histogram.record a 10;
+  Histogram.record b 1000;
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 2 (Histogram.count a);
+  Alcotest.(check int) "min" 10 (Histogram.min_value a);
+  Alcotest.(check bool) "max ge" true (Histogram.max_recorded a >= 1000)
+
+let prop_hist_percentile_bounds =
+  QCheck.Test.make ~name:"histogram p50 within recorded range" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 1 100_000))
+    (fun xs ->
+      let h = Histogram.create ~max_value:200_000 () in
+      List.iter (Histogram.record h) xs;
+      let p50 = Histogram.value_at_percentile h 50.0 in
+      let lo = List.fold_left min (List.hd xs) xs in
+      let hi = List.fold_left max (List.hd xs) xs in
+      (* representation error is at most 0.1% *)
+      float_of_int p50 >= float_of_int lo *. 0.998
+      && float_of_int p50 <= float_of_int hi *. 1.002)
+
+let prop_hist_mean_close =
+  QCheck.Test.make ~name:"histogram mean close to true mean" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 1 1_000_000))
+    (fun xs ->
+      let h = Histogram.create ~max_value:2_000_000 () in
+      List.iter (Histogram.record h) xs;
+      let true_mean =
+        float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+      in
+      Float.abs (Histogram.mean h -. true_mean) /. true_mean < 0.002)
+
+(* ---------------- Pqueue ---------------- *)
+
+let pq_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q ~priority:p v) [ (3, "c"); (1, "a"); (2, "b") ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let pq_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iteri (fun i v -> Pqueue.add q ~priority:5 (i, v)) [ "x"; "y"; "z" ];
+  let pop () = match Pqueue.pop q with Some (_, (_, v)) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order" [ "x"; "y"; "z" ]
+    [ first; second; third ]
+
+let pq_peek () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek q = None);
+  Pqueue.add q ~priority:7 "v";
+  Alcotest.(check bool) "peek" true (Pqueue.peek q = Some (7, "v"));
+  Alcotest.(check int) "length unchanged" 1 (Pqueue.length q)
+
+let prop_pq_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun ps ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.add q ~priority:p p) ps;
+      let rec drain acc =
+        match Pqueue.pop q with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare ps)
+
+(* ---------------- Rng ---------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let rng_exponential_positive () =
+  let r = Rng.create 11 in
+  let sum = ref 0.0 in
+  for _ = 1 to 10_000 do
+    let x = Rng.exponential r ~mean:5.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. 10_000.0 in
+  Alcotest.(check bool) "mean approx 5" true (mean > 4.5 && mean < 5.5)
+
+let rng_shuffle_permutes () =
+  let r = Rng.create 13 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  Alcotest.(check (list int)) "same elements" (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+(* ---------------- Counter ---------------- *)
+
+let counter_basics () =
+  let c = Counter.create () in
+  Counter.incr c "a";
+  Counter.add c "a" 4;
+  Alcotest.(check int) "a" 5 (Counter.get c "a");
+  Alcotest.(check int) "missing" 0 (Counter.get c "zzz");
+  Alcotest.(check (list (pair string int))) "to_list" [ ("a", 5) ] (Counter.to_list c);
+  let d = Counter.create () in
+  Counter.add d "a" 2;
+  Counter.add d "b" 1;
+  Alcotest.(check (list (pair string int))) "diff" [ ("a", 3); ("b", -1) ]
+    (Counter.diff c d)
+
+(* ---------------- Table ---------------- *)
+
+let table_render () =
+  let s = Table.render ~header:[ "x"; "long" ] [ [ "aa"; "b" ]; [ "c" ] ] in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "x");
+  Alcotest.(check bool) "pads short rows" true
+    (List.length (String.split_on_char '\n' s) >= 4)
+
+let table_kv_and_chart () =
+  let kv = Table.render_kv [ ("key", "value"); ("k2", "v2") ] in
+  Alcotest.(check bool) "kv" true (String.length kv > 0);
+  let chart = Table.bar_chart [ ("a", 0.5); ("b", 1.5) ] in
+  Alcotest.(check bool) "chart has bars" true (String.contains chart '#');
+  Alcotest.(check bool) "chart has baseline" true (String.contains chart '|')
+
+let suite =
+  [
+    test "stats basics" stats_basics;
+    test "stats percentile" stats_percentile;
+    test "stats normalize" stats_normalize;
+    test "stats errors" stats_errors;
+    QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    test "histogram basics" hist_basic;
+    test "histogram precision" hist_precision;
+    test "histogram saturation" hist_saturation;
+    test "histogram merge" hist_merge;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_bounds;
+    QCheck_alcotest.to_alcotest prop_hist_mean_close;
+    test "pqueue order" pq_order;
+    test "pqueue fifo ties" pq_fifo_ties;
+    test "pqueue peek" pq_peek;
+    QCheck_alcotest.to_alcotest prop_pq_sorted;
+    test "rng deterministic" rng_deterministic;
+    test "rng bounds" rng_bounds;
+    test "rng exponential" rng_exponential_positive;
+    test "rng shuffle" rng_shuffle_permutes;
+    test "counter basics" counter_basics;
+    test "table render" table_render;
+    test "table kv and chart" table_kv_and_chart;
+  ]
