@@ -1,1 +1,1 @@
-lib/fiber/compile.mli: Ir
+lib/fiber/compile.mli: Hashtbl Ir

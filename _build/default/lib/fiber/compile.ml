@@ -17,6 +17,8 @@ type handle_desc = {
   h_retc : int;
   h_exncs : (int * int) list;
   h_effcs : (int * int) list;
+  h_exn_tbl : (int, int) Hashtbl.t;
+  h_eff_tbl : (int, int) Hashtbl.t;
 }
 
 type compiled = {
@@ -26,6 +28,9 @@ type compiled = {
   exn_names : string array;
   eff_names : string array;
   cfun_names : string array;
+  fn_ids : (string, int) Hashtbl.t;
+  exn_ids : (string, int) Hashtbl.t;
+  eff_ids : (string, int) Hashtbl.t;
   main_index : int;
 }
 
@@ -58,6 +63,15 @@ let intern t name =
       i
 
 let interned t = Array.of_list (List.rev t.items)
+
+(* Dispatch table for a handler's (id → function) cases.  [List.assoc]
+   takes the first binding for a duplicated id, so the table must too. *)
+let dispatch_tbl assoc =
+  let tbl = Hashtbl.create (max 4 (List.length assoc)) in
+  List.iter
+    (fun (id, fid) -> if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id fid)
+    assoc;
+  tbl
 
 (* ------------------------------------------------------------------ *)
 (* Leaf analysis: a function is a leaf when its body contains no call of
@@ -229,7 +243,15 @@ let compile (program : Ir.program) =
         in
         List.iter (compile_expr st env) spec.Ir.body_args;
         Retrofit_util.Vec.push handles
-          { h_body = body; h_nargs = arity body; h_retc = retc; h_exncs; h_effcs };
+          {
+            h_body = body;
+            h_nargs = arity body;
+            h_retc = retc;
+            h_exncs;
+            h_effcs;
+            h_exn_tbl = dispatch_tbl h_exncs;
+            h_eff_tbl = dispatch_tbl h_effcs;
+          };
         ignore (emit (Ir.HandleI (Retrofit_util.Vec.length handles - 1)))
     | Ir.Repeat (count, body) ->
         compile_expr st env count;
@@ -302,27 +324,43 @@ let compile (program : Ir.program) =
     exn_names = interned exns;
     eff_names = interned effs;
     cfun_names = interned cfuns;
+    fn_ids = Hashtbl.copy fn_index;
+    exn_ids = Hashtbl.copy exns.table;
+    eff_ids = Hashtbl.copy effs.table;
     main_index;
   }
 
+(* Functions are emitted back to back, so [fns] is sorted by [entry]
+   and the ranges are disjoint: binary-search the covering one. *)
 let function_at compiled addr =
-  Array.fold_left
-    (fun acc f -> if addr >= f.entry && addr < f.code_end then Some f else acc)
-    None compiled.fns
+  let fns = compiled.fns in
+  let lo = ref 0 and hi = ref (Array.length fns - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let f = fns.(mid) in
+    if addr < f.entry then hi := mid - 1
+    else if addr >= f.code_end then lo := mid + 1
+    else begin
+      found := Some f;
+      lo := !hi + 1
+    end
+  done;
+  !found
 
 let exn_id compiled name =
-  let found = ref (-1) in
-  Array.iteri (fun i n -> if n = name then found := i) compiled.exn_names;
-  if !found < 0 then raise Not_found else !found
+  match Hashtbl.find_opt compiled.exn_ids name with
+  | Some i -> i
+  | None -> raise Not_found
 
 let exn_name compiled id =
   if id >= 0 && id < Array.length compiled.exn_names then compiled.exn_names.(id)
   else Printf.sprintf "<exn:%d>" id
 
 let eff_id compiled name =
-  let found = ref (-1) in
-  Array.iteri (fun i n -> if n = name then found := i) compiled.eff_names;
-  if !found < 0 then raise Not_found else !found
+  match Hashtbl.find_opt compiled.eff_ids name with
+  | Some i -> i
+  | None -> raise Not_found
 
 let disassemble compiled =
   let buf = Buffer.create 1024 in

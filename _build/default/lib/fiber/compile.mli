@@ -38,6 +38,11 @@ type handle_desc = {
   h_retc : int;
   h_exncs : (int * int) list;  (** exception id → function index *)
   h_effcs : (int * int) list;  (** effect id → function index *)
+  h_exn_tbl : (int, int) Hashtbl.t;
+      (** [h_exncs] as an O(1) dispatch table, built at compile time so
+          the runtime's raise path never scans the case list *)
+  h_eff_tbl : (int, int) Hashtbl.t;
+      (** [h_effcs] as an O(1) dispatch table for the perform path *)
 }
 
 type compiled = {
@@ -47,6 +52,11 @@ type compiled = {
   exn_names : string array;
   eff_names : string array;
   cfun_names : string array;
+  fn_ids : (string, int) Hashtbl.t;
+      (** function name → index; the callback entry path uses this
+          instead of scanning [fns] *)
+  exn_ids : (string, int) Hashtbl.t;  (** exception label → id *)
+  eff_ids : (string, int) Hashtbl.t;  (** effect label → id *)
   main_index : int;
 }
 
@@ -57,10 +67,11 @@ val compile : Ir.program -> compiled
     main. *)
 
 val function_at : compiled -> int -> cfn option
-(** The function whose code range contains the given address. *)
+(** The function whose code range contains the given address, by binary
+    search over the (sorted, disjoint) code ranges — O(log n). *)
 
 val exn_id : compiled -> string -> int
-(** @raise Not_found if the program never mentions the label. *)
+(** O(1). @raise Not_found if the program never mentions the label. *)
 
 val exn_name : compiled -> int -> string
 

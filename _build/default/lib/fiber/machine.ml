@@ -1,6 +1,13 @@
 module Vec = Retrofit_util.Vec
 module Counter = Retrofit_util.Counter
 
+(* Base-address index of live fibers.  Segments are carved out of
+   disjoint address ranges (fresh ones at monotonically increasing
+   bases; cached ones recycle a previously retired range), so the live
+   set is a set of disjoint intervals keyed by base: the fiber owning an
+   address, if any, is the one with the greatest base <= addr. *)
+module Imap = Map.Make (Int)
+
 type outcome = Done of int | Uncaught of string * int | Fatal of string
 
 exception Ocaml_exn of string * int
@@ -11,7 +18,9 @@ exception Cb_return of int
 (* Internal: thrown by Ret when it pops a callback's base frame, to exit
    the nested execution loop in run_callback. *)
 
-type cont = { mutable fibers : Fiber.t list; mutable cont_live : bool }
+type cont = { fibers : Fiber.t Vec.t; mutable cont_live : bool }
+(* [fibers] holds the captured chain innermost first; a Vec so capture
+   appends in O(1) and resume reads both ends in O(1). *)
 
 type t = {
   cfg : Config.t;
@@ -20,6 +29,7 @@ type t = {
   cache : Stack_cache.t;
   mutable current : Fiber.t;
   fibers_live : (int, Fiber.t) Hashtbl.t;
+  mutable by_base : Fiber.t Imap.t;
   conts : cont Vec.t;
   mutable next_base : int;
   mutable next_id : int;
@@ -47,13 +57,17 @@ let current_fiber t = t.current
 
 let fiber_by_id t id = Hashtbl.find_opt t.fibers_live id
 
+let fatal msg = raise (Fatal_error msg)
+
+let charge t n = Counter.add t.t_counters "instructions" n
+
+let count t name = Counter.incr t.t_counters name
+
 let fiber_of_addr t addr =
-  Hashtbl.fold
-    (fun _ f acc ->
-      match acc with
-      | Some _ -> acc
-      | None -> if Segment.contains f.Fiber.seg addr then Some f else None)
-    t.fibers_live None
+  count t "addr_index_probe";
+  match Imap.find_last_opt (fun b -> b <= addr) t.by_base with
+  | Some (_, f) when Segment.contains f.Fiber.seg addr -> Some f
+  | _ -> None
 
 let read_mem t addr =
   match fiber_of_addr t addr with
@@ -61,12 +75,6 @@ let read_mem t addr =
   | None -> invalid_arg (Printf.sprintf "Machine.read_mem: unmapped address %d" addr)
 
 let live_fiber_count t = Hashtbl.length t.fibers_live
-
-let fatal msg = raise (Fatal_error msg)
-
-let charge t n = Counter.add t.t_counters "instructions" n
-
-let count t name = Counter.incr t.t_counters name
 
 (* ------------------------------------------------------------------ *)
 (* Operand stack and memory helpers (always on the current fiber) *)
@@ -90,6 +98,7 @@ let alloc_segment t ~size =
       charge t Costs.fiber_alloc_cached;
       seg
   | None ->
+      if t.cfg.stack_cache then count t "stack_cache_miss";
       count t "malloc";
       charge t Costs.fiber_alloc;
       let seg = Segment.create ~base:t.next_base ~size in
@@ -127,7 +136,9 @@ let init_preamble t (f : Fiber.t) ~handler_index ~bottom_trap =
   Vec.clear f.shadow;
   ignore t
 
-let register_fiber t f = Hashtbl.replace t.fibers_live f.Fiber.id f
+let register_fiber t f =
+  Hashtbl.replace t.fibers_live f.Fiber.id f;
+  t.by_base <- Imap.add (Segment.base f.Fiber.seg) f t.by_base
 
 let new_fiber t ~parent ~handler ~handler_index ~bottom_trap ~size =
   let seg = alloc_segment t ~size in
@@ -140,6 +151,7 @@ let new_fiber t ~parent ~handler ~handler_index ~bottom_trap ~size =
 let free_fiber t (f : Fiber.t) =
   f.live <- false;
   Hashtbl.remove t.fibers_live f.id;
+  t.by_base <- Imap.remove (Segment.base f.seg) t.by_base;
   count t "fiber_free";
   charge t Costs.fiber_free;
   if t.cfg.stack_cache then Stack_cache.put t.cache ~size:(Segment.size f.seg) f.seg
@@ -165,6 +177,9 @@ let grow t (f : Fiber.t) ~needed =
   charge t (Costs.grow_base + (Costs.grow_per_word * old_size));
   let delta = Segment.top new_seg - Segment.top old_seg in
   f.seg <- new_seg;
+  (* The fiber moved: invalidate its old interval and index the new one. *)
+  t.by_base <-
+    Imap.add (Segment.base new_seg) f (Imap.remove (Segment.base old_seg) t.by_base);
   Fiber.rebase f ~delta;
   (* Rebase the exception pointers saved inside the copied trap chain. *)
   let rec fix addr =
@@ -267,7 +282,7 @@ let machine_raise t exn_id payload =
       free_fiber t f;
       t.current <- p;
       count t "switch";
-      match List.assoc_opt exn_id h.Compile.h_exncs with
+      match Hashtbl.find_opt h.Compile.h_exn_tbl exn_id with
       | Some fid -> emulate_call t p fid [| payload |] ~ra:p.regs.pc
       | None -> unwind ()
     end
@@ -327,9 +342,8 @@ let do_perform t eff_id =
   charge t Costs.perform;
   let v = pop_op t.current in
   let kid = Vec.length t.conts in
-  let k = { fibers = []; cont_live = true } in
+  let k = { fibers = Vec.create (); cont_live = true } in
   Vec.push t.conts k;
-  let last_captured : Fiber.t option ref = ref None in
   (* parent pointers live both in the fiber record and in the
      handler_info word at the top of its stack (Fig 3a); the unwinder
      reads the latter, so both must move together *)
@@ -341,36 +355,36 @@ let do_perform t eff_id =
         f.Fiber.parent <- None;
         wr f (Segment.top f.Fiber.seg - 1) (-1)
   in
+  (* The chain tail is the most recently captured fiber: O(1) at the
+     end of the Vec, so capture cost stays linear in reperform depth. *)
   let relink_last_to target =
-    match !last_captured with
-    | Some prev -> set_parent prev (Some target)
-    | None -> ()
+    if not (Vec.is_empty k.fibers) then set_parent (Vec.top k.fibers) (Some target)
   in
   let rec hop (cur : Fiber.t) =
     match cur.handler with
-    | None -> (
+    | None ->
         (* Handler-less boundary: the main stack or a callback.  The
            effect is unhandled; reinstate whatever was captured and
            raise Unhandled at the perform site (§3.2). *)
-        match k.fibers with
-        | [] -> machine_raise t t.unhandled_id 0
-        | first :: _ ->
-            relink_last_to cur;
-            k.cont_live <- false;
-            t.current <- first;
-            count t "switch";
-            machine_raise t t.unhandled_id 0)
+        if Vec.is_empty k.fibers then machine_raise t t.unhandled_id 0
+        else begin
+          let first = Vec.get k.fibers 0 in
+          relink_last_to cur;
+          k.cont_live <- false;
+          t.current <- first;
+          count t "switch";
+          machine_raise t t.unhandled_id 0
+        end
     | Some h -> (
         relink_last_to cur;
-        k.fibers <- k.fibers @ [ cur ];
-        last_captured := Some cur;
+        Vec.push k.fibers cur;
         let p =
           match cur.parent with
           | Some p -> p
           | None -> fatal "handler fiber without a parent during perform"
         in
         set_parent cur None;
-        match List.assoc_opt eff_id h.Compile.h_effcs with
+        match Hashtbl.find_opt h.Compile.h_eff_tbl eff_id with
         | Some fid ->
             t.current <- p;
             count t "switch";
@@ -424,15 +438,12 @@ let copy_fiber t (f : Fiber.t) =
 (* Copy a whole chain, re-linking parents (and the parent-id words in
    each copy's handler_info) within the copy. *)
 let copy_chain t fibers =
-  let copies = List.map (copy_fiber t) fibers in
-  let rec link = function
-    | a :: (b :: _ as rest) ->
-        a.Fiber.parent <- Some b;
-        wr a (Segment.top a.Fiber.seg - 1) b.Fiber.id;
-        link rest
-    | _ -> ()
-  in
-  link copies;
+  let copies = Vec.map (copy_fiber t) fibers in
+  for i = 0 to Vec.length copies - 2 do
+    let a = Vec.get copies i and b = Vec.get copies (i + 1) in
+    a.Fiber.parent <- Some b;
+    wr a (Segment.top a.Fiber.seg - 1) b.Fiber.id
+  done;
   copies
 
 let do_resume t ~raise_instead v kid =
@@ -440,7 +451,7 @@ let do_resume t ~raise_instead v kid =
   if not k.cont_live then machine_raise t t.invalid_arg_id 0
   else begin
     count t "resume";
-    charge t (Costs.resume + (Costs.resume_per_fiber * List.length k.fibers));
+    charge t (Costs.resume + (Costs.resume_per_fiber * Vec.length k.fibers));
     let fibers =
       if t.cfg.multishot then begin
         (* resuming copies the fibers and leaves the continuation as it
@@ -453,10 +464,11 @@ let do_resume t ~raise_instead v kid =
         k.fibers
       end
     in
-    let first =
-      match fibers with [] -> fatal "empty continuation" | first :: _ -> first
-    in
-    let last = List.nth fibers (List.length fibers - 1) in
+    if Vec.is_empty fibers then fatal "empty continuation";
+    (* Both chain ends in O(1): the head is switched to, the tail is
+       reparented onto the resumer. *)
+    let first = Vec.get fibers 0 in
+    let last = Vec.top fibers in
     last.Fiber.parent <- Some t.current;
     wr last (Segment.top last.Fiber.seg - 1) t.current.Fiber.id;
     t.current <- first;
@@ -652,15 +664,11 @@ let rec step t =
    out handler_info for the duration. *)
 and run_callback t name args =
   let fid =
-    let found = ref None in
-    Array.iter
-      (fun (fn : Compile.cfn) -> if fn.fn_name = name then found := Some fn)
-      t.prog.fns;
-    match !found with
-    | Some fn ->
-        if fn.nparams <> Array.length args then
+    match Hashtbl.find_opt t.prog.fn_ids name with
+    | Some fid ->
+        if t.prog.fns.(fid).nparams <> Array.length args then
           fatal (Printf.sprintf "callback arity mismatch for %s" name);
-        fn.fn_index
+        fid
     | None -> fatal (Printf.sprintf "callback to unknown function %s" name)
   in
   count t "callback";
@@ -713,7 +721,8 @@ let live_continuations t =
   let out = ref [] in
   Vec.iteri
     (fun kid k ->
-      if k.cont_live && k.fibers <> [] then out := (kid, k.fibers) :: !out)
+      if k.cont_live && not (Vec.is_empty k.fibers) then
+        out := (kid, Vec.to_list k.fibers) :: !out)
     t.conts;
   List.rev !out
 
@@ -764,6 +773,7 @@ let run ?cache ?(cfuns = []) ?on_call ?(fuel = 200_000_000) cfg prog =
       cache;
       current = dummy;
       fibers_live = Hashtbl.create 64;
+      by_base = Imap.empty;
       conts = Vec.create ();
       next_base = 16;
       next_id = 0;

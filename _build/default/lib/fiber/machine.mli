@@ -71,7 +71,10 @@ val current_fiber : t -> Fiber.t
 val fiber_by_id : t -> int -> Fiber.t option
 
 val fiber_of_addr : t -> int -> Fiber.t option
-(** The live fiber whose segment contains the address. *)
+(** The live fiber whose segment contains the address — O(log n) in the
+    live-fiber count via a base-address interval index that is updated
+    on allocation, free and growth.  Each lookup increments the
+    [addr_index_probe] counter. *)
 
 val read_mem : t -> int -> int
 (** Read a word of stack memory.  @raise Invalid_argument on an

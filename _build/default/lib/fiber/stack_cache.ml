@@ -1,29 +1,61 @@
-type t = { buckets : (int, Segment.t list ref) Hashtbl.t; max_per_bucket : int }
+type bucket = { mutable segs : Segment.t list; mutable count : int }
 
-let create ?(max_per_bucket = 64) () =
-  if max_per_bucket < 0 then invalid_arg "Stack_cache.create";
-  { buckets = Hashtbl.create 8; max_per_bucket }
+type t = {
+  buckets : (int, bucket) Hashtbl.t;
+  max_per_bucket : int;
+  max_total_words : int;
+  mutable total_words : int;
+  mutable total_count : int;
+}
+
+let create ?(max_per_bucket = 64) ?(max_total_words = max_int) () =
+  if max_per_bucket < 0 then invalid_arg "Stack_cache.create: max_per_bucket";
+  if max_total_words < 0 then invalid_arg "Stack_cache.create: max_total_words";
+  {
+    buckets = Hashtbl.create 8;
+    max_per_bucket;
+    max_total_words;
+    total_words = 0;
+    total_count = 0;
+  }
 
 let bucket t size =
   match Hashtbl.find_opt t.buckets size with
   | Some b -> b
   | None ->
-      let b = ref [] in
+      let b = { segs = []; count = 0 } in
       Hashtbl.add t.buckets size b;
       b
 
 let put t ~size seg =
-  let b = bucket t size in
-  if List.length !b < t.max_per_bucket then b := seg :: !b
+  if
+    t.max_per_bucket > 0
+    && size <= t.max_total_words - t.total_words
+  then begin
+    let b = bucket t size in
+    if b.count < t.max_per_bucket then begin
+      b.segs <- seg :: b.segs;
+      b.count <- b.count + 1;
+      t.total_words <- t.total_words + size;
+      t.total_count <- t.total_count + 1
+    end
+  end
 
 let take t ~size =
   match Hashtbl.find_opt t.buckets size with
-  | Some ({ contents = seg :: rest } as b) ->
-      b := rest;
+  | Some ({ segs = seg :: rest; _ } as b) ->
+      b.segs <- rest;
+      b.count <- b.count - 1;
+      t.total_words <- t.total_words - size;
+      t.total_count <- t.total_count - 1;
       Some seg
   | _ -> None
 
-let population t =
-  Hashtbl.fold (fun _ b acc -> acc + List.length !b) t.buckets 0
+let population t = t.total_count
 
-let clear t = Hashtbl.reset t.buckets
+let total_words t = t.total_words
+
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.total_words <- 0;
+  t.total_count <- 0

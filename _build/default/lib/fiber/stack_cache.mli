@@ -2,22 +2,34 @@
 
     Fibers are malloc-allocated and freed when the handled computation
     returns; a cache of freed stacks, bucketed by size, turns most
-    allocations into a pop.  The machine's [fiber_alloc] counter versus
-    [stack_cache_hit] quantifies the benefit (one of the DESIGN.md
-    ablations). *)
+    allocations into a pop.  The machine's [stack_cache_hit] versus
+    [stack_cache_miss] counters quantify the benefit (one of the
+    DESIGN.md ablations).
+
+    Every operation is O(1): buckets carry their own element count (no
+    list traversal on [put]) and the cache tracks its aggregate size, so
+    both the per-bucket bound and the total-words bound are constant-time
+    admission checks. *)
 
 type t
 
-val create : ?max_per_bucket:int -> unit -> t
-(** [max_per_bucket] (default 64) bounds retained stacks per size. *)
+val create : ?max_per_bucket:int -> ?max_total_words:int -> unit -> t
+(** [max_per_bucket] (default 64) bounds retained stacks per size;
+    [0] degrades the cache to a pass-through that retains nothing.
+    [max_total_words] (default unlimited) bounds the aggregate retained
+    words across all buckets. *)
 
 val put : t -> size:int -> Segment.t -> unit
-(** Offer a freed segment to the cache; dropped if the bucket is full. *)
+(** Offer a freed segment to the cache; dropped if its bucket is full or
+    retaining it would exceed [max_total_words].  O(1). *)
 
 val take : t -> size:int -> Segment.t option
-(** A cached segment of exactly [size] words, if any. *)
+(** A cached segment of exactly [size] words, if any.  O(1). *)
 
 val population : t -> int
-(** Number of segments currently held. *)
+(** Number of segments currently held.  O(1). *)
+
+val total_words : t -> int
+(** Aggregate words currently retained.  O(1). *)
 
 val clear : t -> unit

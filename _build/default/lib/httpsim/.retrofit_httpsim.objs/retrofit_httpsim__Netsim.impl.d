@@ -1,1 +1,1 @@
-lib/httpsim/netsim.ml: Http List Retrofit_util
+lib/httpsim/netsim.ml: Http Int List Retrofit_util

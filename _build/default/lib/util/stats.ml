@@ -1,6 +1,11 @@
 let check_nonempty name xs =
   if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
 
+(* Order statistics are meaningless with NaN in the sample (polymorphic
+   compare even sorts it inconsistently); reject it up front. *)
+let check_no_nan name xs =
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN input")) xs
+
 let mean xs =
   check_nonempty "Stats.mean" xs;
   Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
@@ -28,9 +33,10 @@ let stddev xs =
 
 let percentile xs p =
   check_nonempty "Stats.percentile" xs;
+  check_no_nan "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
@@ -38,18 +44,23 @@ let percentile xs p =
     let lo = int_of_float (Float.floor rank) in
     let hi = Stdlib.min (lo + 1) (n - 1) in
     let frac = rank -. float_of_int lo in
-    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    (* frac = 0 must return the order statistic exactly: interpolating
+       would turn an infinite spread into 0 * inf = NaN *)
+    if frac = 0.0 then sorted.(lo)
+    else sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
 
 let median xs = percentile xs 50.0
 
 let min xs =
   check_nonempty "Stats.min" xs;
-  Array.fold_left Stdlib.min xs.(0) xs
+  check_no_nan "Stats.min" xs;
+  Array.fold_left Float.min xs.(0) xs
 
 let max xs =
   check_nonempty "Stats.max" xs;
-  Array.fold_left Stdlib.max xs.(0) xs
+  check_no_nan "Stats.max" xs;
+  Array.fold_left Float.max xs.(0) xs
 
 let normalize ~baseline xs =
   if Array.length baseline <> Array.length xs then

@@ -19,12 +19,15 @@ val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
-    order statistics.  @raise Invalid_argument on an empty array or [p]
+    order statistics (sorted with [Float.compare], so ordering is total).
+    @raise Invalid_argument on an empty array, a NaN entry, or [p]
     outside the range. *)
 
 val min : float array -> float
+(** @raise Invalid_argument on an empty array or a NaN entry. *)
 
 val max : float array -> float
+(** @raise Invalid_argument on an empty array or a NaN entry. *)
 
 val normalize : baseline:float array -> float array -> float array
 (** Pointwise ratio [x_i / baseline_i], as used for the normalized-time

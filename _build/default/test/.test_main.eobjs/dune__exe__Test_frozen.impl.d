@@ -1,0 +1,1 @@
+test/test_frozen.ml: Alcotest List Printf Retrofit_fiber Retrofit_util String

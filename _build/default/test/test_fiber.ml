@@ -60,7 +60,37 @@ let cache_bound () =
   for i = 0 to 4 do
     F.Stack_cache.put c ~size:16 (F.Segment.create ~base:(i * 100) ~size:16)
   done;
-  Alcotest.(check int) "bounded" 2 (F.Stack_cache.population c)
+  Alcotest.(check int) "bounded" 2 (F.Stack_cache.population c);
+  Alcotest.(check int) "words tracked" 32 (F.Stack_cache.total_words c)
+
+let cache_passthrough () =
+  (* max_per_bucket:0 degrades the cache to a pass-through *)
+  let c = F.Stack_cache.create ~max_per_bucket:0 () in
+  F.Stack_cache.put c ~size:16 (F.Segment.create ~base:0 ~size:16);
+  Alcotest.(check bool) "retains nothing" true (F.Stack_cache.take c ~size:16 = None);
+  Alcotest.(check int) "population" 0 (F.Stack_cache.population c);
+  (* a machine driven through a pass-through cache still works and
+     records only misses *)
+  let compiled = F.Compile.compile (F.Programs.effect_roundtrip ~iters:50) in
+  match F.Machine.run ~cache:c F.Config.mc compiled with
+  | F.Machine.Done 0, counters ->
+      Alcotest.(check int) "no hits" 0
+        (Retrofit_util.Counter.get counters "stack_cache_hit");
+      Alcotest.(check bool) "misses counted" true
+        (Retrofit_util.Counter.get counters "stack_cache_miss" > 0)
+  | _ -> Alcotest.fail "pass-through cache broke the machine"
+
+let cache_total_words_cap () =
+  let c = F.Stack_cache.create ~max_per_bucket:64 ~max_total_words:40 () in
+  for i = 0 to 4 do
+    F.Stack_cache.put c ~size:16 (F.Segment.create ~base:(i * 100) ~size:16)
+  done;
+  (* 16 + 16 fit under 40; the third 16 would make 48 and is dropped *)
+  Alcotest.(check int) "population capped" 2 (F.Stack_cache.population c);
+  Alcotest.(check int) "words capped" 32 (F.Stack_cache.total_words c);
+  ignore (F.Stack_cache.take c ~size:16);
+  F.Stack_cache.put c ~size:8 (F.Segment.create ~base:900 ~size:8);
+  Alcotest.(check int) "room freed by take" 24 (F.Stack_cache.total_words c)
 
 (* ---------------- Compiler ---------------- *)
 
@@ -318,6 +348,84 @@ let reperform_cost_linear () =
   Alcotest.(check int) "depth 3" 3 (reperforms 3);
   Alcotest.(check int) "depth 7" 7 (reperforms 7)
 
+(* ---------------- Address -> fiber index ---------------- *)
+
+(* At every call the index must map the current fiber's own register
+   addresses back to the current fiber, and unmapped addresses to None.
+   The programs are chosen to churn the index through every mutation:
+   grow (deep recursion), free + cached realloc (effect roundtrip) and
+   multishot copy_fiber. *)
+let addr_index_consistent () =
+  let probe m =
+    let f = F.Machine.current_fiber m in
+    let check_addr a =
+      if a <> 0 then
+        match F.Machine.fiber_of_addr m a with
+        | Some owner ->
+            if owner.F.Fiber.id <> f.F.Fiber.id then
+              Alcotest.failf "address %d resolved to fiber %d, not current %d" a
+                owner.F.Fiber.id f.F.Fiber.id
+        | None -> Alcotest.failf "address %d of the current fiber is unmapped" a
+    in
+    check_addr f.F.Fiber.regs.sp;
+    check_addr f.F.Fiber.regs.cfa;
+    check_addr (F.Segment.top f.F.Fiber.seg - 1);
+    Alcotest.(check bool) "unmapped high address" true
+      (F.Machine.fiber_of_addr m 1_000_000_000 = None);
+    Alcotest.(check bool) "unmapped negative address" true
+      (F.Machine.fiber_of_addr m (-5) = None)
+  in
+  List.iter
+    (fun (name, cfg, p, expected) ->
+      match
+        F.Machine.run ~cfuns:F.Programs.standard_cfuns ~on_call:probe cfg
+          (F.Compile.compile p)
+      with
+      | F.Machine.Done v, c ->
+          Alcotest.(check int) name expected v;
+          Alcotest.(check bool) "probes counted" true
+            (Retrofit_util.Counter.get c "addr_index_probe" > 0)
+      | _ -> Alcotest.failf "%s failed under address-index probing" name)
+    [
+      ("grow", F.Config.mc, F.Programs.deep_recursion ~depth:2000, 2000);
+      ("free/realloc", F.Config.mc, F.Programs.effect_roundtrip ~iters:100, 0);
+      ( "multishot copy",
+        F.Config.with_multishot true F.Config.mc,
+        F.Programs.multishot_choice,
+        30 );
+      ("cross resume", F.Config.mc, F.Programs.cross_resume, 42);
+    ]
+
+(* With many suspended fibers alive, the index still resolves each
+   continuation's own saved sp — the backtrace-under-load access
+   pattern of §6.3.4. *)
+let addr_index_suspended () =
+  let n = 50 in
+  let list_pending =
+    ( "list_pending",
+      fun ctx _args ->
+        let m = ctx.F.Machine.machine in
+        let conts = F.Machine.live_continuations m in
+        Alcotest.(check int) "suspended count" n (List.length conts);
+        List.iter
+          (fun (_, fibers) ->
+            List.iter
+              (fun (f : F.Fiber.t) ->
+                match F.Machine.fiber_of_addr m f.F.Fiber.regs.sp with
+                | Some owner ->
+                    Alcotest.(check int) "owner" f.F.Fiber.id owner.F.Fiber.id
+                | None -> Alcotest.fail "suspended fiber unmapped")
+              fibers)
+          conts;
+        0 )
+  in
+  match
+    F.Machine.run ~cfuns:[ list_pending ] F.Config.mc
+      (F.Compile.compile (F.Programs.suspended_requests ~n))
+  with
+  | F.Machine.Done _, _ -> ()
+  | _ -> Alcotest.fail "suspended_requests failed"
+
 let shadow_backtrace_shape () =
   let compiled = F.Compile.compile F.Programs.meander in
   let seen = ref [] in
@@ -383,6 +491,8 @@ let suite =
     test "segment blit preserves top" segment_blit;
     test "stack cache roundtrip" cache_roundtrip;
     test "stack cache bound" cache_bound;
+    test "stack cache pass-through at bucket 0" cache_passthrough;
+    test "stack cache total-words cap" cache_total_words_cap;
     test "compiler leaf analysis" compile_leafness;
     test "compiler frame words" compile_frame_words;
     test "compiler errors" compile_errors;
@@ -402,6 +512,8 @@ let suite =
     test "multishot transparent for one-shot programs" multishot_transparent_for_one_shot;
     test "fibers freed" fibers_freed;
     test "reperform cost linear in depth" reperform_cost_linear;
+    test "address index consistent across grow/free/copy" addr_index_consistent;
+    test "address index under suspended load" addr_index_suspended;
     test "shadow backtrace shape (Fig 1d)" shadow_backtrace_shape;
     test "unregistered C function is fatal" unregistered_cfun_fatal;
     test "fuel bound" fuel_bound;

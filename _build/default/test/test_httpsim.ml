@@ -131,6 +131,28 @@ let netsim_constant_rate () =
   Alcotest.(check bool) "round robin" true
     (List.filteri (fun i _ -> i < 4) conns = [ 0; 1; 2; 3 ])
 
+(* Regression: jitter larger than the nominal interval used to emit a
+   non-monotonic trace (event i+1 before event i), breaking Loadgen's
+   FIFO-by-arrival queueing model. *)
+let netsim_jitter_monotonic () =
+  let rng = Retrofit_util.Rng.create 5 in
+  let interval_ns = 1_000_000_000 / 1000 in
+  let events =
+    H.Netsim.constant_rate ~jitter_ns:(5 * interval_ns) ~rng ~connections:4
+      ~rate_rps:1000 ~duration_ms:100 ~target:"/" ()
+  in
+  Alcotest.(check int) "count unchanged by sorting" 100 (List.length events);
+  let rec check_sorted = function
+    | (a : H.Netsim.event) :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "monotonic %d <= %d" a.arrival_ns b.H.Netsim.arrival_ns)
+          true
+          (a.arrival_ns <= b.H.Netsim.arrival_ns);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted events
+
 let netsim_poisson () =
   let rng = Retrofit_util.Rng.create 2 in
   let events =
@@ -239,6 +261,7 @@ let suite =
     test "reason phrases" reason_phrases;
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
     test "netsim constant rate" netsim_constant_rate;
+    test "netsim jitter stays monotonic" netsim_jitter_monotonic;
     test "netsim poisson" netsim_poisson;
     test "all servers serve the page" servers_serve;
     test "servers handle 404/405/400" servers_404_405;

@@ -11,6 +11,7 @@ let () =
       ("regex", Test_regex.suite);
       ("semantics", Test_semantics.suite);
       ("fiber", Test_fiber.suite);
+      ("fiber.frozen", Test_frozen.suite);
       ("dwarf", Test_dwarf.suite);
       ("core", Test_core.suite);
       ("monad", Test_monad.suite);

@@ -1,4 +1,4 @@
-(* Stats, Histogram, Pqueue, Rng, Counter, Table *)
+(* Stats, Histogram, Pqueue, Rng, Counter, Table, Bench argument checks *)
 open Retrofit_util
 
 let test name f = Alcotest.test_case name `Quick f
@@ -37,6 +37,29 @@ let stats_errors () =
   Alcotest.check_raises "geomean nonpos"
     (Invalid_argument "Stats.geomean: non-positive entry") (fun () ->
       ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let stats_nan_rejected () =
+  Alcotest.check_raises "percentile NaN"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.percentile [| 2.0; Float.nan; 1.0 |] 50.0));
+  Alcotest.check_raises "min NaN" (Invalid_argument "Stats.min: NaN input")
+    (fun () -> ignore (Stats.min [| Float.nan |]));
+  Alcotest.check_raises "max NaN" (Invalid_argument "Stats.max: NaN input")
+    (fun () -> ignore (Stats.max [| 1.0; Float.nan |]));
+  (* total order from Float.compare: infinities still sort correctly *)
+  Alcotest.(check bool) "p0 with -inf" true
+    (Stats.percentile [| 0.0; Float.neg_infinity; 1.0 |] 0.0 = Float.neg_infinity)
+
+let bench_rejects_bad_args () =
+  Alcotest.check_raises "negative warmups"
+    (Invalid_argument "Bench.measure: warmups must be non-negative") (fun () ->
+      ignore (Retrofit_harness.Bench.measure ~warmups:(-1) (fun () -> 0)));
+  Alcotest.check_raises "zero runs"
+    (Invalid_argument "Bench.measure: runs must be positive") (fun () ->
+      ignore (Retrofit_harness.Bench.measure ~runs:0 (fun () -> 0)));
+  (* zero warmups is legal: measurement proceeds *)
+  let m = Retrofit_harness.Bench.measure ~warmups:0 ~runs:1 (fun () -> 0) in
+  Alcotest.(check int) "one run" 1 (Array.length m.Retrofit_harness.Bench.runs_ns)
 
 let prop_geomean_le_mean =
   QCheck.Test.make ~name:"geomean <= mean (AM-GM)" ~count:200
@@ -153,6 +176,28 @@ let prop_pq_sorted =
       let out = drain [] in
       out = List.sort compare ps)
 
+(* Evloop same-instant callback ordering depends on equal-priority
+   entries draining in insertion order; check it under heavy ties by
+   drawing priorities from a tiny range. *)
+let prop_pq_fifo_within_priority =
+  QCheck.Test.make ~name:"pqueue FIFO among equal priorities" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 4))
+    (fun ps ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.add q ~priority:p (p, i)) ps;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (_, pv) -> drain (pv :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      (* popping must yield exactly the stable sort by priority: equal
+         priorities in insertion-index order *)
+      out
+      = List.stable_sort
+          (fun (p1, _) (p2, _) -> compare p1 p2)
+          (List.mapi (fun i p -> (p, i)) ps))
+
 (* ---------------- Rng ---------------- *)
 
 let rng_deterministic () =
@@ -227,6 +272,8 @@ let suite =
     test "stats percentile" stats_percentile;
     test "stats normalize" stats_normalize;
     test "stats errors" stats_errors;
+    test "stats reject NaN" stats_nan_rejected;
+    test "bench rejects bad warmups/runs" bench_rejects_bad_args;
     QCheck_alcotest.to_alcotest prop_geomean_le_mean;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     test "histogram basics" hist_basic;
@@ -239,6 +286,7 @@ let suite =
     test "pqueue fifo ties" pq_fifo_ties;
     test "pqueue peek" pq_peek;
     QCheck_alcotest.to_alcotest prop_pq_sorted;
+    QCheck_alcotest.to_alcotest prop_pq_fifo_within_priority;
     test "rng deterministic" rng_deterministic;
     test "rng bounds" rng_bounds;
     test "rng exponential" rng_exponential_positive;

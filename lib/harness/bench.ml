@@ -6,6 +6,7 @@ type measurement = {
 }
 
 let measure ?(warmups = 2) ?(runs = 5) f =
+  if warmups < 0 then invalid_arg "Bench.measure: warmups must be non-negative";
   if runs < 1 then invalid_arg "Bench.measure: runs must be positive";
   for _ = 1 to warmups do
     ignore (Sys.opaque_identity (f ()))

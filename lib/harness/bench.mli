@@ -15,7 +15,8 @@ type measurement = {
 val measure : ?warmups:int -> ?runs:int -> (unit -> 'a) -> measurement
 (** Defaults: 2 warmups, 5 measured runs.  The thunk's result is
     guarded with [Sys.opaque_identity] so the work cannot be
-    eliminated. *)
+    eliminated.  @raise Invalid_argument if [warmups] is negative or
+    [runs] is not positive. *)
 
 val median_ns : ?warmups:int -> ?runs:int -> (unit -> 'a) -> float
 

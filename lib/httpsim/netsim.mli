@@ -20,9 +20,11 @@ val constant_rate :
   target:string ->
   unit ->
   event list
-(** Events in arrival order.  Inter-arrival time is exactly
-    [1e9 / rate_rps] ns plus uniform jitter in [\[0, jitter_ns\]]
-    (default 0); connections are used round-robin. *)
+(** Events in non-decreasing arrival order (ties keep issue order).
+    Inter-arrival time is exactly [1e9 / rate_rps] ns plus uniform
+    jitter in [\[0, jitter_ns\]] (default 0) — jitter beyond one
+    interval is re-sorted so the trace stays monotonic; connections are
+    used round-robin. *)
 
 val poisson_rate :
   rng:Retrofit_util.Rng.t ->
