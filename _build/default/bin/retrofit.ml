@@ -140,21 +140,45 @@ let backtrace_cmd =
     Term.(const run $ quick)
 
 let websim_cmd =
-  let run rate duration =
-    let outcomes =
-      Retrofit_httpsim.Experiment.fig6b ~rate_rps:rate ~duration_ms:duration ()
-    in
-    List.iter
-      (fun (o : Retrofit_httpsim.Loadgen.outcome) ->
-        Printf.printf
-          "%-4s offered=%d achieved=%.0f p50=%.2fms p99=%.2fms p99.9=%.2fms \
-           gc=%d errors=%d\n"
-          o.model_name o.offered_rps o.achieved_rps
-          (float_of_int o.p50_ns /. 1e6)
-          (float_of_int o.p99_ns /. 1e6)
-          (float_of_int o.p999_ns /. 1e6)
-          o.gc_pauses o.errors)
-      outcomes;
+  let module HS = Retrofit_httpsim in
+  let run rate duration seed faults =
+    if faults <= 0.0 then begin
+      let outcomes = HS.Experiment.fig6b ~rate_rps:rate ~duration_ms:duration () in
+      List.iter
+        (fun (o : HS.Loadgen.outcome) ->
+          Printf.printf
+            "%-4s offered=%d achieved=%.0f p50=%.2fms p99=%.2fms p99.9=%.2fms \
+             gc=%d errors=%d\n"
+            o.model_name o.offered_rps o.achieved_rps
+            (float_of_int o.p50_ns /. 1e6)
+            (float_of_int o.p99_ns /. 1e6)
+            (float_of_int o.p999_ns /. 1e6)
+            o.gc_pauses o.errors)
+        outcomes
+    end
+    else begin
+      let fault_rates = HS.Faults.scale faults HS.Faults.default in
+      List.iter
+        (fun (model, process) ->
+          let o =
+            HS.Loadgen.run ~seed ~faults:fault_rates ~model ~process ~rate_rps:rate
+              ~duration_ms:duration ()
+          in
+          Printf.printf
+            "%-4s offered=%d goodput=%.0f p99=%.2fms total=%d ok=%d timeout=%d \
+             malformed=%d shed=%d 500s=%d retries=%d faults=%d/%d/%d/%d/%d/%d\n"
+            o.HS.Loadgen.model_name o.HS.Loadgen.offered_rps o.HS.Loadgen.goodput_rps
+            (float_of_int o.HS.Loadgen.p99_ns /. 1e6)
+            o.HS.Loadgen.total_requests o.HS.Loadgen.completed o.HS.Loadgen.timeouts
+            o.HS.Loadgen.malformed o.HS.Loadgen.shed o.HS.Loadgen.server_errors
+            o.HS.Loadgen.retries o.HS.Loadgen.faults.HS.Loadgen.injected
+            o.HS.Loadgen.faults.HS.Loadgen.to_malformed
+            o.HS.Loadgen.faults.HS.Loadgen.to_retried
+            o.HS.Loadgen.faults.HS.Loadgen.to_timeout
+            o.HS.Loadgen.faults.HS.Loadgen.to_server_error
+            o.HS.Loadgen.faults.HS.Loadgen.to_absorbed)
+        HS.Experiment.servers
+    end;
     0
   in
   let rate =
@@ -163,9 +187,18 @@ let websim_cmd =
   let duration =
     Arg.(value & opt int 2_000 & info [ "duration" ] ~doc:"Duration (ms).")
   in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace/fault seed.") in
+  let faults =
+    Arg.(
+      value & opt float 0.0
+      & info [ "faults" ]
+          ~doc:
+            "Fault intensity (multiplier over the default fault plan); 0 \
+             disables injection and runs the plain engine.")
+  in
   Cmd.v
     (Cmd.info "websim" ~doc:"Run the web-server simulation at one load point")
-    Term.(const run $ rate $ duration)
+    Term.(const run $ rate $ duration $ seed $ faults)
 
 let main_cmd =
   Cmd.group

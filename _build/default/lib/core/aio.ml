@@ -6,74 +6,135 @@ let input_line ic = Effect.perform (In_line ic)
 
 let output_string oc s = Effect.perform (Out_str (oc, s))
 
-(* A parked read: the channel and the continuation expecting the line. *)
-type pending = Pending : Chan.ic * (string, unit) Effect.Deep.continuation -> pending
+(* A parked read: the channel, the continuation expecting the line, the
+   owning fiber's control cell, and a liveness flag cleared when the
+   read is cancelled (so the ready-scan skips it). *)
+type pending =
+  | Pending : {
+      ic : Chan.ic;
+      k : (string, unit) Effect.Deep.continuation;
+      ctl : Sched.Ctl.t option;
+      live : bool ref;
+    }
+      -> pending
 
 type mode = Sync | Async
 
+type timeout_status = [ `Running | `Done | `Cancelled ]
+
 let run_mode mode loop main =
   let runq : (unit -> unit) Queue.t = Queue.create () in
+  let current : Sched.Ctl.t option ref = ref None in
+  let enqueue thunk = Queue.push thunk runq in
   let pending_reads : pending list ref = ref [] in
-  let resume_read (Pending (ic, k)) =
-    match Chan.read_line_nonblock ic with
-    | `Line line -> Queue.push (fun () -> Effect.Deep.continue k line) runq
-    | `Eof -> Queue.push (fun () -> Effect.Deep.discontinue k End_of_file) runq
+  let resume_read (Pending p) =
+    (match p.ctl with Some c -> Sched.Ctl.clear_parked c | None -> ());
+    let restore () = current := p.ctl in
+    match Chan.read_line_nonblock p.ic with
+    | `Line line ->
+        enqueue (fun () ->
+            restore ();
+            Effect.Deep.continue p.k line)
+    | `Eof ->
+        enqueue (fun () ->
+            restore ();
+            Effect.Deep.discontinue p.k End_of_file)
     | `Not_ready -> assert false
     | exception (Sys_error _ as e) ->
-        Queue.push (fun () -> Effect.Deep.discontinue k e) runq
+        enqueue (fun () ->
+            restore ();
+            Effect.Deep.discontinue p.k e)
   in
   let rec run_next () =
     match Queue.pop runq with
     | thunk -> thunk ()
     | exception Queue.Empty -> (
+        pending_reads := List.filter (fun (Pending p) -> !(p.live)) !pending_reads;
         match !pending_reads with
         | [] -> ()
         | todo ->
             (* Every thread is parked on I/O: advance virtual time until
-               at least one read completes (the do_reads of §3.1). *)
+               at least one read completes (the do_reads of §3.1) or a
+               timer callback schedules work (e.g. a timeout firing a
+               cancel). *)
             let progressed =
               Evloop.advance_until loop (fun () ->
-                  List.exists (fun (Pending (ic, _)) -> Chan.readable ic) todo)
+                  (not (Queue.is_empty runq))
+                  || List.exists (fun (Pending p) -> !(p.live) && Chan.readable p.ic) todo)
             in
-            if not progressed then
+            if Queue.is_empty runq && not progressed then
               failwith "Aio: all threads blocked and no input will ever arrive";
             let ready, still =
-              List.partition (fun (Pending (ic, _)) -> Chan.readable ic) todo
+              List.partition (fun (Pending p) -> !(p.live) && Chan.readable p.ic) todo
             in
-            pending_reads := still;
+            pending_reads := List.filter (fun (Pending p) -> !(p.live)) still;
             List.iter resume_read ready;
             run_next ())
   in
-  let resumer_of k =
-    let used = ref false in
-    fun v ->
-      if !used then invalid_arg "Aio: resumer invoked twice";
-      used := true;
-      Queue.push (fun () -> Effect.Deep.continue k v) runq
-  in
-  let rec spawn : (unit -> unit) -> unit =
-   fun f ->
+  let rec spawn : Sched.Ctl.t option -> (unit -> unit) -> unit =
+   fun ctl f ->
+    current := ctl;
     Effect.Deep.match_with f ()
       {
-        Effect.Deep.retc = (fun () -> run_next ());
-        exnc = raise;
+        Effect.Deep.retc =
+          (fun () ->
+            (match ctl with Some c -> Sched.Ctl.finish c | None -> ());
+            run_next ());
+        exnc =
+          (fun e ->
+            match (ctl, e) with
+            | Some c, Sched.Cancelled when Sched.Ctl.cancelled c ->
+                Sched.Ctl.finish c;
+                run_next ()
+            | _ -> raise e);
         effc =
           (fun (type c) (eff : c Effect.t) ->
             match eff with
             | Sched.Yield ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
-                    Queue.push (fun () -> Effect.Deep.continue k ()) runq;
+                    let ctl = !current in
+                    enqueue (fun () ->
+                        current := ctl;
+                        Effect.Deep.continue k ());
                     run_next ())
             | Sched.Fork f' ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
-                    Queue.push (fun () -> Effect.Deep.continue k ()) runq;
-                    spawn f')
+                    let ctl = !current in
+                    enqueue (fun () ->
+                        current := ctl;
+                        Effect.Deep.continue k ());
+                    spawn None f')
+            | Sched.Fork_cancellable f' ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    let parent = !current in
+                    let child = Sched.Ctl.create () in
+                    enqueue (fun () ->
+                        current := parent;
+                        Effect.Deep.continue k (fun () -> Sched.Ctl.cancel child));
+                    spawn (Some child) f')
             | Sched.Suspend g ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
-                    g (resumer_of k);
+                    let ctl = !current in
+                    (match ctl with
+                    | Some c when Sched.Ctl.cancelled c ->
+                        enqueue (fun () ->
+                            current := ctl;
+                            Effect.Deep.discontinue k Sched.Cancelled)
+                    | _ ->
+                        let resumer =
+                          Sched.Ctl.arm ?ctl ~enqueue
+                            ~continue:(fun v ->
+                              current := ctl;
+                              Effect.Deep.continue k v)
+                            ~discontinue:(fun e ->
+                              current := ctl;
+                              Effect.Deep.discontinue k e)
+                        in
+                        g resumer);
                     run_next ())
             | In_line ic ->
                 Some
@@ -88,7 +149,23 @@ let run_mode mode loop main =
                         | `Line line -> Effect.Deep.continue k line
                         | `Eof -> Effect.Deep.discontinue k End_of_file
                         | `Not_ready ->
-                            pending_reads := Pending (ic, k) :: !pending_reads;
+                            let ctl = !current in
+                            (match ctl with
+                            | Some c when Sched.Ctl.cancelled c ->
+                                enqueue (fun () ->
+                                    current := ctl;
+                                    Effect.Deep.discontinue k Sched.Cancelled)
+                            | _ ->
+                                let live = ref true in
+                                (match ctl with
+                                | Some c ->
+                                    Sched.Ctl.set_parked c (fun e ->
+                                        live := false;
+                                        enqueue (fun () ->
+                                            current := ctl;
+                                            Effect.Deep.discontinue k e))
+                                | None -> ());
+                                pending_reads := Pending { ic; k; ctl; live } :: !pending_reads);
                             run_next ()
                         | exception (Sys_error _ as e) ->
                             Effect.Deep.discontinue k e))
@@ -101,14 +178,30 @@ let run_mode mode loop main =
             | _ -> None);
       }
   in
-  spawn main
+  spawn None main
 
 let run_sync loop main = run_mode Sync loop main
 
 let run_async loop main = run_mode Async loop main
 
+let timeout loop ~delay f =
+  let state = ref (`Running : timeout_status) in
+  let cancel =
+    Sched.fork_cancellable (fun () ->
+        f ();
+        state := `Done)
+  in
+  Evloop.after loop ~delay (fun () ->
+      if !state = `Running then begin
+        state := `Cancelled;
+        cancel ()
+      end);
+  fun () -> !state
+
 (* The §3.2 example, structurally verbatim: defensive cleanup on normal
-   end of input, and on any other exception.  close_* are idempotent. *)
+   end of input, and on any other exception — including Cancelled, which
+   is how a timed-out copy releases its channels. close_* are
+   idempotent. *)
 let copy ic oc =
   let rec loop () =
     output_string oc (input_line ic ^ "\n");

@@ -2,12 +2,72 @@ type policy = Fifo | Lifo
 
 type 'a resumer = 'a -> unit
 
+exception Cancelled
+
+exception One_shot
+
+(* Cancellation protocol (§2.3): a cancellable fiber owns a control cell
+   shared between its runner and the cancel handle.  While the fiber is
+   parked the cell holds a discontinue hook; cancel fires it exactly
+   once, turning the suspension's resumer into a no-op.  The same cell
+   protocol is reused by Aio for reads parked in its pending set. *)
+module Ctl = struct
+  type t = {
+    mutable requested : bool;
+    mutable parked : (exn -> unit) option;
+    mutable finished : bool;
+  }
+
+  let create () = { requested = false; parked = None; finished = false }
+
+  let finish t = t.finished <- true
+
+  let cancelled t = t.requested
+
+  let set_parked t d = t.parked <- Some d
+
+  let clear_parked t = t.parked <- None
+
+  let cancel t =
+    if (not t.finished) && not t.requested then begin
+      t.requested <- true;
+      match t.parked with
+      | Some d ->
+          t.parked <- None;
+          d Cancelled
+      | None -> ()
+    end
+
+  (* Wire one suspension point.  The returned resumer enqueues a resume
+     on first use, raises [One_shot] on a second use, and becomes a
+     no-op once the suspension has been cancelled. *)
+  let arm ?ctl ~enqueue ~continue ~discontinue =
+    let state = ref `Waiting in
+    (match ctl with
+    | Some c ->
+        set_parked c (fun e ->
+            state := `Cancelled;
+            enqueue (fun () -> discontinue e))
+    | None -> ());
+    fun v ->
+      match !state with
+      | `Waiting ->
+          state := `Resumed;
+          (match ctl with Some c -> clear_parked c | None -> ());
+          enqueue (fun () -> continue v)
+      | `Resumed -> raise One_shot
+      | `Cancelled -> ()
+end
+
 type _ Effect.t +=
   | Fork : (unit -> unit) -> unit Effect.t
   | Yield : unit Effect.t
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
+  | Fork_cancellable : (unit -> unit) -> (unit -> unit) Effect.t
 
 let fork f = Effect.perform (Fork f)
+
+let fork_cancellable f = Effect.perform (Fork_cancellable f)
 
 let yield () = Effect.perform Yield
 
@@ -35,6 +95,10 @@ let rq_pop rq =
 let run ?(policy = Fifo) main =
   let rq = { queue = Queue.create (); stack = Stack.create (); policy } in
   switches := 0;
+  (* The control cell of the fiber currently executing; every thunk that
+     re-enters a fiber restores it so nested suspensions park against
+     the right cell. *)
+  let current : Ctl.t option ref = ref None in
   let run_next () =
     match rq_pop rq with
     | Some thunk ->
@@ -42,38 +106,76 @@ let run ?(policy = Fifo) main =
         thunk ()
     | None -> ()
   in
-  let resumer_of k =
-    let used = ref false in
-    fun v ->
-      if !used then invalid_arg "Sched: resumer invoked twice";
-      used := true;
-      rq_push rq (fun () -> Effect.Deep.continue k v)
-  in
-  let rec spawn : (unit -> unit) -> unit =
-   fun f ->
+  let rec spawn : Ctl.t option -> (unit -> unit) -> unit =
+   fun ctl f ->
+    current := ctl;
     Effect.Deep.match_with f ()
       {
-        Effect.Deep.retc = (fun () -> run_next ());
-        exnc = raise;
+        Effect.Deep.retc =
+          (fun () ->
+            (match ctl with Some c -> Ctl.finish c | None -> ());
+            run_next ());
+        exnc =
+          (fun e ->
+            (* A discontinued fiber unwinds with Cancelled after its
+               cleanup handlers; that is a normal exit, not an error. *)
+            match (ctl, e) with
+            | Some c, Cancelled when Ctl.cancelled c ->
+                Ctl.finish c;
+                run_next ()
+            | _ -> raise e);
         effc =
           (fun (type c) (eff : c Effect.t) ->
             match eff with
             | Yield ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
-                    rq_push rq (fun () -> Effect.Deep.continue k ());
+                    let ctl = !current in
+                    rq_push rq (fun () ->
+                        current := ctl;
+                        Effect.Deep.continue k ());
                     run_next ())
             | Fork f' ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
-                    rq_push rq (fun () -> Effect.Deep.continue k ());
-                    spawn f')
+                    let ctl = !current in
+                    rq_push rq (fun () ->
+                        current := ctl;
+                        Effect.Deep.continue k ());
+                    spawn None f')
+            | Fork_cancellable f' ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    let parent = !current in
+                    let child = Ctl.create () in
+                    rq_push rq (fun () ->
+                        current := parent;
+                        Effect.Deep.continue k (fun () -> Ctl.cancel child));
+                    spawn (Some child) f')
             | Suspend f ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
-                    f (resumer_of k);
+                    let ctl = !current in
+                    (match ctl with
+                    | Some c when Ctl.cancelled c ->
+                        (* Cancel arrived before this park: discontinue
+                           straight away instead of parking. *)
+                        rq_push rq (fun () ->
+                            current := ctl;
+                            Effect.Deep.discontinue k Cancelled)
+                    | _ ->
+                        let resumer =
+                          Ctl.arm ?ctl ~enqueue:(rq_push rq)
+                            ~continue:(fun v ->
+                              current := ctl;
+                              Effect.Deep.continue k v)
+                            ~discontinue:(fun e ->
+                              current := ctl;
+                              Effect.Deep.discontinue k e)
+                        in
+                        f resumer);
                     run_next ())
             | _ -> None);
       }
   in
-  spawn main
+  spawn None main

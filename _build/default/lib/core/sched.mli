@@ -7,12 +7,67 @@
 
     The scheduling policy is a parameter: the paper observes that
     changing the run queue from FIFO to LIFO changes the scheduling
-    algorithm without touching any other code. *)
+    algorithm without touching any other code.
+
+    Cancellation follows §2.3: {!fork_cancellable} returns a [cancel]
+    handle that [discontinue]s the fiber with {!Cancelled} at its
+    current (or next) suspension point, exactly once.  The discontinued
+    fiber unwinds through its own cleanup handlers — the §3.2 [copy]
+    pattern of closing resources on any exception keeps working — and
+    its parked resumer becomes a no-op. *)
 
 type policy = Fifo | Lifo
 
 type 'a resumer = 'a -> unit
 (** Resuming a parked thread: enqueues it, does not run it inline. *)
+
+exception Cancelled
+(** Raised at the suspension point of a fiber that has been cancelled
+    via the handle returned by {!fork_cancellable}. *)
+
+exception One_shot
+(** Raised by a resumer invoked a second time (continuations are
+    one-shot, §5.2).  A resumer whose suspension was {e cancelled} is a
+    no-op instead: the cancel consumed the continuation, so a late
+    resume has nothing left to do and must not crash the resuming
+    code. *)
+
+(** The cancellation control cell shared between a fiber's runner and
+    its cancel handle.  Exposed so that other runners (notably {!Aio})
+    can implement the same protocol for their own blocking points. *)
+module Ctl : sig
+  type t
+
+  val create : unit -> t
+
+  val finish : t -> unit
+  (** Mark the fiber completed; cancel becomes a no-op. *)
+
+  val cancelled : t -> bool
+  (** Has cancel been requested? *)
+
+  val set_parked : t -> (exn -> unit) -> unit
+  (** Install the discontinue hook for the fiber's current suspension. *)
+
+  val clear_parked : t -> unit
+
+  val cancel : t -> unit
+  (** Request cancellation: fires the parked hook with {!Cancelled} if
+      the fiber is suspended, otherwise marks it for discontinuation at
+      its next suspension point.  One-shot; a no-op after the fiber
+      finishes or after a previous cancel. *)
+
+  val arm :
+    ?ctl:t ->
+    enqueue:((unit -> unit) -> unit) ->
+    continue:('a -> unit) ->
+    discontinue:(exn -> unit) ->
+    'a resumer
+  (** Wire one suspension point: returns the one-shot resumer
+      (first use enqueues [continue]; second use raises {!One_shot};
+      any use after cancellation is a no-op) and, when [ctl] is given,
+      installs the cancel hook that enqueues [discontinue]. *)
+end
 
 (** The scheduler effects are public so that other runners (notably
     {!Aio}) can handle them alongside their own — an effect declared
@@ -21,9 +76,17 @@ type _ Effect.t +=
   | Fork : (unit -> unit) -> unit Effect.t
   | Yield : unit Effect.t
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
+  | Fork_cancellable : (unit -> unit) -> (unit -> unit) Effect.t
 
 val fork : (unit -> unit) -> unit
 (** Must run inside {!run}. *)
+
+val fork_cancellable : (unit -> unit) -> unit -> unit
+(** [fork_cancellable f] spawns [f] like {!fork} and returns a
+    [cancel] handle.  Calling it discontinues the fiber with
+    {!Cancelled} at its current suspension (or its next one, if it is
+    not currently parked), exactly once; calling it after the fiber has
+    completed, or a second time, is a no-op. *)
 
 val yield : unit -> unit
 
@@ -31,11 +94,14 @@ val suspend : ('a resumer -> unit) -> 'a
 (** [suspend f] parks the current thread and calls [f resumer]; the
     thread continues (with the value passed to the resumer) after some
     other code invokes it.  Invoking a resumer twice raises
-    [Invalid_argument]. *)
+    {!One_shot}; invoking it after the suspension was cancelled is a
+    no-op. *)
 
 val run : ?policy:policy -> (unit -> unit) -> unit
 (** Runs the main thread and every forked descendant to completion.
-    An exception escaping any thread aborts the whole scheduler run. *)
+    An exception escaping any thread aborts the whole scheduler run,
+    except {!Cancelled} leaving a cancelled fiber, which is a normal
+    exit. *)
 
 val stats_switches : unit -> int
 (** Context switches performed by the most recent (or current) [run];

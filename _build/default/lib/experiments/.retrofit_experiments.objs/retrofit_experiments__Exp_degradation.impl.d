@@ -1,0 +1,1 @@
+lib/experiments/exp_degradation.ml: Hashtbl List Option Printf Retrofit_httpsim Retrofit_util String

@@ -1,0 +1,5 @@
+(** The degradation sweep: goodput and p99 for the three server models
+    under offered load × fault intensity, with the resilience layer's
+    error taxonomy and fault accounting at the reference cell. *)
+
+val report : ?quick:bool -> unit -> string

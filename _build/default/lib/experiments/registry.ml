@@ -62,6 +62,12 @@ let all =
       run = Exp_fig6.report;
     };
     {
+      id = "degradation";
+      title = "web server goodput under fault injection";
+      paper_ref = "Section 6.4 (extension)";
+      run = Exp_degradation.report;
+    };
+    {
       id = "backtrace";
       title = "meander backtrace and DWARF validation";
       paper_ref = "Figure 1d / Section 5.5";

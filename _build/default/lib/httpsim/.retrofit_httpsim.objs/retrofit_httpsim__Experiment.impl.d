@@ -1,1 +1,1 @@
-lib/httpsim/experiment.ml: List Loadgen Server Server_effects Server_go Server_monad
+lib/httpsim/experiment.ml: Faults List Loadgen Server Server_effects Server_go Server_monad

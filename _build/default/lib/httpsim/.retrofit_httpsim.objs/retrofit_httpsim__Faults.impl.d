@@ -1,0 +1,1 @@
+lib/httpsim/faults.ml: Bytes Float List Netsim Retrofit_util Server String

@@ -1,0 +1,1 @@
+lib/httpsim/faults.mli: Netsim

@@ -1,1 +1,1 @@
-lib/httpsim/loadgen.ml: Http List Netsim Retrofit_util Server
+lib/httpsim/loadgen.ml: Faults Http List Netsim Option Queue Retrofit_util Server

@@ -1,1 +1,1 @@
-lib/httpsim/loadgen.mli: Server
+lib/httpsim/loadgen.mli: Faults Server

@@ -1,12 +1,69 @@
 module Rng = Retrofit_util.Rng
 module Histogram = Retrofit_util.Histogram
+module Pqueue = Retrofit_util.Pqueue
+
+type fault_account = {
+  injected : int;
+  to_malformed : int;
+  to_retried : int;
+  to_timeout : int;
+  to_server_error : int;
+  to_absorbed : int;
+}
+
+let zero_faults =
+  {
+    injected = 0;
+    to_malformed = 0;
+    to_retried = 0;
+    to_timeout = 0;
+    to_server_error = 0;
+    to_absorbed = 0;
+  }
+
+type resilience = {
+  deadline_ns : int;
+  max_attempts : int;
+  backoff_base_ns : int;
+  backoff_jitter_ns : int;
+  drop_detect_ns : int;
+  queue_cap : int;
+}
+
+let default_resilience =
+  {
+    deadline_ns = 1_000_000_000;
+    max_attempts = 3;
+    backoff_base_ns = 1_000_000;
+    backoff_jitter_ns = 500_000;
+    drop_detect_ns = 200_000;
+    queue_cap = 512;
+  }
+
+let lenient_resilience =
+  {
+    deadline_ns = max_int / 2;
+    max_attempts = 1;
+    backoff_base_ns = 0;
+    backoff_jitter_ns = 0;
+    drop_detect_ns = 0;
+    queue_cap = max_int;
+  }
 
 type outcome = {
   model_name : string;
   offered_rps : int;
   achieved_rps : float;
+  goodput_rps : float;
+  total_requests : int;
   completed : int;
   errors : int;
+  timeouts : int;
+  retries : int;
+  shed : int;
+  malformed : int;
+  server_errors : int;
+  faults : fault_account;
   gc_pauses : int;
   mean_ns : float;
   p50_ns : int;
@@ -16,7 +73,11 @@ type outcome = {
   max_ns : int;
 }
 
-let run ?(seed = 42) ?(connections = 1000) ~model ~process ~rate_rps ~duration_ms () =
+(* ------------------------------------------------------------------ *)
+(* The original zero-fault engine, unchanged: this is the Fig 6 code
+   path and its numbers are pinned bit-for-bit by the tests. *)
+
+let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
   let rng = Rng.create seed in
   let events =
     Netsim.poisson_rate ~rng ~connections ~rate_rps ~duration_ms ~target:"/" ()
@@ -70,8 +131,16 @@ let run ?(seed = 42) ?(connections = 1000) ~model ~process ~rate_rps ~duration_m
     model_name = model.Server.name;
     offered_rps = rate_rps;
     achieved_rps = float_of_int !completed *. 1e9 /. float_of_int span_ns;
+    goodput_rps = float_of_int !completed *. 1e9 /. float_of_int span_ns;
+    total_requests = !completed;
     completed = !completed;
     errors = !errors;
+    timeouts = 0;
+    retries = 0;
+    shed = 0;
+    malformed = 0;
+    server_errors = 0;
+    faults = zero_faults;
     gc_pauses = !gc_pauses;
     mean_ns = Histogram.mean hist;
     p50_ns = Histogram.value_at_percentile hist 50.0;
@@ -81,7 +150,291 @@ let run ?(seed = 42) ?(connections = 1000) ~model ~process ~rate_rps ~duration_m
     max_ns = Histogram.max_recorded hist;
   }
 
-let throughput_sweep ?seed ?connections ~model ~process ~rates ~duration_ms () =
+(* ------------------------------------------------------------------ *)
+(* The resilient engine: the same virtual single-CPU FIFO world, driven
+   through a time-ordered queue so client retries merge into the
+   arrival stream.
+
+   Request dispositions are exclusive: every request ends exactly once
+   as completed (200 within deadline), malformed (its damaged bytes
+   earned a 4xx — terminal, a real client does not retry its "own"
+   bad request), or timed out (deadline expired or retry budget
+   exhausted).  shed / server_errors / retries are event counts layered
+   on top (one per 503, per 500, per retry attempt).
+
+   Fault accounting is also exclusive: each injected fault is
+   attributed exactly once, at the resolution of the attempt that
+   carried it — to_malformed (wire damage), to_retried (drop recovered
+   by a retry), to_timeout (it killed the request), to_server_error
+   (the 500 happened), or to_absorbed (the resilience layer masked it
+   entirely).  [injected = sum of the five] is a tested invariant. *)
+
+type attempt = {
+  attempt_no : int;
+  orig_arrival : int;
+  deadline : int;
+  clean_raw : string;
+  sent_raw : string;
+  fault : Faults.fault option;
+}
+
+let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rps
+    ~duration_ms =
+  let rng = Rng.create seed in
+  let events =
+    Netsim.poisson_rate ~rng ~connections ~rate_rps ~duration_ms ~target:"/" ()
+  in
+  let plan = Faults.plan ~seed ~rates events in
+  let retry_rng = Rng.create (seed lxor 0x2545F491) in
+  let q : attempt Pqueue.t = Pqueue.create () in
+  List.iter
+    (fun (inj : Faults.injected) ->
+      let ev = inj.Faults.event in
+      let stall = match inj.fault with Some (Faults.Stall d) -> d | _ -> 0 in
+      let sent_raw =
+        match inj.fault with
+        | Some f -> Faults.damaged_raw ev.raw f
+        | None -> ev.raw
+      in
+      Pqueue.add q ~priority:(ev.arrival_ns + stall)
+        {
+          attempt_no = 1;
+          orig_arrival = ev.arrival_ns;
+          deadline = ev.arrival_ns + resilience.deadline_ns;
+          clean_raw = ev.raw;
+          sent_raw;
+          fault = inj.fault;
+        })
+    plan;
+  let hist = Histogram.create ~max_value:60_000_000_000 () in
+  let cpu_free = ref 0 in
+  let alloc_since_gc = ref 0 in
+  let gc_pauses = ref 0 in
+  let completed = ref 0 in
+  let last_completion = ref 0 in
+  let timeouts = ref 0 in
+  let retries = ref 0 in
+  let shed = ref 0 in
+  let malformed = ref 0 in
+  let server_errors = ref 0 in
+  let fa_malformed = ref 0 in
+  let fa_retried = ref 0 in
+  let fa_timeout = ref 0 in
+  let fa_server_error = ref 0 in
+  let fa_absorbed = ref 0 in
+  (* Finish times of admitted-but-unfinished requests; arrivals are
+     processed in time order, so pruning entries at or before "now"
+     leaves exactly the virtual queue depth. *)
+  let in_flight : int Queue.t = Queue.create () in
+  let prune now =
+    let rec go () =
+      match Queue.peek_opt in_flight with
+      | Some f when f <= now ->
+          ignore (Queue.pop in_flight);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (* Client-side retry with exponential backoff and jitter, capped by
+     both the attempt budget and the request deadline. *)
+  let schedule_retry ~now a =
+    if a.attempt_no >= resilience.max_attempts then false
+    else begin
+      let backoff =
+        (resilience.backoff_base_ns * (1 lsl (a.attempt_no - 1)))
+        + (if resilience.backoff_jitter_ns > 0 then
+             Rng.int retry_rng (resilience.backoff_jitter_ns + 1)
+           else 0)
+      in
+      let t = now + backoff in
+      if t > a.deadline then false
+      else begin
+        incr retries;
+        (* Retries resend the pristine bytes: the fault was on the wire,
+           not in the request. *)
+        Pqueue.add q ~priority:t
+          { a with attempt_no = a.attempt_no + 1; sent_raw = a.clean_raw; fault = None };
+        true
+      end
+    end
+  in
+  (* Attribute an attempt's fault (if any) when the attempt resolves
+     without reaching the service path. *)
+  let account_shed_or_408 ~is_408 a =
+    match a.fault with
+    | Some (Faults.Truncate _ | Faults.Corrupt _) -> incr fa_malformed
+    | Some (Faults.Stall _) -> if is_408 then incr fa_timeout else incr fa_absorbed
+    | Some (Faults.Backend_slow _ | Faults.Backend_fail) -> incr fa_absorbed
+    | Some Faults.Drop -> assert false
+    | None -> ()
+  in
+  let process_attempt now a =
+    prune now;
+    let depth = Queue.length in_flight in
+    if depth >= resilience.queue_cap then begin
+      (* Admission control: shed to 503 for the cost of the dispatch
+         alone — the queue never grows past the cap. *)
+      incr shed;
+      let start = max now !cpu_free in
+      let finish = start + model.Server.dispatch_overhead_ns in
+      cpu_free := finish;
+      Queue.push finish in_flight;
+      account_shed_or_408 ~is_408:false a;
+      if not (schedule_retry ~now:finish a) then incr timeouts
+    end
+    else begin
+      let start = max now !cpu_free in
+      if start > a.deadline then begin
+        (* Deadline propagation: the deadline expired before service
+           start, so answer 408 without paying service_ns. *)
+        incr timeouts;
+        let finish = start + model.Server.dispatch_overhead_ns in
+        cpu_free := finish;
+        Queue.push finish in_flight;
+        account_shed_or_408 ~is_408:true a
+      end
+      else begin
+        (* Really execute the (crash-barriered) server code path. *)
+        let reply = process a.sent_raw in
+        let status =
+          match Http.parse_response reply with
+          | Ok (resp, _) -> resp.Http.status
+          | Error _ -> 500
+        in
+        (* Identical cost-model draws to the plain engine, so the
+           zero-fault resilient run reproduces its numbers exactly. *)
+        alloc_since_gc := !alloc_since_gc + model.Server.alloc_per_request;
+        let gc_pause =
+          if !alloc_since_gc >= model.Server.gc_threshold then begin
+            alloc_since_gc := 0;
+            incr gc_pauses;
+            model.Server.gc_pause_ns
+          end
+          else 0
+        in
+        let noise =
+          int_of_float
+            (Rng.exponential rng ~mean:(float_of_int model.Server.service_ns /. 5.0))
+          + (if Rng.int rng 100 = 0 then model.Server.service_ns else 0)
+        in
+        let extra =
+          match a.fault with Some (Faults.Backend_slow d) -> d | _ -> 0
+        in
+        let service_part =
+          match status with
+          | 200 -> model.Server.service_ns + extra + noise
+          | _ -> 0 (* 4xx rejected at parse; 500 fails fast *)
+        in
+        let cost =
+          model.Server.dispatch_overhead_ns + model.Server.parse_ns + service_part
+          + gc_pause
+        in
+        let finish = start + cost in
+        cpu_free := finish;
+        Queue.push finish in_flight;
+        last_completion := max !last_completion finish;
+        if status = 200 then
+          if finish <= a.deadline then begin
+            incr completed;
+            Histogram.record hist (finish - a.orig_arrival);
+            match a.fault with
+            | Some (Faults.Stall _ | Faults.Backend_slow _) -> incr fa_absorbed
+            | Some _ -> assert false
+            | None -> ()
+          end
+          else begin
+            (* The reply came back after the client stopped waiting. *)
+            incr timeouts;
+            match a.fault with
+            | Some (Faults.Stall _ | Faults.Backend_slow _) -> incr fa_timeout
+            | Some _ -> assert false
+            | None -> ()
+          end
+        else if status = 500 then begin
+          incr server_errors;
+          (match a.fault with
+          | Some Faults.Backend_fail -> incr fa_server_error
+          | Some _ -> assert false
+          | None -> ());
+          if not (schedule_retry ~now:finish a) then incr timeouts
+        end
+        else begin
+          (* 4xx: only damaged bytes produce these in this workload. *)
+          incr malformed;
+          match a.fault with
+          | Some (Faults.Truncate _ | Faults.Corrupt _) -> incr fa_malformed
+          | Some _ -> assert false
+          | None -> ()
+        end
+      end
+    end
+  in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (now, a) ->
+        (match a.fault with
+        | Some Faults.Drop ->
+            (* The connection died on the wire; the client notices after
+               its detection delay and retries. *)
+            let detect = now + resilience.drop_detect_ns in
+            if schedule_retry ~now:detect a then incr fa_retried
+            else begin
+              incr timeouts;
+              incr fa_timeout
+            end
+        | _ -> process_attempt now a);
+        drain ()
+  in
+  drain ();
+  let span_ns = max 1 !last_completion in
+  let goodput = float_of_int !completed *. 1e9 /. float_of_int span_ns in
+  {
+    model_name = model.Server.name;
+    offered_rps = rate_rps;
+    achieved_rps = goodput;
+    goodput_rps = goodput;
+    total_requests = List.length events;
+    completed = !completed;
+    errors = !timeouts + !malformed;
+    timeouts = !timeouts;
+    retries = !retries;
+    shed = !shed;
+    malformed = !malformed;
+    server_errors = !server_errors;
+    faults =
+      {
+        injected = Faults.injected_count plan;
+        to_malformed = !fa_malformed;
+        to_retried = !fa_retried;
+        to_timeout = !fa_timeout;
+        to_server_error = !fa_server_error;
+        to_absorbed = !fa_absorbed;
+      };
+    gc_pauses = !gc_pauses;
+    mean_ns = Histogram.mean hist;
+    p50_ns = Histogram.value_at_percentile hist 50.0;
+    p90_ns = Histogram.value_at_percentile hist 90.0;
+    p99_ns = Histogram.value_at_percentile hist 99.0;
+    p999_ns = Histogram.value_at_percentile hist 99.9;
+    max_ns = Histogram.max_recorded hist;
+  }
+
+let run ?(seed = 42) ?(connections = 1000) ?faults ?resilience ~model ~process
+    ~rate_rps ~duration_ms () =
+  match (faults, resilience) with
+  | None, None -> run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms
+  | _ ->
+      let rates = Option.value faults ~default:Faults.none in
+      let resilience = Option.value resilience ~default:default_resilience in
+      run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rps
+        ~duration_ms
+
+let throughput_sweep ?seed ?connections ?faults ?resilience ~model ~process ~rates
+    ~duration_ms () =
   List.map
-    (fun rate_rps -> run ?seed ?connections ~model ~process ~rate_rps ~duration_ms ())
+    (fun rate_rps ->
+      run ?seed ?connections ?faults ?resilience ~model ~process ~rate_rps
+        ~duration_ms ())
     rates

@@ -37,6 +37,20 @@ val all : model list
 val static_page : string
 (** The 1 KiB page every benchmark request serves. *)
 
+exception Backend_failure
+(** The simulated transient backend fault: raised by {!app_handler}
+    mid-request when the fault injector tags a request (see
+    {!crash_header}), so that every server model's crash barrier is
+    exercised by a real exception unwinding real handler code. *)
+
+val crash_header : string
+(** The request header name ("x-fault-inject") whose value ["crash"]
+    makes {!app_handler} raise {!Backend_failure}. *)
+
+val internal_error : Http.response
+(** The 500 every crash barrier answers with. *)
+
 val app_handler : Http.request -> Http.response
 (** The shared application logic: [GET /] serves {!static_page}; other
-    targets get 404; non-GET methods get 405. *)
+    targets get 404; non-GET methods get 405.
+    @raise Backend_failure on a crash-tagged request. *)

@@ -17,7 +17,9 @@ let process_raw raw =
   Effect.Deep.match_with (request_thread raw) ()
     {
       Effect.Deep.retc = Fun.id;
-      exnc = raise;
+      (* Crash barrier: an exception escaping the request fiber becomes
+         a 500 at the handler boundary — it never aborts the server. *)
+      exnc = (fun _e -> Http.format_response Server.internal_error);
       effc =
         (fun (type c) (eff : c Effect.t) ->
           match eff with

@@ -8,7 +8,9 @@
     {!request_backtrace_demo} in the examples. *)
 
 val process_raw : string -> string
-(** Handle one raw request through the fiber machinery. *)
+(** Handle one raw request through the fiber machinery.  Never raises:
+    a handler exception is stopped at the fiber boundary (the handler's
+    [exnc] crash barrier) and answered with a 500. *)
 
 val requests_handled : unit -> int
 (** Total requests processed since program start. *)

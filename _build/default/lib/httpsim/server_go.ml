@@ -17,9 +17,12 @@ let process_raw raw =
   incr handled;
   let result = ref "" in
   go (fun () ->
+      (* Crash barrier: a panicking handler goroutine recovers to a 500
+         (Go's recover-in-ServeHTTP), never killing the server loop. *)
       let resp =
         match Http.parse_request raw with
-        | Ok (req, _) -> Server.app_handler req
+        | Ok (req, _) -> (
+            try Server.app_handler req with _ -> Server.internal_error)
         | Error e -> Http.bad_request e
       in
       result := Http.format_response resp);

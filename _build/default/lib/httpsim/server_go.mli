@@ -6,5 +6,7 @@
     mid-handler). *)
 
 val process_raw : string -> string
+(** Never raises: a panicking handler goroutine is recovered into a 500
+    (the crash barrier). *)
 
 val requests_handled : unit -> int

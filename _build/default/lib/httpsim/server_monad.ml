@@ -8,8 +8,13 @@ let process_raw raw =
   incr handled;
   let open L in
   run
-    ( pause () >>= fun () ->
-      (match Http.parse_request raw with
-      | Ok (req, _) -> return (Server.app_handler req)
-      | Error e -> return (Http.bad_request e))
-      >>= fun resp -> return (Http.format_response resp) )
+    (* Crash barrier: a handler exception fails the promise chain and is
+       recovered into a 500 — it never escapes [run]. *)
+    (catch
+       (fun () ->
+         pause () >>= fun () ->
+         (match Http.parse_request raw with
+         | Ok (req, _) -> return (Server.app_handler req)
+         | Error e -> return (Http.bad_request e))
+         >>= fun resp -> return (Http.format_response resp))
+       (fun _e -> return (Http.format_response Server.internal_error)))

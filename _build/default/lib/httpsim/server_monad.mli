@@ -6,5 +6,7 @@
     the property the paper contrasts with the effect version. *)
 
 val process_raw : string -> string
+(** Never raises: a handler exception fails the promise and is caught
+    into a 500 (the crash barrier, [L.catch]). *)
 
 val requests_handled : unit -> int

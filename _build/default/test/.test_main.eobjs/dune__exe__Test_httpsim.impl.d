@@ -1,1 +1,1 @@
-test/test_httpsim.ml: Alcotest List Printf QCheck QCheck_alcotest Retrofit_httpsim Retrofit_util String
+test/test_httpsim.ml: Alcotest List Printexc Printf QCheck QCheck_alcotest Retrofit_httpsim Retrofit_util String

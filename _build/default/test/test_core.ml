@@ -140,8 +140,70 @@ let sched_resumer_once () =
       C.Sched.fork (fun () -> ignore (C.Sched.suspend (fun resume -> r := resume)));
       C.Sched.fork (fun () ->
           !r 1;
-          match !r 2 with () -> () | exception Invalid_argument _ -> boom := Some ()));
-  Alcotest.(check bool) "second resume rejected" true (!boom = Some ())
+          match !r 2 with () -> () | exception C.Sched.One_shot -> boom := Some ()));
+  Alcotest.(check bool) "second resume raises One_shot" true (!boom = Some ())
+
+(* ---------------- Cancellation (§2.3) ---------------- *)
+
+(* Cancelling a fiber parked in Suspend discontinues it with Cancelled
+   at the suspension point, its exception-driven cleanup runs, and the
+   now-dead resumer becomes a clean no-op (not One_shot). *)
+let sched_cancel_suspended () =
+  let log = ref [] in
+  let resumer = ref (fun (_ : int) -> ()) in
+  C.Sched.run (fun () ->
+      let cancel =
+        C.Sched.fork_cancellable (fun () ->
+            match
+              C.Eff.protect
+                ~finally:(fun () -> log := "cleanup" :: !log)
+                (fun () -> C.Sched.suspend (fun r -> resumer := r))
+            with
+            | _ -> log := "returned" :: !log
+            | exception C.Sched.Cancelled -> log := "cancelled" :: !log)
+      in
+      C.Sched.fork (fun () ->
+          cancel ();
+          C.Sched.yield ();
+          (* The suspension was consumed by the cancel: resuming is a
+             no-op, not a crash. *)
+          !resumer 42;
+          log := "resumed-after-cancel" :: !log));
+  Alcotest.(check (list string))
+    "cleanup ran, resumer no-op"
+    [ "cleanup"; "cancelled"; "resumed-after-cancel" ]
+    (List.rev !log)
+
+(* Cancelling after the fiber completed is a no-op, as is a second
+   cancel. *)
+let sched_cancel_completed () =
+  let ran = ref false in
+  C.Sched.run (fun () ->
+      let cancel = C.Sched.fork_cancellable (fun () -> ran := true) in
+      C.Sched.yield ();
+      cancel ();
+      cancel ());
+  Alcotest.(check bool) "fiber ran to completion" true !ran
+
+(* A cancel issued while the fiber is runnable (not parked) lands at
+   its next suspension point. *)
+let sched_cancel_before_suspend () =
+  let log = ref [] in
+  C.Sched.run (fun () ->
+      let cancel =
+        C.Sched.fork_cancellable (fun () ->
+            log := "start" :: !log;
+            C.Sched.yield ();
+            (match C.Sched.suspend (fun _ -> ()) with
+            | (_ : int) -> log := "woke" :: !log
+            | exception C.Sched.Cancelled -> log := "cancelled" :: !log);
+            log := "after" :: !log)
+      in
+      cancel ());
+  Alcotest.(check (list string))
+    "discontinued at next suspension"
+    [ "start"; "cancelled"; "after" ]
+    (List.rev !log)
 
 (* ---------------- Mvar ---------------- *)
 
@@ -316,6 +378,36 @@ let aio_mix_with_mvar () =
       result := C.Mvar.take mv);
   Alcotest.(check string) "threaded through mvar" "data" !result
 
+(* Cancellation composes with async I/O: a timeout cancels [copy]
+   mid-read, the §3.2 exception-driven cleanup closes both channels,
+   and the pending read's completion is a no-op. *)
+let aio_timeout_cancels_copy () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic_lazy loop ~latency:100 [ "a"; "b"; "c"; "d" ] in
+  let oc = C.Chan.make_oc loop in
+  let status = ref (fun () -> (`Running : C.Aio.timeout_status)) in
+  C.Aio.run_async loop (fun () -> status := C.Aio.timeout loop ~delay:250 (fun () -> C.Aio.copy ic oc));
+  Alcotest.(check bool) "status cancelled" true (!status () = `Cancelled);
+  Alcotest.(check string) "partial copy" "a\nb\n" (C.Chan.contents oc);
+  Alcotest.(check bool) "ic closed by cleanup" true
+    (match C.Chan.read_line_nonblock ic with
+    | _ -> false
+    | exception Sys_error _ -> true);
+  Alcotest.(check bool) "oc closed by cleanup" true
+    (match C.Chan.write_string oc "z" with
+    | _ -> false
+    | exception Sys_error _ -> true)
+
+let aio_timeout_completes () =
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic_lazy loop ~latency:10 [ "a" ] in
+  let oc = C.Chan.make_oc loop in
+  let status = ref (fun () -> (`Running : C.Aio.timeout_status)) in
+  C.Aio.run_async loop (fun () ->
+      status := C.Aio.timeout loop ~delay:10_000 (fun () -> C.Aio.copy ic oc));
+  Alcotest.(check bool) "status done" true (!status () = `Done);
+  Alcotest.(check string) "full copy" "a\n" (C.Chan.contents oc)
+
 let suite =
   [
     test "eff match_with deep" eff_match_with;
@@ -331,6 +423,9 @@ let suite =
     test "sched nested fork" sched_nested_fork;
     test "sched suspend/resume" sched_suspend_resume;
     test "sched resumer once" sched_resumer_once;
+    test "sched cancel suspended" sched_cancel_suspended;
+    test "sched cancel completed" sched_cancel_completed;
+    test "sched cancel before suspend" sched_cancel_before_suspend;
     test "mvar basics" mvar_basic;
     test "mvar blocking take" mvar_blocking_take;
     test "mvar blocking put" mvar_blocking_put;
@@ -346,4 +441,6 @@ let suite =
     test "aio async overlaps" aio_async_overlaps;
     test "aio deadlock detected" aio_deadlock_detected;
     test "aio with mvar" aio_mix_with_mvar;
+    test "aio timeout cancels copy" aio_timeout_cancels_copy;
+    test "aio timeout completes" aio_timeout_completes;
   ]

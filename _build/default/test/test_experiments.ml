@@ -18,8 +18,9 @@ let harness_clock_monotone () =
   Alcotest.(check bool) "monotone" true (Int64.compare b a >= 0)
 
 let registry_ids () =
-  Alcotest.(check int) "11 experiments" 11 (List.length E.Registry.all);
+  Alcotest.(check int) "12 experiments" 12 (List.length E.Registry.all);
   Alcotest.(check bool) "find" true (E.Registry.find "table1" <> None);
+  Alcotest.(check bool) "find degradation" true (E.Registry.find "degradation" <> None);
   Alcotest.(check bool) "missing" true (E.Registry.find "zzz" = None);
   let ids = E.Registry.ids () in
   Alcotest.(check int) "unique" (List.length ids)

@@ -248,6 +248,269 @@ let mc_best_tail () =
   Alcotest.(check bool) "mc p99.9 <= lwt p99.9" true
     (mc.H.Loadgen.p999_ns <= lwt.H.Loadgen.p999_ns)
 
+(* Regression: format_request used a case-sensitive lookup, so a caller
+   header spelled "Content-Length" got a second, synthesised
+   "content-length" — a duplicate on the wire. *)
+let format_request_content_length_once () =
+  let req =
+    {
+      H.Http.meth = H.Http.POST;
+      target = "/";
+      version = "HTTP/1.1";
+      headers = [ ("Content-Length", "5") ];
+      body = "hello";
+    }
+  in
+  let raw = H.Http.format_request req in
+  let count =
+    String.split_on_char '\n' raw
+    |> List.filter (fun line ->
+           let line = String.lowercase_ascii line in
+           String.length line >= 15 && String.sub line 0 15 = "content-length:")
+    |> List.length
+  in
+  Alcotest.(check int) "exactly one content-length header" 1 count;
+  match H.Http.parse_request raw with
+  | Ok (parsed, _) -> Alcotest.(check string) "body intact" "hello" parsed.H.Http.body
+  | Error e -> Alcotest.fail e
+
+(* ---------------- Netsim determinism ---------------- *)
+
+let netsim_poisson_properties () =
+  let trace seed =
+    let rng = Retrofit_util.Rng.create seed in
+    H.Netsim.poisson_rate ~rng ~connections:7 ~rate_rps:5_000 ~duration_ms:100
+      ~target:"/" ()
+  in
+  let a = trace 11 and a' = trace 11 and b = trace 12 in
+  Alcotest.(check bool) "equal seeds give identical traces" true (a = a');
+  Alcotest.(check bool) "different seeds give different traces" true (a <> b);
+  let rec non_decreasing = function
+    | (x : H.Netsim.event) :: (y :: _ as rest) ->
+        x.arrival_ns <= y.H.Netsim.arrival_ns && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrivals non-decreasing" true (non_decreasing a);
+  List.iter
+    (fun (e : H.Netsim.event) ->
+      Alcotest.(check bool) "conn_id in range" true (e.conn_id >= 0 && e.conn_id < 7))
+    a
+
+(* ---------------- Fault-shaped inputs never crash the parser -------- *)
+
+let parse_truncation_total () =
+  let full_req = "POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello" in
+  for keep = 0 to String.length full_req - 1 do
+    match H.Http.parse_request (String.sub full_req 0 keep) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "prefix %d parsed as a full request" keep)
+    | exception e ->
+        Alcotest.fail (Printf.sprintf "prefix %d raised %s" keep (Printexc.to_string e))
+  done;
+  let full_resp = H.Http.format_response (H.Http.ok "hello world") in
+  for keep = 0 to String.length full_resp - 1 do
+    match H.Http.parse_response (String.sub full_resp 0 keep) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "prefix %d parsed as a full response" keep)
+    | exception e ->
+        Alcotest.fail (Printf.sprintf "prefix %d raised %s" keep (Printexc.to_string e))
+  done
+
+let parse_garbage_headers () =
+  let err s =
+    match H.Http.parse_request s with
+    | Error _ -> true
+    | Ok _ -> false
+    | exception _ -> false
+  in
+  Alcotest.(check bool) "header without colon" true
+    (err "GET / HTTP/1.1\r\nno colon here\r\n\r\n");
+  Alcotest.(check bool) "negative content-length" true
+    (err "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\nhello");
+  Alcotest.(check bool) "garbage content-length" true
+    (err "POST / HTTP/1.1\r\nContent-Length: 5x\r\n\r\nhello");
+  Alcotest.(check bool) "empty header name" true (err "GET / HTTP/1.1\r\n: v\r\n\r\n");
+  Alcotest.(check bool) "response negative content-length" true
+    (match H.Http.parse_response "HTTP/1.1 200 OK\r\nContent-Length: -1\r\n\r\n" with
+    | Error _ -> true
+    | Ok _ | (exception _) -> false)
+
+(* ---------------- Faults ---------------- *)
+
+let faults_plan_deterministic () =
+  let rng = Retrofit_util.Rng.create 3 in
+  let events =
+    H.Netsim.poisson_rate ~rng ~connections:10 ~rate_rps:20_000 ~duration_ms:100
+      ~target:"/" ()
+  in
+  let p1 = H.Faults.plan ~seed:7 ~rates:H.Faults.default events in
+  let p2 = H.Faults.plan ~seed:7 ~rates:H.Faults.default events in
+  let p3 = H.Faults.plan ~seed:8 ~rates:H.Faults.default events in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check bool) "different seed, different plan" true (p1 <> p3);
+  Alcotest.(check int) "length preserved" (List.length events) (List.length p1);
+  Alcotest.(check bool) "default plan injects something" true
+    (H.Faults.injected_count p1 > 0);
+  let clean = H.Faults.plan ~seed:7 ~rates:H.Faults.none events in
+  Alcotest.(check int) "zero rates inject nothing" 0 (H.Faults.injected_count clean);
+  Alcotest.check_raises "negative scale rejected"
+    (Invalid_argument "Faults.scale: negative factor") (fun () ->
+      ignore (H.Faults.scale (-1.0) H.Faults.default))
+
+let faults_damage_is_rejected_not_fatal () =
+  let raw = H.Netsim.request_for ~target:"/" ~conn_id:0 in
+  List.iter
+    (fun (model, process) ->
+      let check fault expect_status =
+        let reply = process (H.Faults.damaged_raw raw fault) in
+        match H.Http.parse_response reply with
+        | Ok (resp, _) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s %s" model.H.Server.name
+                 (H.Faults.fault_label fault))
+              expect_status resp.H.Http.status
+        | Error e -> Alcotest.fail e
+      in
+      (* Wire damage: 4xx.  Crash tag: the handler raises mid-request
+         and the crash barrier converts it to a 500 — never an escape. *)
+      check (H.Faults.Truncate 5) 400;
+      check H.Faults.Backend_fail 500;
+      (* A corrupted byte anywhere in the first 16 positions of the
+         request line yields some non-200 rejection — never a crash. *)
+      for i = 0 to min 15 (String.length raw - 1) do
+        let reply = process (H.Faults.damaged_raw raw (H.Faults.Corrupt i)) in
+        match H.Http.parse_response reply with
+        | Ok (resp, _) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s corrupt@%d non-200 (got %d)" model.H.Server.name
+                 i resp.H.Http.status)
+              true (resp.H.Http.status <> 200)
+        | Error e -> Alcotest.fail e
+      done)
+    H.Experiment.servers
+
+(* ---------------- Resilient engine ---------------- *)
+
+(* Frozen pins: the zero-fault default path is the Fig 6 machinery and
+   must stay bit-for-bit across refactors (same seed, same numbers). *)
+let loadgen_frozen_counters () =
+  let run model process =
+    H.Loadgen.run ~model ~process ~rate_rps:10_000 ~duration_ms:300 ()
+  in
+  let check name (o : H.Loadgen.outcome) completed gc p50 p90 p99 p999 max_ns =
+    Alcotest.(check int) (name ^ " completed") completed o.completed;
+    Alcotest.(check int) (name ^ " errors") 0 o.errors;
+    Alcotest.(check int) (name ^ " gc") gc o.gc_pauses;
+    Alcotest.(check int) (name ^ " p50") p50 o.p50_ns;
+    Alcotest.(check int) (name ^ " p90") p90 o.p90_ns;
+    Alcotest.(check int) (name ^ " p99") p99 o.p99_ns;
+    Alcotest.(check int) (name ^ " p999") p999 o.p999_ns;
+    Alcotest.(check int) (name ^ " max") max_ns o.max_ns
+  in
+  check "mc"
+    (run H.Server.mc H.Server_effects.process_raw)
+    3045 0 34784 66176 107328 164608 170056;
+  check "lwt"
+    (run H.Server.lwt H.Server_monad.process_raw)
+    3045 1 36320 70848 121984 482304 517389;
+  check "go" (run H.Server.go H.Server_go.process_raw) 3045 0 35488 67840 109696
+    169472 174436;
+  let over =
+    H.Loadgen.run ~model:H.Server.mc ~process:H.Server_effects.process_raw
+      ~rate_rps:25_000 ~duration_ms:300 ()
+  in
+  Alcotest.(check int) "mc 25k completed" 7558 over.completed;
+  Alcotest.(check int) "mc 25k p99" 405248 over.p99_ns
+
+(* With no faults and a lenient policy, the resilient engine must
+   reproduce the plain engine exactly: same RNG draw order, same FIFO
+   service order, same histogram. *)
+let resilient_zero_fault_equivalence () =
+  List.iter
+    (fun (model, process) ->
+      let plain = H.Loadgen.run ~model ~process ~rate_rps:10_000 ~duration_ms:200 () in
+      let res =
+        H.Loadgen.run ~faults:H.Faults.none ~resilience:H.Loadgen.lenient_resilience
+          ~model ~process ~rate_rps:10_000 ~duration_ms:200 ()
+      in
+      let name = model.H.Server.name in
+      Alcotest.(check int) (name ^ " completed") plain.H.Loadgen.completed res.H.Loadgen.completed;
+      Alcotest.(check int) (name ^ " errors") plain.errors res.errors;
+      Alcotest.(check int) (name ^ " gc") plain.gc_pauses res.gc_pauses;
+      Alcotest.(check int) (name ^ " p50") plain.p50_ns res.p50_ns;
+      Alcotest.(check int) (name ^ " p99") plain.p99_ns res.p99_ns;
+      Alcotest.(check int) (name ^ " p999") plain.p999_ns res.p999_ns;
+      Alcotest.(check int) (name ^ " max") plain.max_ns res.max_ns;
+      Alcotest.(check (float 0.0001)) (name ^ " achieved") plain.achieved_rps res.achieved_rps)
+    H.Experiment.servers
+
+let check_taxonomy name (o : H.Loadgen.outcome) =
+  Alcotest.(check int)
+    (name ^ " dispositions partition the trace")
+    o.total_requests
+    (o.completed + o.timeouts + o.malformed);
+  Alcotest.(check int) (name ^ " errors = timeouts + malformed")
+    (o.timeouts + o.malformed) o.errors;
+  Alcotest.(check int)
+    (name ^ " every fault accounted exactly once")
+    o.faults.H.Loadgen.injected
+    (o.faults.H.Loadgen.to_malformed + o.faults.H.Loadgen.to_retried
+   + o.faults.H.Loadgen.to_timeout + o.faults.H.Loadgen.to_server_error
+   + o.faults.H.Loadgen.to_absorbed)
+
+(* The acceptance run: default fault plan, 20k req/s, all three
+   servers — no uncaught exceptions, taxonomy invariants hold, and the
+   run is deterministic in the seed. *)
+let resilient_default_faults () =
+  List.iter
+    (fun (model, process) ->
+      let run () =
+        H.Loadgen.run ~faults:H.Faults.default ~model ~process ~rate_rps:20_000
+          ~duration_ms:300 ()
+      in
+      let o = run () in
+      let name = model.H.Server.name in
+      check_taxonomy name o;
+      Alcotest.(check bool) (name ^ " injected some faults") true
+        (o.faults.H.Loadgen.injected > 0);
+      Alcotest.(check bool) (name ^ " most requests still complete") true
+        (float_of_int o.completed > 0.9 *. float_of_int o.total_requests);
+      Alcotest.(check bool) (name ^ " crash barrier produced 500s") true
+        (o.server_errors > 0);
+      Alcotest.(check bool) (name ^ " drops were retried") true (o.retries > 0);
+      let o' = run () in
+      Alcotest.(check bool) (name ^ " deterministic in seed") true (o = o'))
+    H.Experiment.servers
+
+let resilient_sheds_under_tiny_cap () =
+  let o =
+    H.Loadgen.run ~faults:H.Faults.none
+      ~resilience:{ H.Loadgen.default_resilience with queue_cap = 2 }
+      ~model:H.Server.mc ~process:H.Server_effects.process_raw ~rate_rps:40_000
+      ~duration_ms:200 ()
+  in
+  Alcotest.(check bool) "sheds under overload" true (o.H.Loadgen.shed > 0);
+  check_taxonomy "mc tiny cap" o
+
+(* Goodput degrades gracefully as fault intensity rises: it shrinks,
+   but never collapses (the resilience layer keeps most requests
+   completing even at twice the default fault rates). *)
+let degradation_graceful () =
+  let goodput intensity =
+    let o =
+      H.Loadgen.run
+        ~faults:(H.Faults.scale intensity H.Faults.default)
+        ~model:H.Server.mc ~process:H.Server_effects.process_raw ~rate_rps:20_000
+        ~duration_ms:300 ()
+    in
+    check_taxonomy (Printf.sprintf "mc @%.1fx" intensity) o;
+    float_of_int o.completed /. float_of_int o.total_requests
+  in
+  let g0 = goodput 0.0 and g1 = goodput 1.0 and g2 = goodput 2.0 in
+  Alcotest.(check bool) "zero faults complete everything" true (g0 = 1.0);
+  Alcotest.(check bool) (Printf.sprintf "monotone %.4f >= %.4f" g1 g2) true (g1 >= g2);
+  Alcotest.(check bool) (Printf.sprintf "no collapse (%.4f)" g2) true (g2 > 0.9)
+
 let suite =
   [
     test "parse GET" parse_get;
@@ -269,4 +532,15 @@ let suite =
     test "loadgen deterministic" loadgen_deterministic;
     test "throughput saturates" throughput_saturates;
     test "mc has best tail" mc_best_tail;
+    test "format_request emits one content-length" format_request_content_length_once;
+    test "netsim poisson determinism" netsim_poisson_properties;
+    test "parser survives truncation at every prefix" parse_truncation_total;
+    test "parser rejects garbage headers" parse_garbage_headers;
+    test "fault plans are deterministic" faults_plan_deterministic;
+    test "damaged requests rejected, crashes barriered" faults_damage_is_rejected_not_fatal;
+    test "loadgen frozen counters" loadgen_frozen_counters;
+    test "resilient engine matches plain at zero faults" resilient_zero_fault_equivalence;
+    test "resilient run under default faults" resilient_default_faults;
+    test "admission control sheds" resilient_sheds_under_tiny_cap;
+    test "goodput degrades gracefully" degradation_graceful;
   ]

@@ -127,8 +127,15 @@ let format_request req =
   Buffer.add_char buf ' ';
   Buffer.add_string buf req.version;
   Buffer.add_string buf "\r\n";
+  (* Header names are case-insensitive (RFC 7230 §3.2): a caller header
+     spelled "Content-Length" must suppress the synthesised one. *)
+  let has_content_length =
+    List.exists
+      (fun (name, _) -> String.lowercase_ascii name = "content-length")
+      req.headers
+  in
   let headers =
-    if List.mem_assoc "content-length" req.headers || req.body = "" then req.headers
+    if has_content_length || req.body = "" then req.headers
     else req.headers @ [ ("content-length", string_of_int (String.length req.body)) ]
   in
   format_headers buf headers;

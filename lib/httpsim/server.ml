@@ -52,7 +52,14 @@ let static_page =
   Buffer.add_string buf "</body></html>";
   Buffer.contents buf
 
+exception Backend_failure
+
+let crash_header = "x-fault-inject"
+
+let internal_error = Http.response ~status:500 "internal server error"
+
 let app_handler (req : Http.request) =
+  if Http.header req crash_header = Some "crash" then raise Backend_failure;
   match (req.meth, req.target) with
   | Http.GET, "/" -> Http.ok static_page
   | Http.GET, _ -> Http.not_found
