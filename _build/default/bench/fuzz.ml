@@ -1,0 +1,65 @@
+(* Differential conformance fuzzer CLI.
+
+   Replays the committed corpus first, then runs a seeded campaign
+   cross-checking the three models.  Exit code 0 only when both are
+   clean, so CI can gate on it directly. *)
+
+module C = Retrofit_conformance
+
+let () =
+  let seed = ref 1 in
+  let count = ref 1000 in
+  let max_steps = ref 20_000_000 in
+  let no_dwarf = ref false in
+  let no_audit = ref false in
+  let no_shrink = ref false in
+  let multishot = ref false in
+  let sem_multishot = ref false in
+  let skip_corpus = ref false in
+  let speclist =
+    [
+      ("--seed", Arg.Set_int seed, "INT campaign seed (default 1)");
+      ("--count", Arg.Set_int count, "INT number of generated programs (default 1000)");
+      ( "--max-steps",
+        Arg.Set_int max_steps,
+        "INT fiber-machine fuel per program (default 20M)" );
+      ("--no-dwarf", Arg.Set no_dwarf, " disable DWARF unwind sampling");
+      ("--no-audit", Arg.Set no_audit, " disable the fiber-machine auditor");
+      ("--no-shrink", Arg.Set no_shrink, " report failures unshrunk");
+      ( "--multishot",
+        Arg.Set multishot,
+        " mutation mode: disable the fiber machine's one-shot check (expected to fail)"
+      );
+      ( "--sem-multishot",
+        Arg.Set sem_multishot,
+        " mutation mode: disable the semantics machine's one-shot discipline (expected \
+         to fail)" );
+      ("--skip-corpus", Arg.Set skip_corpus, " skip the corpus replay");
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz [options]";
+  let failed = ref false in
+  if not !skip_corpus then begin
+    match C.Fuzz.replay_corpus () with
+    | [] -> Printf.printf "corpus: %d entries ok\n%!" (List.length C.Corpus.entries)
+    | problems ->
+        failed := true;
+        List.iter
+          (fun (name, problem) -> Printf.printf "corpus %s FAILED: %s\n" name problem)
+          problems
+  end;
+  let fiber_config =
+    if !multishot then
+      Retrofit_fiber.Config.with_multishot true Retrofit_fiber.Config.mc
+    else Retrofit_fiber.Config.mc
+  in
+  let stats =
+    C.Fuzz.campaign ~fiber_config ~fib_fuel:!max_steps
+      ~sem_one_shot:(not !sem_multishot) ~audit:(not !no_audit)
+      ~dwarf:(not !no_dwarf) ~shrink:(not !no_shrink) ~seed:!seed ~count:!count ()
+  in
+  print_string (C.Fuzz.stats_to_string stats);
+  if stats.C.Fuzz.failures <> [] then failed := true;
+  exit (if !failed then 1 else 0)

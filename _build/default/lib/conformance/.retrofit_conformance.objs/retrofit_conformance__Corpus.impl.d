@@ -1,0 +1,1 @@
+lib/conformance/corpus.ml: Ir Outcome Printf

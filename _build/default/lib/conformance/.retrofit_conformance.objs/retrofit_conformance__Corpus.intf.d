@@ -1,0 +1,1 @@
+lib/conformance/corpus.mli: Ir Outcome

@@ -1,0 +1,1 @@
+lib/conformance/fiber_backend.ml: Array Ir List Outcome Retrofit_dwarf Retrofit_fiber Retrofit_util

@@ -1,0 +1,1 @@
+lib/conformance/fiber_backend.mli: Ir Outcome Retrofit_fiber Retrofit_util

@@ -1,0 +1,1 @@
+lib/conformance/fuzz.ml: Buffer Corpus Gen Hashtbl Ir List Oracle Outcome Printf Shrink

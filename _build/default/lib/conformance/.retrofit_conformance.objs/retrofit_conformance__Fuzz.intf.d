@@ -1,0 +1,1 @@
+lib/conformance/fuzz.mli: Gen Ir Oracle Retrofit_fiber

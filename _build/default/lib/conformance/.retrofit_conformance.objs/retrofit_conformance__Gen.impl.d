@@ -1,0 +1,1 @@
+lib/conformance/gen.ml: Ir List Printf Retrofit_util

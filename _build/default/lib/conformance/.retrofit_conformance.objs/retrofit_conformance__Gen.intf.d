@@ -1,0 +1,1 @@
+lib/conformance/gen.mli: Ir Retrofit_util

@@ -1,0 +1,1 @@
+lib/conformance/ir.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/conformance/native_backend.ml: Effect Fun Hashtbl Ir List Outcome Retrofit_core

@@ -1,0 +1,1 @@
+lib/conformance/native_backend.mli: Ir Outcome

@@ -1,0 +1,1 @@
+lib/conformance/oracle.ml: Buffer Fiber_backend Ir List Native_backend Outcome Printf Retrofit_fiber Sem_backend

@@ -1,0 +1,1 @@
+lib/conformance/oracle.mli: Ir Outcome Retrofit_fiber

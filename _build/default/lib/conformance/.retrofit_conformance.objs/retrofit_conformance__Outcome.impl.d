@@ -1,0 +1,1 @@
+lib/conformance/outcome.ml: Printf

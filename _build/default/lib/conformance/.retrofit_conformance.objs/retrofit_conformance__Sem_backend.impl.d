@@ -1,0 +1,1 @@
+lib/conformance/sem_backend.ml: Ir List Outcome Printf Retrofit_semantics

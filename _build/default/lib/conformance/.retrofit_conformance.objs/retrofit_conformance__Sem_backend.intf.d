@@ -1,0 +1,1 @@
+lib/conformance/sem_backend.mli: Ir Outcome Retrofit_semantics

@@ -1,0 +1,1 @@
+lib/conformance/shrink.ml: Hashtbl Ir List

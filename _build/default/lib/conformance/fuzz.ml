@@ -1,0 +1,123 @@
+type failure = {
+  index : int;
+  prog_seed : int;
+  report : Oracle.report;
+  shrunk : Ir.program option;
+  shrunk_report : Oracle.report option;
+}
+
+type stats = {
+  programs : int;
+  agreements : (string * int) list;
+  skips : (string * int) list;
+  audit_checks : int;
+  dwarf_probes : int;
+  failures : failure list;
+}
+
+(* Knuth multiplicative mixing keeps per-program seeds decorrelated
+   even for consecutive campaign seeds; masking keeps them positive. *)
+let prog_seed ~seed i = (seed lxor ((i + 1) * 0x9E3779B1)) land max_int
+
+let pair_names = [ "semantics<->fiber"; "fiber<->native"; "semantics<->native" ]
+
+let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
+    ?(dwarf = true) ?(max_failures = 5) ?(shrink = true) ~seed ~count () : stats =
+  let agree = Hashtbl.create 4 and skip = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace agree p 0;
+      Hashtbl.replace skip p 0)
+    pair_names;
+  let bump tbl p = Hashtbl.replace tbl p (Hashtbl.find tbl p + 1) in
+  let audit_checks = ref 0 and dwarf_probes = ref 0 in
+  let failures = ref [] in
+  let run_oracle p s =
+    Oracle.run ?fiber_config ?fib_fuel ?sem_one_shot ~audit
+      ?dwarf_seed:(if dwarf then Some s else None)
+      p
+  in
+  let i = ref 0 in
+  while !i < count && List.length !failures < max_failures do
+    let s = prog_seed ~seed !i in
+    let p = Gen.program_of_seed ?cfg s in
+    let r = run_oracle p s in
+    audit_checks := !audit_checks + r.Oracle.audit_checks;
+    dwarf_probes := !dwarf_probes + r.Oracle.dwarf_probes;
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Oracle.Agree -> bump agree name
+        | Oracle.Skip -> bump skip name
+        | Oracle.Diff -> ())
+      r.Oracle.pairs;
+    if not (Oracle.ok r) then begin
+      let shrunk, shrunk_report =
+        if shrink then begin
+          let interesting q = not (Oracle.ok (run_oracle q s)) in
+          let q = Shrink.minimize ~interesting p in
+          (Some q, Some (run_oracle q s))
+        end
+        else (None, None)
+      in
+      failures := { index = !i; prog_seed = s; report = r; shrunk; shrunk_report } :: !failures
+    end;
+    incr i
+  done;
+  {
+    programs = !i;
+    agreements = List.map (fun p -> (p, Hashtbl.find agree p)) pair_names;
+    skips = List.map (fun p -> (p, Hashtbl.find skip p)) pair_names;
+    audit_checks = !audit_checks;
+    dwarf_probes = !dwarf_probes;
+    failures = List.rev !failures;
+  }
+
+let replay_corpus () =
+  List.filter_map
+    (fun (e : Corpus.entry) ->
+      let r = Oracle.run ~audit:true ~dwarf_seed:1 e.program in
+      if not (Oracle.ok r) then
+        Some (e.name, "oracle disagreement:\n" ^ Oracle.to_string r)
+      else if not (Outcome.equal r.Oracle.nat e.expect) then
+        Some
+          ( e.name,
+            Printf.sprintf "expected %s, native produced %s"
+              (Outcome.to_string e.expect)
+              (Outcome.to_string r.Oracle.nat) )
+      else None)
+    Corpus.entries
+
+let failure_to_string f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "--- failure at program %d (seed %d) ---\n" f.index f.prog_seed);
+  Buffer.add_string b (Ir.program_to_string f.report.Oracle.program);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Oracle.to_string f.report);
+  (match (f.shrunk, f.shrunk_report) with
+  | Some q, Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "shrunk to %d nodes:\n" (Ir.program_nodes q));
+      Buffer.add_string b (Ir.program_to_string q);
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Oracle.to_string r)
+  | _ -> ());
+  Buffer.add_string b
+    (Printf.sprintf "replay: Gen.program_of_seed %d  (campaign program %d)\n"
+       f.prog_seed f.index);
+  Buffer.contents b
+
+let stats_to_string s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (Printf.sprintf "programs: %d\n" s.programs);
+  List.iter
+    (fun (p, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-20s agree %d, skip %d\n" p n (List.assoc p s.skips)))
+    s.agreements;
+  Buffer.add_string b
+    (Printf.sprintf "audit checks: %d, dwarf probes: %d, failures: %d\n"
+       s.audit_checks s.dwarf_probes (List.length s.failures));
+  List.iter (fun f -> Buffer.add_string b (failure_to_string f)) s.failures;
+  Buffer.contents b

@@ -1,0 +1,54 @@
+(** Campaign driver: generate, cross-check, shrink, report.
+
+    Program [i] of a campaign is generated from the derived seed
+    [prog_seed ~seed i], so any failure is replayable from the campaign
+    seed and the program index alone — independent of how many programs
+    ran before it or of any other command-line setting. *)
+
+type failure = {
+  index : int;
+  prog_seed : int;
+  report : Oracle.report;
+  shrunk : Ir.program option;
+  shrunk_report : Oracle.report option;
+}
+
+type stats = {
+  programs : int;
+  agreements : (string * int) list;  (** per pair *)
+  skips : (string * int) list;  (** per pair, fuel-outs *)
+  audit_checks : int;
+  dwarf_probes : int;
+  failures : failure list;
+}
+
+val prog_seed : seed:int -> int -> int
+(** Deterministic per-program seed derived from the campaign seed. *)
+
+val campaign :
+  ?cfg:Gen.cfg ->
+  ?fiber_config:Retrofit_fiber.Config.t ->
+  ?fib_fuel:int ->
+  ?sem_one_shot:bool ->
+  ?audit:bool ->
+  ?dwarf:bool ->
+  ?max_failures:int ->
+  ?shrink:bool ->
+  seed:int ->
+  count:int ->
+  unit ->
+  stats
+(** Runs [count] programs.  Stops early after [max_failures] failures
+    (default 5).  [dwarf] (default true) samples unwind round-trips,
+    reusing the per-program seed for probe placement.  [shrink]
+    (default true) minimises each failing program before recording
+    it. *)
+
+val replay_corpus : unit -> (string * string) list
+(** Runs every {!Corpus} entry through the oracle and pins its native
+    outcome to the entry's [expect]; returns [(name, problem)] pairs,
+    empty when the corpus is green. *)
+
+val failure_to_string : failure -> string
+
+val stats_to_string : stats -> string

@@ -1,0 +1,85 @@
+(** The common IR of the conformance fuzzer.
+
+    One program, three executions: the differential oracle lowers each
+    program in this IR to a {!Retrofit_semantics} term (the §4
+    semantics), a {!Retrofit_fiber} program (the §5 runtime model), and
+    a directly-interpreted native OCaml effects function — so the IR is
+    the intersection of what the three can express.
+
+    The language is first-order and integer-typed.  As in the fiber
+    machine's source language, handler cases are named functions rather
+    than closures; an effect case is a dedicated [Eff_case] function
+    whose second parameter binds the captured continuation, and
+    continuation variables may only be consumed by [Continue] and
+    [Discontinue].  Functions may reference earlier-defined functions
+    or themselves (general recursion), which keeps the semantics
+    lowering to nested [let rec]s faithful. *)
+
+type binop = Add | Sub | Mul | Div | Lt | Le | Eq
+
+type expr =
+  | Int of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr  (** 0 is false *)
+  | Let of string * expr * expr
+  | Seq of expr * expr
+  | Call of string * expr list
+  | Raise of string * expr
+  | Try of expr * (string * string * expr) list
+      (** [Try (body, [label, var, handler; ...])]; unmatched labels
+          re-raise *)
+  | Perform of string * expr
+  | Handle of handle
+  | Continue of string * expr  (** continuation variable, resume value *)
+  | Discontinue of string * string * expr
+      (** continuation variable, label, payload *)
+  | Ext_id of expr
+      (** identity through an external C call: the argument crosses to
+          the C stack and back *)
+  | Callback of string * expr
+      (** call the named 1-argument function back from C: OCaml → C →
+          OCaml, installing a handler-less boundary in between *)
+
+and handle = {
+  h_body : string * expr list;  (** body function and its arguments *)
+  h_ret : string;  (** 1-argument [Plain] function *)
+  h_exncs : (string * string) list;  (** label → 1-argument [Plain] fn *)
+  h_effcs : (string * string) list;  (** label → [Eff_case] fn *)
+}
+
+type kind =
+  | Plain
+  | Eff_case  (** exactly two parameters: the payload and the continuation *)
+
+type fn = {
+  fn_name : string;
+  fn_params : string list;
+  fn_kind : kind;
+  fn_body : expr;
+}
+
+type program = { fns : fn list; main : string }
+(** [main] names a 0-argument [Plain] function, conventionally last. *)
+
+val expr_nodes : expr -> int
+
+val program_nodes : program -> int
+(** Expression nodes summed over every function body — the size measure
+    the shrinker minimises and the "≤ N node repro" criterion counts. *)
+
+val expr_to_string : expr -> string
+
+val program_to_string : program -> string
+(** One line per function; stable, so corpus entries and shrunk repros
+    print reproducibly. *)
+
+val validate : program -> (unit, string) result
+(** Well-formedness: unique function names; a 0-argument [Plain] main;
+    [Eff_case] functions have exactly two parameters and are referenced
+    only from [h_effcs]; calls, handler cases and callbacks reference
+    earlier-defined functions (or, for calls, the function itself) with
+    matching arity; variables are bound; [Continue]/[Discontinue]
+    consume exactly the enclosing [Eff_case] function's continuation
+    parameter, which is never used as an integer.  Generator output
+    always validates; the shrinker discards candidates that do not. *)

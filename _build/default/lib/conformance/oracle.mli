@@ -1,0 +1,49 @@
+(** Differential oracle: run one program on all three models and diff
+    the normalised outcomes.
+
+    Comparison rules:
+    - a pair where either side ran out of fuel is {i skipped}
+      (inconclusive, not a disagreement);
+    - [Model_error] outcomes are never equal to anything, and any
+      model error fails the report outright (even if every pair
+      skipped);
+    - otherwise outcomes must be structurally equal.
+
+    A report also fails if the fiber machine's runtime auditor
+    recorded a violation or a sampled DWARF unwind failed to
+    round-trip. *)
+
+type verdict = Agree | Skip | Diff
+
+type report = {
+  program : Ir.program;
+  sem : Outcome.t;
+  fib : Outcome.t;
+  nat : Outcome.t;
+  pairs : (string * verdict) list;
+      (** ["semantics<->fiber"], ["fiber<->native"],
+          ["semantics<->native"] *)
+  audit_checks : int;
+  audit_violations : (string * string) list;
+  dwarf_probes : int;
+  dwarf_failures : string list;
+}
+
+val run :
+  ?sem_fuel:int ->
+  ?fib_fuel:int ->
+  ?nat_fuel:int ->
+  ?audit:bool ->
+  ?dwarf_seed:int ->
+  ?fiber_config:Retrofit_fiber.Config.t ->
+  ?sem_one_shot:bool ->
+  Ir.program ->
+  report
+(** [sem_one_shot] defaults to [true] so the §4 machine enforces the
+    same one-shot discipline as the other two models; pass [false] to
+    deliberately reintroduce multi-shot semantics (used by the
+    mutation-catching tests). *)
+
+val ok : report -> bool
+
+val to_string : report -> string

@@ -1,0 +1,28 @@
+type t =
+  | Value of int
+  | Exn of string * int
+  | Unhandled
+  | One_shot
+  | Fuel_out
+  | Model_error of string
+
+let normalize_exn l p =
+  if l = "Unhandled" then Unhandled
+  else if l = "Invalid_argument" then One_shot
+  else Exn (l, p)
+
+let equal a b =
+  match (a, b) with
+  | Value m, Value n -> m = n
+  | Exn (l, p), Exn (l', p') -> l = l' && p = p'
+  | Unhandled, Unhandled | One_shot, One_shot | Fuel_out, Fuel_out -> true
+  | Model_error _, _ | _, Model_error _ -> false
+  | _ -> false
+
+let to_string = function
+  | Value n -> Printf.sprintf "value %d" n
+  | Exn (l, p) -> Printf.sprintf "exn %s %d" l p
+  | Unhandled -> "unhandled"
+  | One_shot -> "one-shot violation"
+  | Fuel_out -> "fuel exhausted"
+  | Model_error m -> Printf.sprintf "model error: %s" m

@@ -1,0 +1,36 @@
+(** Normalised results, the common currency of the differential oracle.
+
+    Each backend maps its own notion of termination onto this type:
+
+    - a program value → [Value];
+    - an uncaught user exception → [Exn (label, payload)];
+    - an effect reaching a handler-less boundary (the main stack, or a
+      callback frame — §3.1's "effects do not cross C frames") →
+      [Unhandled] (the semantics raises label "Unhandled", the machine
+      its interned built-in, native OCaml [Effect.Unhandled]);
+    - a second resume of a continuation → [One_shot] (label
+      "Invalid_argument" in the semantics and machine,
+      [Continuation_already_resumed] natively);
+    - step/op budget exhausted → [Fuel_out], which makes any comparison
+      with that backend inconclusive rather than a disagreement;
+    - a state a correct model cannot reach (stuck configurations, fatal
+      machine errors, interpreter failures) → [Model_error], which is
+      never equal to anything, including itself: a model error is
+      always a reportable failure. *)
+
+type t =
+  | Value of int
+  | Exn of string * int
+  | Unhandled
+  | One_shot
+  | Fuel_out
+  | Model_error of string
+
+val normalize_exn : string -> int -> t
+(** An uncaught exception by label and payload: "Unhandled" →
+    {!Unhandled}, "Invalid_argument" → {!One_shot}, anything else →
+    [Exn]. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string

@@ -1,1 +1,1 @@
-lib/fiber/stack_cache.ml: Hashtbl Segment
+lib/fiber/stack_cache.ml: Hashtbl List Segment

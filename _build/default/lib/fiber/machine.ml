@@ -22,6 +22,44 @@ type cont = { fibers : Fiber.t Vec.t; mutable cont_live : bool }
 (* [fibers] holds the captured chain innermost first; a Vec so capture
    appends in O(1) and resume reads both ends in O(1). *)
 
+type audit = {
+  mutable a_interval : int;
+  a_soft_cap : int;
+  mutable a_budget : int; (* checks left before the interval doubles *)
+  mutable a_countdown : int;
+  mutable a_checks : int;
+  mutable a_nviolations : int;
+  mutable a_violations : (string * string) list; (* newest first, capped *)
+}
+
+let max_recorded_violations = 20
+
+let audit ?(interval = 1) ?(soft_cap = 50_000) () =
+  if interval <= 0 then invalid_arg "Machine.audit: interval must be positive";
+  if soft_cap <= 0 then invalid_arg "Machine.audit: soft_cap must be positive";
+  {
+    a_interval = interval;
+    a_soft_cap = soft_cap;
+    a_budget = soft_cap;
+    a_countdown = interval;
+    a_checks = 0;
+    a_nviolations = 0;
+    a_violations = [];
+  }
+
+let audit_checks a = a.a_checks
+
+let audit_violation_count a = a.a_nviolations
+
+let audit_violations a = List.rev a.a_violations
+
+let audit_ok a = a.a_nviolations = 0
+
+let audit_fail a inv detail =
+  a.a_nviolations <- a.a_nviolations + 1;
+  if List.length a.a_violations < max_recorded_violations then
+    a.a_violations <- (inv, detail) :: a.a_violations
+
 type t = {
   cfg : Config.t;
   prog : Compile.compiled;
@@ -37,6 +75,7 @@ type t = {
   mutable result : outcome option;
   mutable fuel : int;
   on_call : (t -> unit) option;
+  auditor : audit option;
   unhandled_id : int;
   invalid_arg_id : int;
   divzero_id : int;
@@ -92,6 +131,7 @@ let pop_op (f : Fiber.t) =
 (* Fiber allocation, preamble initialisation and growth *)
 
 let alloc_segment t ~size =
+  if t.cfg.stack_cache then count t "stack_cache_lookup";
   match if t.cfg.stack_cache then Stack_cache.take t.cache ~size else None with
   | Some seg ->
       count t "stack_cache_hit";
@@ -217,6 +257,19 @@ let emulate_call t (f : Fiber.t) fid (args : int array) ~ra =
         else true
     | Config.Mc ->
         let checked = not (fn.is_leaf && needed <= t.cfg.red_zone) in
+        (match t.auditor with
+        | Some a
+          when checked
+               <> Otss.needs_check ~red_zone:t.cfg.red_zone ~is_leaf:fn.is_leaf
+                    ~frame_words:needed ->
+            audit_fail a "red-zone-elision"
+              (Printf.sprintf
+                 "%s: overflow check %s but Otss.needs_check says %b (leaf=%b, \
+                  frame=%d, red_zone=%d)"
+                 fn.fn_name
+                 (if checked then "emitted" else "elided")
+                 (not checked) fn.is_leaf needed t.cfg.red_zone)
+        | _ -> ());
         if checked then begin
           count t "overflow_check";
           charge t Costs.check;
@@ -520,6 +573,191 @@ let pop_trap t (f : Fiber.t) =
   ignore (Vec.pop f.traps)
 
 (* ------------------------------------------------------------------ *)
+(* Runtime invariant auditing.
+
+   With an auditor installed, the machine re-checks the structural
+   invariants of §5 between steps: the Fig 3a handler_info words agree
+   with the fiber records, register and trap-chain well-formedness, the
+   base-address index covers exactly the live fibers, stack-cache
+   entries are never aliased by a live stack, and live continuations
+   form disjoint well-linked chains (one-shot linearity).  Violations
+   are recorded, not fatal, so a conformance run can report them
+   alongside outcome diffs. *)
+
+let audit_fiber t a (f : Fiber.t) =
+  let where = Printf.sprintf "fiber %d" f.Fiber.id in
+  let top = Segment.top f.seg and base = Segment.base f.seg in
+  if not f.live then audit_fail a "liveness" (where ^ " registered but marked dead");
+  (* Fig 3a handler_info: parent-id word mirrors the parent pointer. *)
+  let parent_word = rd f (top - 1) in
+  let expect_parent = match f.parent with Some p -> p.Fiber.id | None -> -1 in
+  if parent_word <> expect_parent then
+    audit_fail a "layout-parent"
+      (Printf.sprintf "%s: parent word %d but fiber record says %d" where
+         parent_word expect_parent);
+  (* Fig 3a handler_info: the handler word names the installed handler;
+     -1 on the main stack.  A callback boundary blanks the record while
+     its boundary trap is live, leaving the word in place. *)
+  let has_c_trap = ref false in
+  Vec.iter
+    (fun (addr, _) -> if rd f (addr + 1) = Layout.c_trap then has_c_trap := true)
+    f.traps;
+  let handler_word = rd f (top - 2) in
+  (match f.handler with
+  | Some h ->
+      if
+        handler_word < 0
+        || handler_word >= Array.length t.prog.handles
+        || not (t.prog.handles.(handler_word) == h)
+      then
+        audit_fail a "layout-handler"
+          (Printf.sprintf "%s: handler word %d does not name the installed handler"
+             where handler_word)
+  | None ->
+      if handler_word <> -1 && not !has_c_trap then
+        audit_fail a "layout-handler"
+          (Printf.sprintf
+             "%s: no handler installed but handler word is %d and no callback \
+              boundary is live"
+             where handler_word));
+  (* Saved registers stay inside the segment, frame address above sp. *)
+  if f.regs.sp < base || f.regs.sp > top then
+    audit_fail a "layout-sp"
+      (Printf.sprintf "%s: sp %d outside [%d, %d]" where f.regs.sp base top);
+  if f.regs.cfa < f.regs.sp || f.regs.cfa > top then
+    audit_fail a "layout-cfa"
+      (Printf.sprintf "%s: cfa %d outside [sp=%d, %d]" where f.regs.cfa f.regs.sp top);
+  (* The in-memory trap chain is strictly increasing, lies in the used
+     region, and matches the mirror Vec trap for trap. *)
+  let nmirror = Vec.length f.traps in
+  let rec walk addr i =
+    if addr = 0 then begin
+      if i <> nmirror then
+        audit_fail a "trap-chain"
+          (Printf.sprintf "%s: chain has %d traps but mirror has %d" where i nmirror)
+    end
+    else if i >= nmirror then
+      audit_fail a "trap-chain" (where ^ ": in-memory trap chain longer than mirror")
+    else begin
+      let maddr, _ = Vec.get f.traps (nmirror - 1 - i) in
+      if maddr <> addr then
+        audit_fail a "trap-chain"
+          (Printf.sprintf "%s: trap %d at address %d but mirror says %d" where i addr
+             maddr);
+      if addr < f.regs.sp || addr + 1 >= top then
+        audit_fail a "trap-chain"
+          (Printf.sprintf "%s: trap address %d outside [sp=%d, top)" where addr
+             f.regs.sp);
+      let next = rd f addr in
+      if next <> 0 && next <= addr then
+        audit_fail a "trap-chain"
+          (Printf.sprintf "%s: trap chain not strictly increasing at %d" where addr)
+      else walk next (i + 1)
+    end
+  in
+  walk f.regs.exn_ptr 0
+
+let audit_index t a =
+  let nlive = Hashtbl.length t.fibers_live in
+  let nindexed = Imap.cardinal t.by_base in
+  if nlive <> nindexed then
+    audit_fail a "addr-index"
+      (Printf.sprintf "%d live fibers but %d indexed bases" nlive nindexed);
+  Hashtbl.iter
+    (fun _ (f : Fiber.t) ->
+      match Imap.find_opt (Segment.base f.seg) t.by_base with
+      | Some g when g == f -> ()
+      | _ ->
+          audit_fail a "addr-index"
+            (Printf.sprintf "fiber %d missing from the base index" f.id))
+    t.fibers_live
+
+let audit_cache t a =
+  Stack_cache.iter t.cache (fun seg ->
+      match Imap.find_opt (Segment.base seg) t.by_base with
+      | Some f when f.Fiber.seg == seg ->
+          audit_fail a "cache-alias"
+            (Printf.sprintf "cached segment at base %d is fiber %d's live stack"
+               (Segment.base seg) f.Fiber.id)
+      | _ -> ())
+
+let audit_conts t a =
+  let owner = Hashtbl.create 16 in
+  Vec.iteri
+    (fun kid k ->
+      if k.cont_live && not (Vec.is_empty k.fibers) then begin
+        let n = Vec.length k.fibers in
+        Vec.iteri
+          (fun i (f : Fiber.t) ->
+            (match Hashtbl.find_opt owner f.Fiber.id with
+            | Some kid' ->
+                audit_fail a "one-shot"
+                  (Printf.sprintf "fiber %d captured by live continuations %d and %d"
+                     f.id kid' kid)
+            | None -> Hashtbl.add owner f.id kid);
+            if not f.live then
+              audit_fail a "one-shot"
+                (Printf.sprintf "continuation %d holds dead fiber %d" kid f.id);
+            if f == t.current then
+              audit_fail a "one-shot"
+                (Printf.sprintf "continuation %d holds the running fiber %d" kid f.id);
+            (match Hashtbl.find_opt t.fibers_live f.id with
+            | Some g when g == f -> ()
+            | _ ->
+                audit_fail a "one-shot"
+                  (Printf.sprintf "continuation %d holds unregistered fiber %d" kid
+                     f.id));
+            let expected_parent =
+              if i = n - 1 then None else Some (Vec.get k.fibers (i + 1))
+            in
+            match (f.parent, expected_parent) with
+            | None, None -> ()
+            | Some p, Some q when p == q -> ()
+            | _ ->
+                audit_fail a "cont-chain"
+                  (Printf.sprintf "continuation %d: fiber %d parent link broken" kid
+                     f.id))
+          k.fibers
+      end)
+    t.conts
+
+let audit_machine t a =
+  a.a_checks <- a.a_checks + 1;
+  (if t.current.Fiber.id >= 0 then
+     match Hashtbl.find_opt t.fibers_live t.current.Fiber.id with
+     | Some g when g == t.current -> ()
+     | _ -> audit_fail a "liveness" "the running fiber is not registered live");
+  audit_index t a;
+  Hashtbl.iter (fun _ f -> audit_fiber t a f) t.fibers_live;
+  audit_cache t a;
+  audit_conts t a
+
+(* Audited invariants hold between steps of a running machine; after
+   the final step (result set) the unwinder legitimately leaves cfa
+   pointing at the frame that raised, below the popped trap. *)
+let audit_tick t =
+  if t.result <> None then ()
+  else
+    match t.auditor with
+    | None -> ()
+    | Some a ->
+      a.a_countdown <- a.a_countdown - 1;
+      if a.a_countdown <= 0 then begin
+        (* Each audit walks the whole machine, so per-step auditing of a
+           fuel-bound pathological program would be quadratic.  After
+           [soft_cap] checks the interval doubles, keeping total audit
+           work logarithmic in the step count while still checking every
+           step of ordinarily-sized runs. *)
+        a.a_budget <- a.a_budget - 1;
+        if a.a_budget <= 0 then begin
+          a.a_interval <- a.a_interval * 2;
+          a.a_budget <- a.a_soft_cap
+        end;
+        a.a_countdown <- a.a_interval;
+        audit_machine t a
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Instruction dispatch *)
 
 let binop t op a b =
@@ -550,7 +788,7 @@ let require_mc t what =
   | Config.Stock ->
       fatal (what ^ " is not supported by the stock runtime configuration")
 
-let rec step t =
+let rec exec_instr t =
   if t.fuel <= 0 then fatal "out of fuel";
   t.fuel <- t.fuel - 1;
   count t "ops";
@@ -710,6 +948,10 @@ and run_callback t name args =
       restore ();
       raise e
 
+and step t =
+  exec_instr t;
+  audit_tick t
+
 (* ------------------------------------------------------------------ *)
 (* Backtraces (ground truth) *)
 
@@ -755,7 +997,7 @@ let shadow_backtrace t =
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
-let run ?cache ?(cfuns = []) ?on_call ?(fuel = 200_000_000) cfg prog =
+let run ?cache ?(cfuns = []) ?on_call ?audit ?(fuel = 200_000_000) cfg prog =
   let counters = Counter.create () in
   let cache = match cache with Some c -> c | None -> Stack_cache.create () in
   let cfun_impls =
@@ -781,6 +1023,7 @@ let run ?cache ?(cfuns = []) ?on_call ?(fuel = 200_000_000) cfg prog =
       result = None;
       fuel;
       on_call;
+      auditor = audit;
       unhandled_id = Compile.exn_id prog Compile.unhandled_exn;
       invalid_arg_id = Compile.exn_id prog Compile.invalid_argument_exn;
       divzero_id = Compile.exn_id prog Compile.division_by_zero_exn;

@@ -40,10 +40,53 @@ exception Ocaml_exn of string * int
 
 type cfun = ctx -> int array -> int
 
+(** {1 Runtime invariant auditing}
+
+    An auditor re-checks the structural invariants of §5 between
+    machine steps (including steps taken inside callbacks):
+
+    - the Fig 3a handler_info words (parent id at [top-1], handler
+      index at [top-2]) mirror the fiber records, allowing for the
+      blanked handler of a live callback boundary;
+    - saved registers stay inside the segment and [cfa >= sp];
+    - the in-memory trap chain is strictly increasing, lies in the used
+      region, and matches the mirror Vec trap for trap;
+    - the base-address index covers exactly the live fibers;
+    - no stack-cache entry is aliased by a live fiber's stack;
+    - live continuations hold pairwise-disjoint chains of live,
+      registered, correctly parent-linked fibers, none of which is the
+      running fiber (one-shot linearity);
+    - every prologue overflow check is emitted or elided exactly when
+      {!Otss.needs_check} says so (checked at call time, not on the
+      audit interval).
+
+    Violations are recorded rather than fatal so a conformance run can
+    report them alongside outcome differences. *)
+
+type audit
+
+val audit : ?interval:int -> ?soft_cap:int -> unit -> audit
+(** A fresh auditor checking every [interval] steps (default 1).  Every
+    audit pass walks the whole machine, so to stay sub-quadratic on
+    pathological fuel-bound runs the interval doubles after each
+    [soft_cap] passes (default 50k): runs up to [interval * soft_cap]
+    steps are audited at full density, longer ones logarithmically. *)
+
+val audit_checks : audit -> int
+(** Number of full audit passes performed. *)
+
+val audit_ok : audit -> bool
+
+val audit_violation_count : audit -> int
+
+val audit_violations : audit -> (string * string) list
+(** Recorded [(invariant, detail)] pairs, oldest first, capped at 20. *)
+
 val run :
   ?cache:Stack_cache.t ->
   ?cfuns:(string * cfun) list ->
   ?on_call:(t -> unit) ->
+  ?audit:audit ->
   ?fuel:int ->
   Config.t ->
   Compile.compiled ->
@@ -51,8 +94,9 @@ val run :
 (** Executes the program's main function.  [cfuns] supplies C-function
     implementations by name; a program calling an unregistered name
     fails with [Fatal].  [on_call] runs after every call frame is
-    established — the hook the DWARF validator uses.  [fuel] bounds the
-    executed operation count (default 200 million). *)
+    established — the hook the DWARF validator uses.  [audit] enables
+    per-step invariant checking.  [fuel] bounds the executed operation
+    count (default 200 million). *)
 
 val c_raise : t -> string -> int -> 'a
 (** For C-function implementations: raise an OCaml exception across the

@@ -27,6 +27,8 @@ let write t addr v =
   check t addr;
   t.mem.(addr - t.seg_base) <- v
 
+let zero t = Array.fill t.mem 0 (Array.length t.mem) 0
+
 let blit_into ~src ~dst =
   let src_size = Array.length src.mem and dst_size = Array.length dst.mem in
   if dst_size < src_size then invalid_arg "Segment.blit_into: destination too small";

@@ -30,6 +30,11 @@ val read : t -> int -> int
 val write : t -> int -> int -> unit
 (** @raise Invalid_argument when the address is outside the segment. *)
 
+val zero : t -> unit
+(** Clear every word to 0.  Freed stacks are zeroed before reuse so a
+    recycled segment cannot leak a previous fiber's frames or
+    handler_info into its next occupant. *)
+
 val blit_into : src:t -> dst:t -> unit
 (** Copy the full contents of [src] into the {e high} end of [dst],
     preserving distance-from-top; used when growing a stack by copying.

@@ -48,8 +48,12 @@ let take t ~size =
       b.count <- b.count - 1;
       t.total_words <- t.total_words - size;
       t.total_count <- t.total_count - 1;
+      Segment.zero seg;
       Some seg
   | _ -> None
+
+let iter t f =
+  Hashtbl.iter (fun _ b -> List.iter f b.segs) t.buckets
 
 let population t = t.total_count
 

@@ -24,7 +24,14 @@ val put : t -> size:int -> Segment.t -> unit
     retaining it would exceed [max_total_words].  O(1). *)
 
 val take : t -> size:int -> Segment.t option
-(** A cached segment of exactly [size] words, if any.  O(1). *)
+(** A cached segment of exactly [size] words, if any, zeroed before it
+    is handed out so no words from its previous life (frames, trap
+    records, handler_info) survive into the new fiber.  O(size) on a
+    hit for the zeroing pass, O(1) otherwise. *)
+
+val iter : t -> (Segment.t -> unit) -> unit
+(** Visit every cached segment; used by [Machine.audit] to assert that
+    no retained segment is aliased by a live fiber. *)
 
 val population : t -> int
 (** Number of segments currently held.  O(1). *)

@@ -27,6 +27,10 @@ val unhandled_label : string
 val division_label : string
 (** The label raised on division by zero ("Division_by_zero"). *)
 
+val one_shot_label : string
+(** The label raised by the one-shot discipline on a second resume
+    ("Invalid_argument"), matching the runtime's behaviour (§5.2). *)
+
 val step : Syntax.config -> outcome
 (** One top-level reduction (STEPC or STEPO). *)
 
@@ -36,10 +40,16 @@ type result =
   | Stuck_config of string * Syntax.config
   | Out_of_fuel of Syntax.config
 
-val run : ?fuel:int -> ?trace:(Syntax.config -> unit) -> Ast.t -> result
+val run :
+  ?fuel:int -> ?trace:(Syntax.config -> unit) -> ?one_shot:bool -> Ast.t -> result
 (** Elaborates, then iterates [step] from the initial configuration.
     [fuel] bounds the number of steps (default 10_000_000); [trace] is
-    called on every configuration including the initial one. *)
+    called on every configuration including the initial one.
+    [one_shot] (default false, i.e. the paper's multi-shot semantics)
+    overlays §5's linearity restriction: resuming the same continuation
+    twice raises {!one_shot_label} at the resume site, which is how the
+    conformance fuzzer aligns this machine with the one-shot fiber
+    runtime and native OCaml effects. *)
 
 val run_string : ?fuel:int -> string -> result
 (** Parse and [run]. @raise Invalid_argument on a syntax error. *)

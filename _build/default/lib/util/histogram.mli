@@ -46,3 +46,14 @@ val mean : t -> float
 val merge_into : dst:t -> t -> unit
 (** Add all recordings of the source into [dst].  Both histograms must
     have identical parameters.  @raise Invalid_argument otherwise. *)
+
+(** {2 Bucketing internals}
+
+    Exposed so property tests can check the log-linear indexing
+    directly: [value_from_index t (counts_index t v)] must be a bucket
+    lower bound within the advertised relative error of [v], and
+    [counts_index] must be monotone in [v]. *)
+
+val counts_index : t -> int -> int
+
+val value_from_index : t -> int -> int

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest List Printf Retrofit_conformance Retrofit_fiber

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Counter Float Fun Gen Histogram List Pqueue QCheck QCheck_alcotest Retrofit_harness Retrofit_util Rng Stats String Table
+test/test_util.ml: Alcotest Array Counter Float Fun Gen Histogram List Pqueue Printf QCheck QCheck_alcotest Retrofit_harness Retrofit_util Rng Stats String Table

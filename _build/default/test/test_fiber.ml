@@ -92,6 +92,58 @@ let cache_total_words_cap () =
   F.Stack_cache.put c ~size:8 (F.Segment.create ~base:900 ~size:8);
   Alcotest.(check int) "room freed by take" 24 (F.Stack_cache.total_words c)
 
+let cache_total_words_exact () =
+  (* Drive the cache with a deterministic mixed put/take workload and
+     re-derive its aggregate bookkeeping from the retained segments
+     after every operation: total_words must track the sum of retained
+     sizes exactly and never exceed the cap. *)
+  let cap = 200 in
+  let c = F.Stack_cache.create ~max_per_bucket:8 ~max_total_words:cap () in
+  let rng = Retrofit_util.Rng.create 5 in
+  let sizes = [| 8; 16; 32; 64 |] in
+  for i = 0 to 499 do
+    let size = sizes.(Retrofit_util.Rng.int rng 4) in
+    if Retrofit_util.Rng.bool rng then
+      F.Stack_cache.put c ~size (F.Segment.create ~base:(i * 1000) ~size)
+    else ignore (F.Stack_cache.take c ~size);
+    let sum = ref 0 and n = ref 0 in
+    F.Stack_cache.iter c (fun seg ->
+        sum := !sum + F.Segment.size seg;
+        incr n);
+    Alcotest.(check int) "total_words = sum of retained sizes" !sum
+      (F.Stack_cache.total_words c);
+    Alcotest.(check int) "population = retained count" !n
+      (F.Stack_cache.population c);
+    Alcotest.(check bool) "cap respected" true (F.Stack_cache.total_words c <= cap)
+  done
+
+let cache_take_zeroed () =
+  let c = F.Stack_cache.create () in
+  let s = F.Segment.create ~base:50 ~size:24 in
+  for a = 50 to 73 do
+    F.Segment.write s a (a * 7)
+  done;
+  F.Stack_cache.put c ~size:24 s;
+  (match F.Stack_cache.take c ~size:24 with
+  | None -> Alcotest.fail "expected a cache hit"
+  | Some seg ->
+      for a = 50 to 73 do
+        Alcotest.(check int) "word zeroed" 0 (F.Segment.read seg a)
+      done)
+
+let cache_hit_miss_lookup_identity () =
+  (* Every cached-path allocation is one lookup that is either a hit or
+     a miss; the machine's counters must account for all of them. *)
+  let compiled = F.Compile.compile (F.Programs.effect_roundtrip ~iters:200) in
+  match F.Machine.run F.Config.mc compiled with
+  | F.Machine.Done _, counters ->
+      let get = Retrofit_util.Counter.get counters in
+      Alcotest.(check int) "hit + miss = lookups"
+        (get "stack_cache_lookup")
+        (get "stack_cache_hit" + get "stack_cache_miss");
+      Alcotest.(check bool) "lookups happened" true (get "stack_cache_lookup" > 0)
+  | _ -> Alcotest.fail "effect roundtrip failed"
+
 (* ---------------- Compiler ---------------- *)
 
 let compile_leafness () =
@@ -493,6 +545,9 @@ let suite =
     test "stack cache bound" cache_bound;
     test "stack cache pass-through at bucket 0" cache_passthrough;
     test "stack cache total-words cap" cache_total_words_cap;
+    test "stack cache total-words exact" cache_total_words_exact;
+    test "stack cache take returns zeroed segment" cache_take_zeroed;
+    test "stack cache hit+miss=lookups" cache_hit_miss_lookup_identity;
     test "compiler leaf analysis" compile_leafness;
     test "compiler frame words" compile_frame_words;
     test "compiler errors" compile_errors;

@@ -14,6 +14,7 @@ let () =
       ("fiber.frozen", Test_frozen.suite);
       ("dwarf", Test_dwarf.suite);
       ("core", Test_core.suite);
+      ("conformance", Test_conformance.suite);
       ("monad", Test_monad.suite);
       ("gen", Test_gen.suite);
       ("httpsim", Test_httpsim.suite);

@@ -259,6 +259,120 @@ let table_render () =
   Alcotest.(check bool) "pads short rows" true
     (List.length (String.split_on_char '\n' s) >= 4)
 
+(* ---------------- Rng properties (conformance satellite) ---------------- *)
+
+let prop_rng_int_in_bound =
+  QCheck.Test.make ~name:"rng int respects arbitrary bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let rng_int_one_is_zero () =
+  (* bound = 1 must return 0 immediately; a rejection-sampling loop that
+     draws until [v < bound] would spin forever on a mask of 0 bits
+     handled wrongly. *)
+  let r = Rng.create 99 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "int 1" 0 (Rng.int r 1)
+  done
+
+let rng_uniformity_smoke () =
+  (* Not a statistical test, a sanity smoke: 10k draws over 10 buckets
+     should put every bucket within 30% of the expected 1000. *)
+  let r = Rng.create 17 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d count %d" i n)
+        true
+        (n > 700 && n < 1300))
+    buckets
+
+let prop_rng_float_in_bound =
+  QCheck.Test.make ~name:"rng float in [0, bound)" ~count:300
+    QCheck.(pair small_int (float_range 0.001 1e9))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let f = Rng.float r bound in
+        if not (f >= 0.0 && f < bound) then ok := false
+      done;
+      !ok)
+
+let rng_split_independent () =
+  (* Children of equal-seeded parents agree with each other; a child's
+     stream differs from its parent's continuation (otherwise split
+     would just alias the parent). *)
+  let p1 = Rng.create 23 and p2 = Rng.create 23 in
+  let c1 = Rng.split p1 and c2 = Rng.split p2 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "children deterministic" (Rng.bits64 c1) (Rng.bits64 c2)
+  done;
+  let p = Rng.create 29 in
+  let c = Rng.split p in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 p = Rng.bits64 c then incr same
+  done;
+  Alcotest.(check bool) "child stream differs from parent" true (!same < 4)
+
+(* ------------- Histogram properties (conformance satellite) ------------- *)
+
+let prop_hist_index_roundtrip =
+  QCheck.Test.make ~name:"histogram counts_index/value_from_index round-trip"
+    ~count:1000
+    QCheck.(pair (int_range 1 5) (int_range 0 100_000_000))
+    (fun (sig_figs, v) ->
+      let h = Histogram.create ~significant_figures:sig_figs ~max_value:100_000_000 () in
+      let i = Histogram.counts_index h v in
+      let d = Histogram.value_from_index h i in
+      (* decoded value is the bucket lower bound: at most v, within the
+         advertised relative error, and decoding is a fixed point *)
+      d <= v
+      && float_of_int (v - d)
+         <= (10.0 ** float_of_int (-sig_figs)) *. float_of_int (max v 1)
+      && Histogram.counts_index h d = i)
+
+let prop_hist_index_monotone =
+  QCheck.Test.make ~name:"histogram counts_index monotone" ~count:500
+    QCheck.(pair (int_range 0 10_000_000) (int_range 0 10_000_000))
+    (fun (a, b) ->
+      let h = Histogram.create ~max_value:10_000_000 () in
+      let lo = min a b and hi = max a b in
+      Histogram.counts_index h lo <= Histogram.counts_index h hi)
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentile monotone in p" ~count:200
+    QCheck.(pair
+              (list_of_size (Gen.int_range 1 40) (int_range 0 1_000_000))
+              (pair (float_range 0.01 100.0) (float_range 0.01 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let h = Histogram.create ~max_value:1_000_000 () in
+      List.iter (Histogram.record h) xs;
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Histogram.value_at_percentile h lo <= Histogram.value_at_percentile h hi)
+
+let hist_saturation_boundary () =
+  let h = Histogram.create ~max_value:1000 () in
+  Histogram.record h 1000;
+  Alcotest.(check int) "max_value itself not saturated" 0 (Histogram.saturated h);
+  Histogram.record h 1001;
+  Alcotest.(check int) "max_value+1 saturated" 1 (Histogram.saturated h);
+  Alcotest.(check int) "both counted" 2 (Histogram.count h);
+  Alcotest.(check bool) "clamped to max_value" true (Histogram.max_recorded h <= 1000)
+
 let table_kv_and_chart () =
   let kv = Table.render_kv [ ("key", "value"); ("k2", "v2") ] in
   Alcotest.(check bool) "kv" true (String.length kv > 0);
@@ -291,6 +405,15 @@ let suite =
     test "rng bounds" rng_bounds;
     test "rng exponential" rng_exponential_positive;
     test "rng shuffle" rng_shuffle_permutes;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_bound;
+    test "rng int 1 is 0" rng_int_one_is_zero;
+    test "rng uniformity smoke" rng_uniformity_smoke;
+    QCheck_alcotest.to_alcotest prop_rng_float_in_bound;
+    test "rng split independence" rng_split_independent;
+    QCheck_alcotest.to_alcotest prop_hist_index_roundtrip;
+    QCheck_alcotest.to_alcotest prop_hist_index_monotone;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_monotone;
+    test "histogram saturation boundary" hist_saturation_boundary;
     test "counter basics" counter_basics;
     test "table render" table_render;
     test "table kv and chart" table_kv_and_chart;

@@ -1,0 +1,212 @@
+type binop = Add | Sub | Mul | Div | Lt | Le | Eq
+
+type expr =
+  | Int of int
+  | Var of string
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+  | Let of string * expr * expr
+  | Seq of expr * expr
+  | Call of string * expr list
+  | Raise of string * expr
+  | Try of expr * (string * string * expr) list
+  | Perform of string * expr
+  | Handle of handle
+  | Continue of string * expr
+  | Discontinue of string * string * expr
+  | Ext_id of expr
+  | Callback of string * expr
+
+and handle = {
+  h_body : string * expr list;
+  h_ret : string;
+  h_exncs : (string * string) list;
+  h_effcs : (string * string) list;
+}
+
+type kind = Plain | Eff_case
+
+type fn = {
+  fn_name : string;
+  fn_params : string list;
+  fn_kind : kind;
+  fn_body : expr;
+}
+
+type program = { fns : fn list; main : string }
+
+(* ------------------------------------------------------------------ *)
+(* Size *)
+
+let rec expr_nodes = function
+  | Int _ | Var _ -> 1
+  | Binop (_, a, b) | Seq (a, b) | Let (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | If (a, b, c) -> 1 + expr_nodes a + expr_nodes b + expr_nodes c
+  | Call (_, args) -> List.fold_left (fun n a -> n + expr_nodes a) 1 args
+  | Raise (_, e) | Perform (_, e) | Continue (_, e) | Discontinue (_, _, e)
+  | Ext_id e
+  | Callback (_, e) ->
+      1 + expr_nodes e
+  | Try (b, cases) ->
+      List.fold_left (fun n (_, _, e) -> n + expr_nodes e) (1 + expr_nodes b) cases
+  | Handle h -> List.fold_left (fun n a -> n + expr_nodes a) 1 (snd h.h_body)
+
+let program_nodes p =
+  List.fold_left (fun n f -> n + expr_nodes f.fn_body) 0 p.fns
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "=="
+
+let rec expr_to_string = function
+  | Int n -> string_of_int n
+  | Var x -> x
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | If (c, t, f) ->
+      Printf.sprintf "(if %s then %s else %s)" (expr_to_string c) (expr_to_string t)
+        (expr_to_string f)
+  | Let (x, e1, e2) ->
+      Printf.sprintf "(let %s = %s in %s)" x (expr_to_string e1) (expr_to_string e2)
+  | Seq (a, b) -> Printf.sprintf "(%s; %s)" (expr_to_string a) (expr_to_string b)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Raise (l, e) -> Printf.sprintf "(raise %s %s)" l (expr_to_string e)
+  | Try (b, cases) ->
+      Printf.sprintf "(try %s with %s)" (expr_to_string b)
+        (String.concat " | "
+           (List.map
+              (fun (l, x, e) -> Printf.sprintf "%s %s -> %s" l x (expr_to_string e))
+              cases))
+  | Perform (l, e) -> Printf.sprintf "(perform %s %s)" l (expr_to_string e)
+  | Handle h ->
+      let f, args = h.h_body in
+      let cases =
+        Printf.sprintf "ret %s" h.h_ret
+        :: List.map (fun (l, g) -> Printf.sprintf "exn %s -> %s" l g) h.h_exncs
+        @ List.map (fun (l, g) -> Printf.sprintf "eff %s -> %s" l g) h.h_effcs
+      in
+      Printf.sprintf "(handle %s(%s) { %s })" f
+        (String.concat ", " (List.map expr_to_string args))
+        (String.concat " | " cases)
+  | Continue (k, e) -> Printf.sprintf "(continue %s %s)" k (expr_to_string e)
+  | Discontinue (k, l, e) ->
+      Printf.sprintf "(discontinue %s %s %s)" k l (expr_to_string e)
+  | Ext_id e -> Printf.sprintf "(ext_id %s)" (expr_to_string e)
+  | Callback (f, e) -> Printf.sprintf "(callback %s %s)" f (expr_to_string e)
+
+let fn_to_string f =
+  Printf.sprintf "%s %s(%s) = %s"
+    (match f.fn_kind with Plain -> "fun" | Eff_case -> "eff")
+    f.fn_name
+    (String.concat ", " f.fn_params)
+    (expr_to_string f.fn_body)
+
+let program_to_string p =
+  String.concat "\n" (List.map fn_to_string p.fns @ [ "main = " ^ p.main ])
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness *)
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* [known] maps a function name to its definition for names legal at
+   the current point: earlier functions plus (for calls) the function
+   being checked, so recursion is self- or backward-referencing only —
+   which is what the semantics lowering's nested [let rec]s scope. *)
+let check_fn known (self : fn) =
+  let lookup ctx name =
+    match Hashtbl.find_opt known name with
+    | Some f -> f
+    | None ->
+        if name = self.fn_name then self
+        else invalid "%s: %s references %s before its definition" self.fn_name ctx name
+  in
+  let kvar =
+    match (self.fn_kind, self.fn_params) with
+    | Eff_case, [ _; k ] -> Some k
+    | Eff_case, _ -> invalid "%s: Eff_case must take exactly two parameters" self.fn_name
+    | Plain, _ -> None
+  in
+  let int_params =
+    match kvar with Some _ -> [ List.hd self.fn_params ] | None -> self.fn_params
+  in
+  let check_plain ctx ~arity name =
+    let f = lookup ctx name in
+    if f.fn_kind <> Plain then invalid "%s: %s must be a plain function" self.fn_name name;
+    if List.length f.fn_params <> arity then
+      invalid "%s: %s has arity %d, %s needs %d" self.fn_name name
+        (List.length f.fn_params) ctx arity
+  in
+  let rec go vars = function
+    | Int _ -> ()
+    | Var x ->
+        if Some x = kvar then
+          invalid "%s: continuation %s used as an integer" self.fn_name x;
+        if not (List.mem x vars) then invalid "%s: unbound variable %s" self.fn_name x
+    | Binop (_, a, b) | Seq (a, b) ->
+        go vars a;
+        go vars b
+    | If (a, b, c) ->
+        go vars a;
+        go vars b;
+        go vars c
+    | Let (x, a, b) ->
+        go vars a;
+        go (x :: vars) b
+    | Call (f, args) ->
+        check_plain "call" ~arity:(List.length args) f;
+        List.iter (go vars) args
+    | Raise (_, e) | Perform (_, e) -> go vars e
+    | Try (b, cases) ->
+        go vars b;
+        List.iter (fun (_, x, e) -> go (x :: vars) e) cases
+    | Handle h ->
+        let f, args = h.h_body in
+        check_plain "handle body" ~arity:(List.length args) f;
+        List.iter (go vars) args;
+        check_plain "return case" ~arity:1 h.h_ret;
+        List.iter (fun (_, g) -> check_plain "exception case" ~arity:1 g) h.h_exncs;
+        List.iter
+          (fun (_, g) ->
+            let gf = lookup "effect case" g in
+            if gf.fn_kind <> Eff_case then
+              invalid "%s: effect case %s is not an Eff_case function" self.fn_name g)
+          h.h_effcs
+    | Continue (k, e) | Discontinue (k, _, e) ->
+        if Some k <> kvar then
+          invalid "%s: %s is not this function's continuation parameter" self.fn_name k;
+        go vars e
+    | Ext_id e -> go vars e
+    | Callback (f, e) ->
+        check_plain "callback" ~arity:1 f;
+        go vars e
+  in
+  go int_params self.fn_body
+
+let validate (p : program) : (unit, string) result =
+  try
+    let known = Hashtbl.create 16 in
+    List.iter
+      (fun f ->
+        if Hashtbl.mem known f.fn_name then invalid "duplicate function %s" f.fn_name;
+        check_fn known f;
+        Hashtbl.add known f.fn_name f)
+      p.fns;
+    (match Hashtbl.find_opt known p.main with
+    | Some { fn_kind = Plain; fn_params = []; _ } -> ()
+    | Some _ -> invalid "main %s must be a 0-argument plain function" p.main
+    | None -> invalid "main %s is not defined" p.main);
+    Ok ()
+  with Invalid msg -> Error msg

@@ -1,0 +1,189 @@
+(* Candidate replacements for a single expression node: simpler
+   expressions that keep the program well-formed often enough to be
+   worth trying (Ir.validate filters the rest). *)
+let node_candidates (e : Ir.expr) : Ir.expr list =
+  let subs =
+    match e with
+    | Ir.Int _ | Ir.Var _ -> []
+    | Ir.Binop (_, a, b) | Ir.Let (_, a, b) | Ir.Seq (a, b) -> [ a; b ]
+    | Ir.If (a, b, c) -> [ a; b; c ]
+    | Ir.Call (_, args) -> args
+    | Ir.Raise (_, e) | Ir.Perform (_, e) | Ir.Continue (_, e) | Ir.Ext_id e -> [ e ]
+    | Ir.Discontinue (_, _, e) | Ir.Callback (_, e) -> [ e ]
+    | Ir.Try (b, _) -> [ b ]
+    | Ir.Handle h -> snd h.h_body
+  in
+  let structural =
+    match e with
+    | Ir.Try (b, cases) when List.length cases > 1 ->
+        (* drop one case at a time *)
+        List.mapi
+          (fun i _ -> Ir.Try (b, List.filteri (fun j _ -> j <> i) cases))
+          cases
+    | Ir.Try (b, [ _ ]) -> [ b ]
+    | Ir.Handle h ->
+        Ir.Call (fst h.h_body, snd h.h_body)
+        :: List.mapi
+             (fun i _ ->
+               Ir.Handle
+                 { h with h_exncs = List.filteri (fun j _ -> j <> i) h.h_exncs })
+             h.h_exncs
+        @ List.mapi
+            (fun i _ ->
+              Ir.Handle { h with h_effcs = List.filteri (fun j _ -> j <> i) h.h_effcs })
+            h.h_effcs
+    | _ -> []
+  in
+  let const = match e with Ir.Int 0 -> [] | _ -> [ Ir.Int 0 ] in
+  const @ subs @ structural
+
+(* Every program obtained from [e] by replacing exactly one node with
+   one of its candidates; [wrap] rebuilds the whole program around the
+   modified expression. *)
+let rec expr_variants (e : Ir.expr) (wrap : Ir.expr -> Ir.program) : Ir.program list =
+  let here = List.map wrap (node_candidates e) in
+  let inside =
+    match e with
+    | Ir.Int _ | Ir.Var _ -> []
+    | Ir.Binop (op, a, b) ->
+        expr_variants a (fun a' -> wrap (Ir.Binop (op, a', b)))
+        @ expr_variants b (fun b' -> wrap (Ir.Binop (op, a, b')))
+    | Ir.If (a, b, c) ->
+        expr_variants a (fun a' -> wrap (Ir.If (a', b, c)))
+        @ expr_variants b (fun b' -> wrap (Ir.If (a, b', c)))
+        @ expr_variants c (fun c' -> wrap (Ir.If (a, b, c')))
+    | Ir.Let (x, a, b) ->
+        expr_variants a (fun a' -> wrap (Ir.Let (x, a', b)))
+        @ expr_variants b (fun b' -> wrap (Ir.Let (x, a, b')))
+    | Ir.Seq (a, b) ->
+        expr_variants a (fun a' -> wrap (Ir.Seq (a', b)))
+        @ expr_variants b (fun b' -> wrap (Ir.Seq (a, b')))
+    | Ir.Call (f, args) ->
+        List.concat
+          (List.mapi
+             (fun i a ->
+               expr_variants a (fun a' ->
+                   wrap (Ir.Call (f, List.mapi (fun j x -> if j = i then a' else x) args))))
+             args)
+    | Ir.Raise (l, e) -> expr_variants e (fun e' -> wrap (Ir.Raise (l, e')))
+    | Ir.Perform (l, e) -> expr_variants e (fun e' -> wrap (Ir.Perform (l, e')))
+    | Ir.Continue (k, e) -> expr_variants e (fun e' -> wrap (Ir.Continue (k, e')))
+    | Ir.Discontinue (k, l, e) ->
+        expr_variants e (fun e' -> wrap (Ir.Discontinue (k, l, e')))
+    | Ir.Ext_id e -> expr_variants e (fun e' -> wrap (Ir.Ext_id e'))
+    | Ir.Callback (f, e) -> expr_variants e (fun e' -> wrap (Ir.Callback (f, e')))
+    | Ir.Try (b, cases) ->
+        expr_variants b (fun b' -> wrap (Ir.Try (b', cases)))
+        @ List.concat
+            (List.mapi
+               (fun i (l, x, h) ->
+                 expr_variants h (fun h' ->
+                     wrap
+                       (Ir.Try
+                          ( b,
+                            List.mapi
+                              (fun j c -> if j = i then (l, x, h') else c)
+                              cases ))))
+               cases)
+    | Ir.Handle h ->
+        let f, args = h.h_body in
+        List.concat
+          (List.mapi
+             (fun i a ->
+               expr_variants a (fun a' ->
+                   wrap
+                     (Ir.Handle
+                        {
+                          h with
+                          h_body =
+                            (f, List.mapi (fun j x -> if j = i then a' else x) args);
+                        })))
+             args)
+  in
+  here @ inside
+
+let variants (p : Ir.program) : Ir.program list =
+  List.concat
+    (List.mapi
+       (fun i (fn : Ir.fn) ->
+         expr_variants fn.fn_body (fun body' ->
+             {
+               p with
+               Ir.fns =
+                 List.mapi
+                   (fun j f -> if j = i then { f with Ir.fn_body = body' } else f)
+                   p.fns;
+             }))
+       p.fns)
+
+let fn_refs (fn : Ir.fn) =
+  let acc = ref [] in
+  let add f = if not (List.mem f !acc) then acc := f :: !acc in
+  let rec go = function
+    | Ir.Int _ | Ir.Var _ -> ()
+    | Ir.Binop (_, a, b) | Ir.Let (_, a, b) | Ir.Seq (a, b) ->
+        go a;
+        go b
+    | Ir.If (a, b, c) ->
+        go a;
+        go b;
+        go c
+    | Ir.Call (f, args) ->
+        add f;
+        List.iter go args
+    | Ir.Raise (_, e) | Ir.Perform (_, e) | Ir.Continue (_, e)
+    | Ir.Discontinue (_, _, e)
+    | Ir.Ext_id e ->
+        go e
+    | Ir.Callback (f, e) ->
+        add f;
+        go e
+    | Ir.Try (b, cases) ->
+        go b;
+        List.iter (fun (_, _, e) -> go e) cases
+    | Ir.Handle h ->
+        add (fst h.h_body);
+        add h.h_ret;
+        List.iter (fun (_, g) -> add g) h.h_exncs;
+        List.iter (fun (_, g) -> add g) h.h_effcs;
+        List.iter go (snd h.h_body)
+  in
+  go fn.Ir.fn_body;
+  !acc
+
+let prune (p : Ir.program) : Ir.program =
+  let by_name = List.map (fun (f : Ir.fn) -> (f.fn_name, f)) p.fns in
+  let live = Hashtbl.create 16 in
+  let rec mark name =
+    if not (Hashtbl.mem live name) then begin
+      Hashtbl.replace live name ();
+      match List.assoc_opt name by_name with
+      | None -> ()
+      | Some fn -> List.iter mark (fn_refs fn)
+    end
+  in
+  mark p.main;
+  { p with Ir.fns = List.filter (fun (f : Ir.fn) -> Hashtbl.mem live f.fn_name) p.fns }
+
+let minimize ~interesting (p : Ir.program) : Ir.program =
+  let valid q = match Ir.validate q with Ok () -> true | Error _ -> false in
+  let current = ref p in
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < 200 do
+    incr rounds;
+    progress := false;
+    let n = Ir.program_nodes !current in
+    let cands =
+      variants !current
+      |> List.map prune
+      |> List.filter (fun q -> Ir.program_nodes q < n && valid q)
+      |> List.sort (fun a b -> compare (Ir.program_nodes a) (Ir.program_nodes b))
+    in
+    match List.find_opt interesting cands with
+    | Some q ->
+        current := q;
+        progress := true
+    | None -> ()
+  done;
+  !current

@@ -1,0 +1,19 @@
+(** Greedy structural shrinker.
+
+    [minimize ~interesting p] repeatedly tries single-point
+    simplifications of [p] — replacing a subexpression by a constant or
+    one of its own integer-typed children, dropping individual [Try] or
+    [Handle] cases, collapsing a [Handle] to a bare call of its body —
+    prunes functions unreachable from [main], filters out candidates
+    that no longer validate, and commits the smallest candidate for
+    which [interesting] still holds.  The loop is greedy and bounded,
+    so it terminates even when [interesting] is expensive: every
+    accepted step strictly decreases {!Ir.program_nodes}. *)
+
+val variants : Ir.program -> Ir.program list
+(** All single-simplification candidates (unvalidated, unpruned). *)
+
+val prune : Ir.program -> Ir.program
+(** Drop functions unreachable from [main]. *)
+
+val minimize : interesting:(Ir.program -> bool) -> Ir.program -> Ir.program

@@ -10,6 +10,20 @@ let unhandled_label = "Unhandled"
 
 let division_label = "Division_by_zero"
 
+let one_shot_label = "Invalid_argument"
+
+(* The semantics of Fig 2 is multi-shot: continuations are immutable
+   values.  The optional one-shot discipline overlays §5's linearity
+   restriction: resuming a continuation a second time raises
+   Invalid_argument at the resume site, exactly as the runtime's
+   continuation-taking primitive does.  Physical identity is the right
+   notion here — every capture (EffHn, EffFwd) allocates a fresh cons
+   cell, so [memq] distinguishes continuations that happen to share
+   structure. *)
+type discipline = { mutable resumed : Syntax.continuation list }
+
+let one_shot_discipline () = { resumed = [] }
+
 (* ------------------------------------------------------------------ *)
 (* Administrative reductions (Fig 2c): operate on the current frame
    list and are shared by the C and OCaml steps. *)
@@ -185,7 +199,7 @@ let step_c term env c_frames (c_under : ocaml_stack) : outcome =
 (* ------------------------------------------------------------------ *)
 (* OCaml reductions (Fig 2e): the current stack is ⌈(ψ,η)◁k, γ⌉o *)
 
-let step_o term env (cont : continuation) (o_under : c_stack) : outcome =
+let step_o disc term env (cont : continuation) (o_under : c_stack) : outcome =
   match cont with
   | [] -> Stuck "OCaml stack with no fiber"
   | (frames, handler) :: k_rest -> (
@@ -214,17 +228,26 @@ let step_o term env (cont : continuation) (o_under : c_stack) : outcome =
                          { cont = ([], (h, env)) :: cont; o_under });
                 }
           | Value v, F_fun (V_cont k) :: F_fun (V_clos ({ kind = Ast.OCaml_lam; _ } as c)) :: rest
-            ->
+            -> (
               (* Resume: reinstate the captured fibers in front of the
-                 current stack and run the resumption closure on top *)
-              Step
-                {
-                  term = Expr c.body;
-                  env = bind_closure c v;
-                  stack =
-                    OCaml_stack
-                      (O_stack { cont = k @ ((rest, handler) :: k_rest); o_under });
-                }
+                 current stack and run the resumption closure on top.
+                 Under the one-shot discipline a second resume instead
+                 raises Invalid_argument at the resume site (§5.2). *)
+              match disc with
+              | Some d when List.memq k d.resumed ->
+                  rebuild (Expr (Ast.Raise (one_shot_label, Ast.Int 0))) env rest
+              | _ ->
+                  (match disc with
+                  | Some d -> d.resumed <- k :: d.resumed
+                  | None -> ());
+                  Step
+                    {
+                      term = Expr c.body;
+                      env = bind_closure c v;
+                      stack =
+                        OCaml_stack
+                          (O_stack { cont = k @ ((rest, handler) :: k_rest); o_under });
+                    })
           | Value v, F_fun (V_clos ({ kind = Ast.OCaml_lam; _ } as c)) :: rest ->
               (* CallO *)
               Step
@@ -352,11 +375,14 @@ let step_o term env (cont : continuation) (o_under : c_stack) : outcome =
               Stuck "continuation resumed without a resumption closure"
           | _ -> Stuck "no OCaml reduction applies"))
 
-let step (cfg : config) : outcome =
+let step_disciplined disc (cfg : config) : outcome =
   match cfg.stack with
   | C_stack { c_frames; c_under } -> step_c cfg.term cfg.env c_frames c_under
   | OCaml_stack O_empty -> Stuck "current stack is the empty OCaml stack"
-  | OCaml_stack (O_stack { cont; o_under }) -> step_o cfg.term cfg.env cont o_under
+  | OCaml_stack (O_stack { cont; o_under }) ->
+      step_o disc cfg.term cfg.env cont o_under
+
+let step cfg = step_disciplined None cfg
 
 (* ------------------------------------------------------------------ *)
 (* Driver *)
@@ -367,14 +393,15 @@ type result =
   | Stuck_config of string * Syntax.config
   | Out_of_fuel of Syntax.config
 
-let run_config ?(fuel = 10_000_000) ?trace cfg =
+let run_config ?(fuel = 10_000_000) ?trace ?(one_shot = false) cfg =
+  let disc = if one_shot then Some (one_shot_discipline ()) else None in
   let count = ref 0 in
   let emit cfg = match trace with Some f -> f cfg | None -> () in
   let rec go cfg fuel =
     emit cfg;
     if fuel = 0 then (!count, Out_of_fuel cfg)
     else begin
-      match step cfg with
+      match step_disciplined disc cfg with
       | Step cfg' ->
           incr count;
           go cfg' (fuel - 1)
@@ -387,7 +414,8 @@ let run_config ?(fuel = 10_000_000) ?trace cfg =
 
 let steps_taken ?fuel e = run_config ?fuel (initial (Ast.elaborate e))
 
-let run ?fuel ?trace e = snd (run_config ?fuel ?trace (initial (Ast.elaborate e)))
+let run ?fuel ?trace ?one_shot e =
+  snd (run_config ?fuel ?trace ?one_shot (initial (Ast.elaborate e)))
 
 let run_string ?fuel src = run ?fuel (Parser.parse_exn src)
 

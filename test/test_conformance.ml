@@ -1,0 +1,143 @@
+(* Differential conformance: the §4 semantics, the fiber machine, and
+   native effects must agree on generated programs, the runtime auditor
+   and DWARF round-trips must stay clean, and the harness itself must
+   be able to catch a seeded bug (sensitivity check). *)
+
+module C = Retrofit_conformance
+module F = Retrofit_fiber
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* Fixed campaign parameters: seed 11 is an arbitrary committed choice;
+   240 programs leave slack over the 200-per-pair floor even if a few
+   fuel out. *)
+let tier1_seed = 11
+
+let tier1_count = 240
+
+let corpus_replays_clean () =
+  match C.Fuzz.replay_corpus () with
+  | [] -> ()
+  | (name, problem) :: _ -> Alcotest.failf "corpus entry %s: %s" name problem
+
+let generator_emits_valid_programs () =
+  for seed = 0 to 199 do
+    let p = C.Gen.program_of_seed seed in
+    match C.Ir.validate p with
+    | Ok () -> ()
+    | Error msg ->
+        Alcotest.failf "seed %d generated an invalid program: %s\n%s" seed msg
+          (C.Ir.program_to_string p)
+  done
+
+let generator_is_deterministic () =
+  for seed = 0 to 49 do
+    let a = C.Gen.program_of_seed seed and b = C.Gen.program_of_seed seed in
+    if a <> b then Alcotest.failf "seed %d is not replayable" seed
+  done
+
+let campaign_agrees () =
+  let stats = C.Fuzz.campaign ~seed:tier1_seed ~count:tier1_count () in
+  (match stats.C.Fuzz.failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "disagreement:\n%s" (C.Fuzz.failure_to_string f));
+  List.iter
+    (fun (pair, n) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s agreed on at least 200 programs (got %d)" pair n)
+        true (n >= 200))
+    stats.C.Fuzz.agreements;
+  Alcotest.(check bool) "auditor ran" true (stats.C.Fuzz.audit_checks > 0);
+  Alcotest.(check bool) "dwarf probes ran" true (stats.C.Fuzz.dwarf_probes > 0)
+
+let campaign_is_deterministic () =
+  let run () =
+    C.Fuzz.campaign ~seed:tier1_seed ~count:40 ~dwarf:false ~shrink:false ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical stats" true
+    (a.C.Fuzz.agreements = b.C.Fuzz.agreements
+    && a.C.Fuzz.skips = b.C.Fuzz.skips
+    && List.length a.C.Fuzz.failures = List.length b.C.Fuzz.failures)
+
+(* Sensitivity: with the fiber machine's one-shot check disabled
+   (multishot config), the differential harness must notice within 200
+   programs, and the shrinker must cut the counterexample down to a
+   small replayable core. *)
+let catches_fiber_multishot_mutation () =
+  let fiber_config = F.Config.with_multishot true F.Config.mc in
+  let stats =
+    C.Fuzz.campaign ~fiber_config ~seed:42 ~count:200 ~dwarf:false
+      ~max_failures:1 ()
+  in
+  match stats.C.Fuzz.failures with
+  | [] -> Alcotest.fail "disabled one-shot check went unnoticed for 200 programs"
+  | f :: _ -> (
+      Alcotest.(check bool) "caught within 200 programs" true (f.C.Fuzz.index < 200);
+      match f.C.Fuzz.shrunk with
+      | None -> Alcotest.fail "no shrunk repro"
+      | Some q ->
+          let n = C.Ir.program_nodes q in
+          Alcotest.(check bool)
+            (Printf.sprintf "shrunk repro has %d nodes (<= 15)" n)
+            true (n <= 15))
+
+(* Same check against the other side: a semantics machine allowed to
+   resume continuations twice must disagree with the two faithful
+   models. *)
+let catches_semantics_multishot_mutation () =
+  let stats =
+    C.Fuzz.campaign ~sem_one_shot:false ~seed:42 ~count:200 ~dwarf:false
+      ~max_failures:1 ~shrink:false ()
+  in
+  match stats.C.Fuzz.failures with
+  | [] ->
+      Alcotest.fail "multi-shot semantics machine went unnoticed for 200 programs"
+  | f :: _ ->
+      Alcotest.(check bool) "caught within 200 programs" true (f.C.Fuzz.index < 200)
+
+(* The shrinker must preserve the property it is given and only emit
+   well-formed programs. *)
+let shrinker_preserves_interestingness () =
+  let p = C.Gen.program_of_seed 3 in
+  let target = C.Native_backend.run p in
+  let interesting q = C.Outcome.equal (C.Native_backend.run q) target in
+  let q = C.Shrink.minimize ~interesting p in
+  (match C.Ir.validate q with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "shrunk program invalid: %s" msg);
+  Alcotest.(check bool) "still interesting" true (interesting q);
+  Alcotest.(check bool) "no larger than the original" true
+    (C.Ir.program_nodes q <= C.Ir.program_nodes p)
+
+(* One-shot / discontinue edge battery: beyond the oracle agreement the
+   corpus already enforces, pin the traced outcome of each entry on the
+   semantics and fiber models individually, so a lockstep drift of the
+   whole stack cannot slip through. *)
+let corpus_outcomes_pinned_per_model () =
+  List.iter
+    (fun (e : C.Corpus.entry) ->
+      let sem = C.Sem_backend.run e.program in
+      let fib = (C.Fiber_backend.run e.program).C.Fiber_backend.outcome in
+      let check model got =
+        if not (C.Outcome.equal got e.expect) then
+          Alcotest.failf "%s: %s produced %s, traced expectation is %s" e.name model
+            (C.Outcome.to_string got)
+            (C.Outcome.to_string e.expect)
+      in
+      check "semantics" sem;
+      check "fiber" fib)
+    C.Corpus.entries
+
+let suite =
+  [
+    test "corpus replays clean" corpus_replays_clean;
+    test "corpus outcomes pinned per model" corpus_outcomes_pinned_per_model;
+    test "generator emits valid programs" generator_emits_valid_programs;
+    test "generator is deterministic" generator_is_deterministic;
+    test "campaign: three models agree" campaign_agrees;
+    test "campaign is deterministic" campaign_is_deterministic;
+    test "catches disabled fiber one-shot check" catches_fiber_multishot_mutation;
+    test "catches multi-shot semantics machine" catches_semantics_multishot_mutation;
+    test "shrinker preserves interestingness" shrinker_preserves_interestingness;
+  ]
