@@ -8,12 +8,22 @@
    retrofit bench --all --quick
    retrofit backtrace          the Fig 1d meander backtrace
    retrofit websim --rate 20000
+   retrofit websim --trace out.json --metrics out.prom --profile out.folded
+   retrofit validate-trace out.json
 *)
 
 module S = Retrofit_semantics
 module E = Retrofit_experiments
+module Trace = Retrofit_trace.Trace
+module Export = Retrofit_trace.Export
+module Metrics = Retrofit_metrics.Metrics
 
 open Cmdliner
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* interp *)
@@ -141,8 +151,9 @@ let backtrace_cmd =
 
 let websim_cmd =
   let module HS = Retrofit_httpsim in
-  let run rate duration seed faults =
-    if faults <= 0.0 then begin
+  let run rate duration seed faults trace_out metrics_out profile_out =
+    let workload () =
+      if faults <= 0.0 then begin
       let outcomes = HS.Experiment.fig6b ~rate_rps:rate ~duration_ms:duration () in
       List.iter
         (fun (o : HS.Loadgen.outcome) ->
@@ -178,8 +189,35 @@ let websim_cmd =
             o.HS.Loadgen.faults.HS.Loadgen.to_server_error
             o.HS.Loadgen.faults.HS.Loadgen.to_absorbed)
         HS.Experiment.servers
-    end;
-    0
+    end
+    in
+    match (trace_out, metrics_out, profile_out) with
+    | None, None, None ->
+        workload ();
+        0
+    | _ ->
+        (* Observability run: the same seeded workload inside a trace +
+           metrics session, plus the profiled fiber-machine and
+           scheduler workloads so the snapshot covers every subsystem.
+           Everything is keyed on the seed — two runs with the same
+           arguments produce byte-identical artifacts. *)
+        let prof, ring =
+          Trace.scoped (fun () ->
+              Metrics.scoped (fun _ ->
+                  workload ();
+                  ignore (E.Exp_observe.sched_workload ());
+                  E.Exp_observe.profiled_run ()))
+        in
+        (match trace_out with
+        | Some path -> write_file path (Export.of_trace_chrome ring)
+        | None -> ());
+        (match metrics_out with
+        | Some path -> write_file path (Metrics.to_prometheus ())
+        | None -> ());
+        (match profile_out with
+        | Some path -> write_file path (Retrofit_dwarf.Profile.folded prof)
+        | None -> ());
+        0
   in
   let rate =
     Arg.(value & opt int 20_000 & info [ "rate" ] ~doc:"Offered load (req/s).")
@@ -196,15 +234,63 @@ let websim_cmd =
             "Fault intensity (multiplier over the default fault plan); 0 \
              disables injection and runs the plain engine.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:"Write a Chrome trace_event eventlog of the run.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"OUT.prom"
+          ~doc:"Write a Prometheus text-format metrics snapshot.")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"OUT.folded"
+          ~doc:
+            "Write folded flamegraph stacks from the DWARF sampling profiler \
+             (run on the seeded fiber-machine workload).")
+  in
   Cmd.v
     (Cmd.info "websim" ~doc:"Run the web-server simulation at one load point")
-    Term.(const run $ rate $ duration $ seed $ faults)
+    Term.(
+      const run $ rate $ duration $ seed $ faults $ trace_out $ metrics_out
+      $ profile_out)
+
+let validate_trace_cmd =
+  let run file =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Export.validate_chrome s with
+    | Ok n ->
+        Printf.printf "ok: %d events\n" n;
+        0
+    | Error e ->
+        Printf.eprintf "invalid trace: %s\n" e;
+        1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json") in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Check a Chrome trace_event JSON file against the eventlog schema")
+    Term.(const run $ file)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "retrofit" ~version:"1.0"
        ~doc:
          "Reproduction of 'Retrofitting Effect Handlers onto OCaml' (PLDI 2021)")
-    [ interp_cmd; examples_cmd; bench_cmd; backtrace_cmd; websim_cmd ]
+    [
+      interp_cmd; examples_cmd; bench_cmd; backtrace_cmd; websim_cmd;
+      validate_trace_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

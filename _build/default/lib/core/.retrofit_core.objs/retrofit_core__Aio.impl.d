@@ -1,1 +1,1 @@
-lib/core/aio.ml: Chan Effect Evloop List Queue Sched
+lib/core/aio.ml: Chan Effect Evloop List Queue Retrofit_metrics Retrofit_trace Sched

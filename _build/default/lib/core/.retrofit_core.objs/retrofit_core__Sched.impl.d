@@ -1,1 +1,1 @@
-lib/core/sched.ml: Effect Queue Stack
+lib/core/sched.ml: Effect Queue Retrofit_metrics Retrofit_trace Stack

@@ -1,3 +1,7 @@
+module Trace = Retrofit_trace.Trace
+module Tev = Retrofit_trace.Event
+module Metrics = Retrofit_metrics.Metrics
+
 type _ Effect.t +=
   | In_line : Chan.ic -> string Effect.t
   | Out_str : Chan.oc * string -> unit Effect.t
@@ -25,8 +29,19 @@ type timeout_status = [ `Running | `Done | `Cancelled ]
 let run_mode mode loop main =
   let runq : (unit -> unit) Queue.t = Queue.create () in
   let current : Sched.Ctl.t option ref = ref None in
-  let enqueue thunk = Queue.push thunk runq in
+  let enqueue thunk =
+    Queue.push thunk runq;
+    if Metrics.on () then Metrics.inc "sched_runq_pushes_total";
+    if Trace.on () then
+      Trace.emit ~ts:(Evloop.now loop) (Tev.Runq_depth { depth = Queue.length runq })
+  in
   let pending_reads : pending list ref = ref [] in
+  (* The event-loop clock stamps this loop's I/O depth track. *)
+  let observe_pending () =
+    if Trace.on () then
+      Trace.emit ~ts:(Evloop.now loop)
+        (Tev.Io_pending { depth = List.length !pending_reads })
+  in
   let resume_read (Pending p) =
     (match p.ctl with Some c -> Sched.Ctl.clear_parked c | None -> ());
     let restore () = current := p.ctl in
@@ -68,6 +83,7 @@ let run_mode mode loop main =
               List.partition (fun (Pending p) -> !(p.live) && Chan.readable p.ic) todo
             in
             pending_reads := List.filter (fun (Pending p) -> !(p.live)) still;
+            observe_pending ();
             List.iter resume_read ready;
             run_next ())
   in
@@ -165,7 +181,11 @@ let run_mode mode loop main =
                                             current := ctl;
                                             Effect.Deep.discontinue k e))
                                 | None -> ());
-                                pending_reads := Pending { ic; k; ctl; live } :: !pending_reads);
+                                pending_reads :=
+                                  Pending { ic; k; ctl; live } :: !pending_reads;
+                                if Metrics.on () then
+                                  Metrics.inc "aio_parked_reads_total";
+                                observe_pending ());
                             run_next ()
                         | exception (Sys_error _ as e) ->
                             Effect.Deep.discontinue k e))

@@ -1,3 +1,7 @@
+module Trace = Retrofit_trace.Trace
+module Tev = Retrofit_trace.Event
+module Metrics = Retrofit_metrics.Metrics
+
 type policy = Fifo | Lifo
 
 type 'a resumer = 'a -> unit
@@ -80,20 +84,41 @@ let stats_switches () = !switches
 (* The run queue holds thunks rather than bare continuations so that
    resumers can close over the value to deliver (§3.1's asynchronous
    variant uses the same representation). *)
-type runq = { queue : (unit -> unit) Queue.t; stack : (unit -> unit) Stack.t; policy : policy }
+type runq = {
+  queue : (unit -> unit) Queue.t;
+  stack : (unit -> unit) Stack.t;
+  policy : policy;
+  mutable ops : int;
+      (* enqueue/dequeue sequence number: the deterministic time base
+         that stamps this scheduler's depth track in the eventlog *)
+}
+
+let rq_depth rq = Queue.length rq.queue + Stack.length rq.stack
+
+let rq_observe rq =
+  rq.ops <- rq.ops + 1;
+  Trace.emit ~ts:rq.ops (Tev.Runq_depth { depth = rq_depth rq })
 
 let rq_push rq thunk =
-  match rq.policy with
+  (match rq.policy with
   | Fifo -> Queue.push thunk rq.queue
-  | Lifo -> Stack.push thunk rq.stack
+  | Lifo -> Stack.push thunk rq.stack);
+  if Metrics.on () then Metrics.inc "sched_runq_pushes_total";
+  if Trace.on () then rq_observe rq
 
 let rq_pop rq =
-  match rq.policy with
-  | Fifo -> ( match Queue.pop rq.queue with t -> Some t | exception Queue.Empty -> None)
-  | Lifo -> ( match Stack.pop rq.stack with t -> Some t | exception Stack.Empty -> None)
+  let popped =
+    match rq.policy with
+    | Fifo -> (
+        match Queue.pop rq.queue with t -> Some t | exception Queue.Empty -> None)
+    | Lifo -> (
+        match Stack.pop rq.stack with t -> Some t | exception Stack.Empty -> None)
+  in
+  (match popped with Some _ when Trace.on () -> rq_observe rq | _ -> ());
+  popped
 
 let run ?(policy = Fifo) main =
-  let rq = { queue = Queue.create (); stack = Stack.create (); policy } in
+  let rq = { queue = Queue.create (); stack = Stack.create (); policy; ops = 0 } in
   switches := 0;
   (* The control cell of the fiber currently executing; every thunk that
      re-enters a fiber restores it so nested suspensions park against
@@ -103,6 +128,7 @@ let run ?(policy = Fifo) main =
     match rq_pop rq with
     | Some thunk ->
         incr switches;
+        if Metrics.on () then Metrics.inc "sched_switches_total";
         thunk ()
     | None -> ()
   in

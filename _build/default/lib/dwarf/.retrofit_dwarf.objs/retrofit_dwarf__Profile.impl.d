@@ -1,0 +1,1 @@
+lib/dwarf/profile.ml: Buffer Hashtbl List Printf Retrofit_fiber Retrofit_metrics Retrofit_util String Table Unwind

@@ -1,0 +1,1 @@
+lib/dwarf/profile.mli: Retrofit_fiber Retrofit_metrics Table Unwind

@@ -1,0 +1,1 @@
+lib/experiments/exp_observe.ml: Buffer List Printf Retrofit_core Retrofit_dwarf Retrofit_fiber Retrofit_metrics Retrofit_trace String

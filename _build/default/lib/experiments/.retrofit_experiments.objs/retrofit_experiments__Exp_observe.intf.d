@@ -1,0 +1,1 @@
+lib/experiments/exp_observe.mli: Retrofit_dwarf Retrofit_fiber

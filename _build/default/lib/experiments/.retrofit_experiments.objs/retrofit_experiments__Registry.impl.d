@@ -1,1 +1,1 @@
-lib/experiments/registry.ml: Exp_ablation Exp_backtrace Exp_concurrent Exp_degradation Exp_fig4 Exp_fig5 Exp_fig6 Exp_opcost Exp_table1 Exp_table2 List Printf String
+lib/experiments/registry.ml: Exp_ablation Exp_backtrace Exp_concurrent Exp_degradation Exp_fig4 Exp_fig5 Exp_fig6 Exp_observe Exp_opcost Exp_table1 Exp_table2 List Printf String

@@ -1,0 +1,24 @@
+(** Observability demonstration: the sampling profiler, the metrics
+    registry and the eventlog exercised together on seeded fiber-machine
+    and scheduler workloads (DESIGN.md §10).
+
+    [profiled_run] is also the machinery behind [retrofit websim
+    --profile]: it runs a reperform-heavy fiber-machine program under
+    the DWARF sampling profiler, so the folded stacks cross fiber
+    boundaries, and (when the registry is enabled) merges the machine's
+    cost counters in under a [fiber_] prefix plus the stack-cache
+    statistics as gauges. *)
+
+val default_interval : int
+
+val machine_workload : quick:bool -> Retrofit_fiber.Ir.program
+
+val profiled_run :
+  ?quick:bool -> ?interval:int -> unit -> Retrofit_dwarf.Profile.t
+(** @raise Failure if the workload does not complete normally. *)
+
+val sched_workload : unit -> int
+(** Fork/yield a batch of cooperative threads under {!Retrofit_core.Sched};
+    returns a checksum. *)
+
+val report : ?quick:bool -> unit -> string

@@ -74,6 +74,12 @@ let all =
       run = Exp_backtrace.report;
     };
     {
+      id = "observe";
+      title = "eventlog, metrics and sampling profiler";
+      paper_ref = "Section 5.4 (observability extension)";
+      run = Exp_observe.report;
+    };
+    {
       id = "ablation";
       title = "design-choice ablations";
       paper_ref = "Sections 5.1, 5.2, 5.5";

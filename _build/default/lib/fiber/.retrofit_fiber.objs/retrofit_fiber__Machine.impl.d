@@ -1,1 +1,1 @@
-lib/fiber/machine.ml: Array Compile Config Costs Fiber Hashtbl Int Ir Layout List Map Otss Printf Retrofit_util Segment Stack_cache
+lib/fiber/machine.ml: Array Compile Config Costs Fiber Hashtbl Int Ir Layout List Map Otss Printf Retrofit_trace Retrofit_util Segment Stack_cache

@@ -1,5 +1,7 @@
 module Vec = Retrofit_util.Vec
 module Counter = Retrofit_util.Counter
+module Trace = Retrofit_trace.Trace
+module Tev = Retrofit_trace.Event
 
 (* Base-address index of live fibers.  Segments are carved out of
    disjoint address ranges (fresh ones at monotonically increasing
@@ -75,6 +77,7 @@ type t = {
   mutable result : outcome option;
   mutable fuel : int;
   on_call : (t -> unit) option;
+  on_step : (t -> unit) option;
   auditor : audit option;
   unhandled_id : int;
   invalid_arg_id : int;
@@ -101,6 +104,13 @@ let fatal msg = raise (Fatal_error msg)
 let charge t n = Counter.add t.t_counters "instructions" n
 
 let count t name = Counter.incr t.t_counters name
+
+(* Eventlog emission.  Machine events are stamped with the cumulative
+   instruction cost — the machine's own virtual clock — and every site
+   guards with [Trace.on ()] so the disabled path is one branch: no
+   event is built, no counter is touched, and the frozen cost tables
+   stay bit-identical. *)
+let emit_ev t ev = Trace.emit ~ts:(Counter.get t.t_counters "instructions") ev
 
 let fiber_of_addr t addr =
   count t "addr_index_probe";
@@ -136,9 +146,13 @@ let alloc_segment t ~size =
   | Some seg ->
       count t "stack_cache_hit";
       charge t Costs.fiber_alloc_cached;
+      if Trace.on () then emit_ev t (Tev.Cache_hit { size });
       seg
   | None ->
-      if t.cfg.stack_cache then count t "stack_cache_miss";
+      if t.cfg.stack_cache then begin
+        count t "stack_cache_miss";
+        if Trace.on () then emit_ev t (Tev.Cache_miss { size })
+      end;
       count t "malloc";
       charge t Costs.fiber_alloc;
       let seg = Segment.create ~base:t.next_base ~size in
@@ -186,9 +200,18 @@ let new_fiber t ~parent ~handler ~handler_index ~bottom_trap ~size =
   t.next_id <- t.next_id + 1;
   init_preamble t f ~handler_index ~bottom_trap;
   register_fiber t f;
+  if Trace.on () then
+    emit_ev t
+      (Tev.Fiber_create
+         {
+           id = f.Fiber.id;
+           parent = (match parent with Some p -> p.Fiber.id | None -> -1);
+           size;
+         });
   f
 
 let free_fiber t (f : Fiber.t) =
+  if Trace.on () then emit_ev t (Tev.Fiber_free { id = f.Fiber.id });
   f.live <- false;
   Hashtbl.remove t.fibers_live f.id;
   t.by_base <- Imap.remove (Segment.base f.seg) t.by_base;
@@ -215,6 +238,11 @@ let grow t (f : Fiber.t) ~needed =
   count t "stack_grow";
   Counter.add t.t_counters "words_copied" old_size;
   charge t (Costs.grow_base + (Costs.grow_per_word * old_size));
+  if Trace.on () then
+    emit_ev t
+      (Tev.Fiber_grow
+         { id = f.Fiber.id; old_words = old_size; new_words = new_size;
+           copied = old_size });
   let delta = Segment.top new_seg - Segment.top old_seg in
   f.seg <- new_seg;
   (* The fiber moved: invalidate its old interval and index the new one. *)
@@ -233,6 +261,17 @@ let grow t (f : Fiber.t) ~needed =
   in
   fix f.regs.exn_ptr;
   if t.cfg.stack_cache then Stack_cache.put t.cache ~size:old_size old_seg
+
+(* Every control transfer between fibers funnels through here so the
+   switch counter and the eventlog cannot drift apart.  Callers that
+   free or reparent must do so first: [t.current] is still the source
+   fiber when this runs. *)
+let switch_to t (f : Fiber.t) =
+  if Trace.on () then
+    emit_ev t
+      (Tev.Fiber_switch { from_id = t.current.Fiber.id; to_id = f.Fiber.id });
+  t.current <- f;
+  count t "switch"
 
 (* ------------------------------------------------------------------ *)
 (* Calls *)
@@ -309,6 +348,8 @@ let emulate_call t (f : Fiber.t) fid (args : int array) ~ra =
 let machine_raise t exn_id payload =
   count t "raise";
   charge t Costs.raise_;
+  if Trace.on () then
+    emit_ev t (Tev.Raise { exn = Compile.exn_name t.prog exn_id });
   let rec unwind () =
     let f = t.current in
     let a = f.Fiber.regs.exn_ptr in
@@ -333,8 +374,7 @@ let machine_raise t exn_id payload =
         | None -> fatal "handler fiber without a handler"
       in
       free_fiber t f;
-      t.current <- p;
-      count t "switch";
+      switch_to t p;
       match Hashtbl.find_opt h.Compile.h_exn_tbl exn_id with
       | Some fid -> emulate_call t p fid [| payload |] ~ra:p.regs.pc
       | None -> unwind ()
@@ -385,14 +425,18 @@ let fiber_return t result =
   in
   count t "fiber_return";
   charge t Costs.fiber_return;
-  count t "switch";
+  if Trace.on () then
+    emit_ev t
+      (Tev.Handler_pop
+         { hidx = rd f (Segment.top f.Fiber.seg - 2); fiber = f.Fiber.id });
   free_fiber t f;
-  t.current <- p;
+  switch_to t p;
   emulate_call t p h.Compile.h_retc [| result |] ~ra:p.regs.pc
 
 let do_perform t eff_id =
   count t "perform";
   charge t Costs.perform;
+  if Trace.on () then emit_ev t (Tev.Perform { eff = t.prog.eff_names.(eff_id) });
   let v = pop_op t.current in
   let kid = Vec.length t.conts in
   let k = { fibers = Vec.create (); cont_live = true } in
@@ -424,8 +468,7 @@ let do_perform t eff_id =
           let first = Vec.get k.fibers 0 in
           relink_last_to cur;
           k.cont_live <- false;
-          t.current <- first;
-          count t "switch";
+          switch_to t first;
           machine_raise t t.unhandled_id 0
         end
     | Some h -> (
@@ -439,8 +482,7 @@ let do_perform t eff_id =
         set_parent cur None;
         match Hashtbl.find_opt h.Compile.h_eff_tbl eff_id with
         | Some fid ->
-            t.current <- p;
-            count t "switch";
+            switch_to t p;
             emulate_call t p fid [| v; kid |] ~ra:p.regs.pc
         | None ->
             count t "reperform";
@@ -505,6 +547,13 @@ let do_resume t ~raise_instead v kid =
   else begin
     count t "resume";
     charge t (Costs.resume + (Costs.resume_per_fiber * Vec.length k.fibers));
+    if Trace.on () then begin
+      match raise_instead with
+      | None -> emit_ev t (Tev.Resume { kid; fibers = Vec.length k.fibers })
+      | Some exn_id ->
+          emit_ev t
+            (Tev.Discontinue { kid; exn = Compile.exn_name t.prog exn_id })
+    end;
     let fibers =
       if t.cfg.multishot then begin
         (* resuming copies the fibers and leaves the continuation as it
@@ -524,8 +573,7 @@ let do_resume t ~raise_instead v kid =
     let last = Vec.top fibers in
     last.Fiber.parent <- Some t.current;
     wr last (Segment.top last.Fiber.seg - 1) t.current.Fiber.id;
-    t.current <- first;
-    count t "switch";
+    switch_to t first;
     match raise_instead with
     | None -> push_op first v
     | Some exn_id -> machine_raise t exn_id v
@@ -546,8 +594,9 @@ let do_handle t hidx =
       ~bottom_trap:Layout.trap_forward ~size
   in
   count t "fiber_alloc";
-  t.current <- f;
-  count t "switch";
+  if Trace.on () then
+    emit_ev t (Tev.Handler_push { hidx; fiber = f.Fiber.id });
+  switch_to t f;
   emulate_call t f spec.h_body args ~ra:Layout.ret_to_parent
 
 (* ------------------------------------------------------------------ *)
@@ -877,6 +926,8 @@ let rec exec_instr t =
   | Ir.ExtcallI (cid, nargs) -> (
       count t "extcall";
       charge t (Costs.extcall t.cfg + Costs.cfun_body);
+      if Trace.on () then
+        emit_ev t (Tev.Extcall_begin { name = t.prog.cfun_names.(cid) });
       let args = Array.make nargs 0 in
       for i = nargs - 1 downto 0 do
         args.(i) <- pop_op f
@@ -888,8 +939,13 @@ let rec exec_instr t =
       | Some impl -> (
           let ctx = { machine = t; callback = run_callback t } in
           match impl ctx args with
-          | v -> push_op t.current v
+          | v ->
+              if Trace.on () then
+                emit_ev t (Tev.Extcall_end { name = t.prog.cfun_names.(cid) });
+              push_op t.current v
           | exception Ocaml_exn (name, payload) -> (
+              if Trace.on () then
+                emit_ev t (Tev.Extcall_end { name = t.prog.cfun_names.(cid) });
               match Compile.exn_id t.prog name with
               | id -> machine_raise t id payload
               | exception Not_found ->
@@ -911,6 +967,7 @@ and run_callback t name args =
   in
   count t "callback";
   charge t (Costs.callback t.cfg);
+  if Trace.on () then emit_ev t (Tev.Callback_begin { name });
   let f = t.current in
   (* Save and blank the handler for the duration (§5.3): effects
      performed under the callback must not find it.  The parent pointer
@@ -942,14 +999,17 @@ and run_callback t name args =
       f.regs.sp <- a + 3;
       ignore (Vec.pop f.traps);
       restore ();
+      if Trace.on () then emit_ev t (Tev.Callback_end { name });
       v
   | exception (Ocaml_exn _ as e) ->
       (* machine_raise already popped the trap and the context word *)
       restore ();
+      if Trace.on () then emit_ev t (Tev.Callback_end { name });
       raise e
 
 and step t =
   exec_instr t;
+  (match t.on_step with Some hook -> hook t | None -> ());
   audit_tick t
 
 (* ------------------------------------------------------------------ *)
@@ -997,7 +1057,8 @@ let shadow_backtrace t =
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
-let run ?cache ?(cfuns = []) ?on_call ?audit ?(fuel = 200_000_000) cfg prog =
+let run ?cache ?(cfuns = []) ?on_call ?on_step ?audit ?(fuel = 200_000_000) cfg
+    prog =
   let counters = Counter.create () in
   let cache = match cache with Some c -> c | None -> Stack_cache.create () in
   let cfun_impls =
@@ -1023,6 +1084,7 @@ let run ?cache ?(cfuns = []) ?on_call ?audit ?(fuel = 200_000_000) cfg prog =
       result = None;
       fuel;
       on_call;
+      on_step;
       auditor = audit;
       unhandled_id = Compile.exn_id prog Compile.unhandled_exn;
       invalid_arg_id = Compile.exn_id prog Compile.invalid_argument_exn;

@@ -86,6 +86,7 @@ val run :
   ?cache:Stack_cache.t ->
   ?cfuns:(string * cfun) list ->
   ?on_call:(t -> unit) ->
+  ?on_step:(t -> unit) ->
   ?audit:audit ->
   ?fuel:int ->
   Config.t ->
@@ -94,9 +95,17 @@ val run :
 (** Executes the program's main function.  [cfuns] supplies C-function
     implementations by name; a program calling an unregistered name
     fails with [Fatal].  [on_call] runs after every call frame is
-    established — the hook the DWARF validator uses.  [audit] enables
-    per-step invariant checking.  [fuel] bounds the executed operation
-    count (default 200 million). *)
+    established — the hook the DWARF validator uses.  [on_step] runs
+    after every executed instruction (including those inside callbacks)
+    — the hook the sampling profiler hangs its interval countdown on.
+    [audit] enables per-step invariant checking.  [fuel] bounds the
+    executed operation count (default 200 million).
+
+    When the eventlog is enabled ({!Retrofit_trace.Trace.on}), the
+    machine emits fiber lifecycle, switch, effect, handler and FFI
+    boundary events stamped with the cumulative "instructions" cost.
+    Disabled, every site is a single untaken branch: no counter moves
+    and the frozen cost tables stay bit-identical. *)
 
 val c_raise : t -> string -> int -> 'a
 (** For C-function implementations: raise an OCaml exception across the

@@ -39,4 +39,34 @@ val population : t -> int
 val total_words : t -> int
 (** Aggregate words currently retained.  O(1). *)
 
+(** {2 Per-instance statistics}
+
+    Lifetime event counts owned by the cache instance (not by any
+    machine), so they can be read, windowed and reset independently of
+    the frozen machine counters.  A cache shared by several experiment
+    runs in one process must be read through [scoped_stats] (or reset
+    between runs): the counters otherwise accumulate across runs. *)
+
+type stats = {
+  lookups : int;  (** [take] calls *)
+  hits : int;  (** takes that returned a segment *)
+  misses : int;  (** takes that found the bucket empty *)
+  puts : int;  (** offers the cache retained *)
+  rejected : int;  (** offers dropped by a capacity bound *)
+}
+
+val zero_stats : stats
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the statistics (the cached segments are untouched). *)
+
+val diff_stats : stats -> stats -> stats
+(** Componentwise [a - b]. *)
+
+val scoped_stats : t -> (unit -> 'a) -> 'a * stats
+(** Run the thunk and return the statistics delta it produced — the
+    seam that keeps back-to-back experiments' stats independent. *)
+
 val clear : t -> unit

@@ -1,1 +1,1 @@
-lib/harness/clock.ml: Int64 Monotonic_clock
+lib/harness/clock.ml: Int64 Monotonic_clock Retrofit_util

@@ -1,1 +1,1 @@
-lib/httpsim/loadgen.ml: Faults Http List Netsim Option Queue Retrofit_util Server
+lib/httpsim/loadgen.ml: Faults Http List Netsim Option Queue Retrofit_metrics Retrofit_trace Retrofit_util Server

@@ -1,6 +1,9 @@
 module Rng = Retrofit_util.Rng
 module Histogram = Retrofit_util.Histogram
 module Pqueue = Retrofit_util.Pqueue
+module Trace = Retrofit_trace.Trace
+module Tev = Retrofit_trace.Event
+module Metrics = Retrofit_metrics.Metrics
 
 type fault_account = {
   injected : int;
@@ -73,6 +76,36 @@ type outcome = {
   max_ns : int;
 }
 
+(* Push a finished run's error taxonomy and latency distribution into
+   the metrics registry, labelled by server model.  Counters and the
+   histogram are only touched when the registry is enabled, so the
+   pinned Fig 6 numbers cannot move. *)
+let publish_metrics (o : outcome) hist =
+  if Metrics.on () then begin
+    let labels = [ ("model", o.model_name) ] in
+    Metrics.inc ~labels ~by:o.total_requests "httpsim_requests_total";
+    Metrics.inc ~labels ~by:o.completed "httpsim_completed_total";
+    Metrics.inc ~labels ~by:o.errors "httpsim_errors_total";
+    Metrics.inc ~labels ~by:o.timeouts "httpsim_timeouts_total";
+    Metrics.inc ~labels ~by:o.retries "httpsim_retries_total";
+    Metrics.inc ~labels ~by:o.shed "httpsim_shed_total";
+    Metrics.inc ~labels ~by:o.malformed "httpsim_malformed_total";
+    Metrics.inc ~labels ~by:o.server_errors "httpsim_server_errors_total";
+    Metrics.inc ~labels ~by:o.gc_pauses "httpsim_gc_pauses_total";
+    Metrics.inc ~labels ~by:o.faults.injected "httpsim_faults_injected_total";
+    let disposition kind n =
+      Metrics.inc
+        ~labels:(("disposition", kind) :: labels)
+        ~by:n "httpsim_fault_dispositions_total"
+    in
+    disposition "malformed" o.faults.to_malformed;
+    disposition "retried" o.faults.to_retried;
+    disposition "timeout" o.faults.to_timeout;
+    disposition "server_error" o.faults.to_server_error;
+    disposition "absorbed" o.faults.to_absorbed;
+    Metrics.observe_histogram ~labels "httpsim_latency_ns" hist
+  end
+
 (* ------------------------------------------------------------------ *)
 (* The original zero-fault engine, unchanged: this is the Fig 6 code
    path and its numbers are pinned bit-for-bit by the tests. *)
@@ -93,9 +126,12 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
     (fun (ev : Netsim.event) ->
       (* Really execute the server's code path and check the reply. *)
       let reply = process ev.raw in
-      (match Http.parse_response reply with
-      | Ok (resp, _) when resp.Http.status = 200 -> ()
-      | _ -> incr errors);
+      let status =
+        match Http.parse_response reply with
+        | Ok (resp, _) -> resp.Http.status
+        | Error _ -> 500
+      in
+      if status <> 200 then incr errors;
       (* Virtual timing: single CPU, FIFO, with stop-the-world GC pauses
          driven by the machinery's allocation rate. *)
       alloc_since_gc := !alloc_since_gc + model.Server.alloc_per_request;
@@ -124,10 +160,18 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
       cpu_free := finish;
       last_completion := finish;
       incr completed;
+      if Trace.on () then begin
+        if gc_pause > 0 then
+          Trace.emit ~ts:(start + gc_pause)
+            (Tev.Gc_pause { start; dur = gc_pause });
+        Trace.emit ~ts:finish
+          (Tev.Request { conn = ev.conn_id; attempt = 1; status; start; finish })
+      end;
       Histogram.record hist (finish - ev.arrival_ns))
     events;
   let span_ns = max 1 !last_completion in
-  {
+  let out =
+    {
     model_name = model.Server.name;
     offered_rps = rate_rps;
     achieved_rps = float_of_int !completed *. 1e9 /. float_of_int span_ns;
@@ -146,9 +190,12 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
     p50_ns = Histogram.value_at_percentile hist 50.0;
     p90_ns = Histogram.value_at_percentile hist 90.0;
     p99_ns = Histogram.value_at_percentile hist 99.0;
-    p999_ns = Histogram.value_at_percentile hist 99.9;
-    max_ns = Histogram.max_recorded hist;
-  }
+      p999_ns = Histogram.value_at_percentile hist 99.9;
+      max_ns = Histogram.max_recorded hist;
+    }
+  in
+  publish_metrics out hist;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* The resilient engine: the same virtual single-CPU FIFO world, driven
@@ -171,6 +218,7 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
 
 type attempt = {
   attempt_no : int;
+  conn : int;
   orig_arrival : int;
   deadline : int;
   clean_raw : string;
@@ -196,9 +244,15 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
         | Some f -> Faults.damaged_raw ev.raw f
         | None -> ev.raw
       in
+      (match inj.fault with
+      | Some f when Trace.on () ->
+          Trace.emit ~ts:ev.arrival_ns
+            (Tev.Fault_injected { conn = ev.conn_id; kind = Faults.fault_label f })
+      | _ -> ());
       Pqueue.add q ~priority:(ev.arrival_ns + stall)
         {
           attempt_no = 1;
+          conn = ev.conn_id;
           orig_arrival = ev.arrival_ns;
           deadline = ev.arrival_ns + resilience.deadline_ns;
           clean_raw = ev.raw;
@@ -226,6 +280,7 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
      processed in time order, so pruning entries at or before "now"
      leaves exactly the virtual queue depth. *)
   let in_flight : int Queue.t = Queue.create () in
+  let max_inflight = ref 0 in
   let prune now =
     let rec go () =
       match Queue.peek_opt in_flight with
@@ -251,6 +306,8 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
       if t > a.deadline then false
       else begin
         incr retries;
+        if Trace.on () then
+          Trace.emit ~ts:t (Tev.Retry { conn = a.conn; attempt = a.attempt_no + 1 });
         (* Retries resend the pristine bytes: the fault was on the wire,
            not in the request. *)
         Pqueue.add q ~priority:t
@@ -272,6 +329,8 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
   let process_attempt now a =
     prune now;
     let depth = Queue.length in_flight in
+    if depth > !max_inflight then max_inflight := depth;
+    if Trace.on () then Trace.emit ~ts:now (Tev.Inflight_depth { depth });
     if depth >= resilience.queue_cap then begin
       (* Admission control: shed to 503 for the cost of the dispatch
          alone — the queue never grows past the cap. *)
@@ -280,6 +339,12 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
       let finish = start + model.Server.dispatch_overhead_ns in
       cpu_free := finish;
       Queue.push finish in_flight;
+      if Trace.on () then begin
+        Trace.emit ~ts:finish (Tev.Shed { conn = a.conn });
+        Trace.emit ~ts:finish
+          (Tev.Request
+             { conn = a.conn; attempt = a.attempt_no; status = 503; start; finish })
+      end;
       account_shed_or_408 ~is_408:false a;
       if not (schedule_retry ~now:finish a) then incr timeouts
     end
@@ -292,6 +357,10 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
         let finish = start + model.Server.dispatch_overhead_ns in
         cpu_free := finish;
         Queue.push finish in_flight;
+        if Trace.on () then
+          Trace.emit ~ts:finish
+            (Tev.Request
+               { conn = a.conn; attempt = a.attempt_no; status = 408; start; finish });
         account_shed_or_408 ~is_408:true a
       end
       else begin
@@ -334,6 +403,14 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
         cpu_free := finish;
         Queue.push finish in_flight;
         last_completion := max !last_completion finish;
+        if Trace.on () then begin
+          if gc_pause > 0 then
+            Trace.emit ~ts:(start + gc_pause)
+              (Tev.Gc_pause { start; dur = gc_pause });
+          Trace.emit ~ts:finish
+            (Tev.Request
+               { conn = a.conn; attempt = a.attempt_no; status; start; finish })
+        end;
         if status = 200 then
           if finish <= a.deadline then begin
             incr completed;
@@ -390,7 +467,8 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
   drain ();
   let span_ns = max 1 !last_completion in
   let goodput = float_of_int !completed *. 1e9 /. float_of_int span_ns in
-  {
+  let out =
+    {
     model_name = model.Server.name;
     offered_rps = rate_rps;
     achieved_rps = goodput;
@@ -417,9 +495,16 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
     p50_ns = Histogram.value_at_percentile hist 50.0;
     p90_ns = Histogram.value_at_percentile hist 90.0;
     p99_ns = Histogram.value_at_percentile hist 99.0;
-    p999_ns = Histogram.value_at_percentile hist 99.9;
-    max_ns = Histogram.max_recorded hist;
-  }
+      p999_ns = Histogram.value_at_percentile hist 99.9;
+      max_ns = Histogram.max_recorded hist;
+    }
+  in
+  publish_metrics out hist;
+  if Metrics.on () then
+    Metrics.set_gauge
+      ~labels:[ ("model", model.Server.name) ]
+      "httpsim_inflight_peak" !max_inflight;
+  out
 
 let run ?(seed = 42) ?(connections = 1000) ?faults ?resilience ~model ~process
     ~rate_rps ~duration_ms () =

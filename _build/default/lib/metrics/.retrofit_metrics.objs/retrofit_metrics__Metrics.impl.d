@@ -1,0 +1,1 @@
+lib/metrics/metrics.ml: Buffer Fun Hashtbl List Printf Retrofit_util String

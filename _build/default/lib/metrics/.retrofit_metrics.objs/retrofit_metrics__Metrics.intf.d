@@ -1,0 +1,1 @@
+lib/metrics/metrics.mli: Retrofit_util

@@ -1,0 +1,1 @@
+lib/trace/export.ml: Buffer Char Event List Printf Result String Trace

@@ -1,0 +1,1 @@
+lib/trace/export.mli: Event Trace

@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Event List Retrofit_metrics Retrofit_util

@@ -1,0 +1,148 @@
+(* The typed event vocabulary of the runtime eventlog.
+
+   One constructor per thing the runtime can do that is worth seeing on
+   a timeline: fiber lifecycle and stack management in the machine
+   (§5.1-§5.2), effect operations, handler setup/teardown, the external
+   call / callback boundary (§5.3), httpsim request lifecycle and fault
+   injections, and scheduler queue depths.  Timestamps are virtual —
+   fiber-machine events are stamped with the machine's cumulative
+   instruction count, httpsim events with simulated nanoseconds — so an
+   eventlog is a pure function of the workload seed.
+
+   Span semantics: [*_begin]/[*_end] pairs nest strictly (they follow
+   the call stack); [Request] carries both endpoints of its interval
+   because overlapping requests do not nest.  Everything else is an
+   instant.  [Runq_depth]/[Io_pending]/[Inflight_depth] are counter
+   tracks. *)
+
+type ev =
+  (* fiber machine *)
+  | Fiber_create of { id : int; parent : int; size : int }
+  | Fiber_switch of { from_id : int; to_id : int }
+  | Fiber_grow of { id : int; old_words : int; new_words : int; copied : int }
+  | Fiber_free of { id : int }
+  | Cache_hit of { size : int }
+  | Cache_miss of { size : int }
+  | Perform of { eff : string }
+  | Resume of { kid : int; fibers : int }
+  | Discontinue of { kid : int; exn : string }
+  | Raise of { exn : string }
+  | Handler_push of { hidx : int; fiber : int }
+  | Handler_pop of { hidx : int; fiber : int }
+  | Extcall_begin of { name : string }
+  | Extcall_end of { name : string }
+  | Callback_begin of { name : string }
+  | Callback_end of { name : string }
+  (* schedulers *)
+  | Runq_depth of { depth : int }
+  | Io_pending of { depth : int }
+  (* httpsim *)
+  | Request of { conn : int; attempt : int; status : int; start : int; finish : int }
+  | Fault_injected of { conn : int; kind : string }
+  | Shed of { conn : int }
+  | Retry of { conn : int; attempt : int }
+  | Gc_pause of { start : int; dur : int }
+  | Inflight_depth of { depth : int }
+  (* free-form instant marker *)
+  | Mark of { name : string }
+
+type t = { ts : int; ev : ev }
+
+(* Track assignment for the Chrome exporter: one virtual thread per
+   subsystem so the three virtual time bases never interleave on a
+   track. *)
+let track = function
+  | Fiber_create _ | Fiber_switch _ | Fiber_grow _ | Fiber_free _ | Cache_hit _
+  | Cache_miss _ | Perform _ | Resume _ | Discontinue _ | Raise _ | Handler_push _
+  | Handler_pop _ | Extcall_begin _ | Extcall_end _ | Callback_begin _
+  | Callback_end _ ->
+      1
+  | Runq_depth _ | Io_pending _ -> 2
+  | Request _ | Fault_injected _ | Shed _ | Retry _ | Gc_pause _ | Inflight_depth _
+    ->
+      3
+  | Mark _ -> 0
+
+let cat = function
+  | Fiber_create _ | Fiber_switch _ | Fiber_grow _ | Fiber_free _ | Cache_hit _
+  | Cache_miss _ ->
+      "fiber"
+  | Perform _ | Resume _ | Discontinue _ | Raise _ | Handler_push _ | Handler_pop _
+    ->
+      "effect"
+  | Extcall_begin _ | Extcall_end _ | Callback_begin _ | Callback_end _ -> "ffi"
+  | Runq_depth _ | Io_pending _ -> "sched"
+  | Request _ | Fault_injected _ | Shed _ | Retry _ | Gc_pause _ | Inflight_depth _
+    ->
+      "http"
+  | Mark _ -> "mark"
+
+let name = function
+  | Fiber_create _ -> "fiber_create"
+  | Fiber_switch _ -> "fiber_switch"
+  | Fiber_grow _ -> "fiber_grow"
+  | Fiber_free _ -> "fiber_free"
+  | Cache_hit _ -> "stack_cache_hit"
+  | Cache_miss _ -> "stack_cache_miss"
+  | Perform { eff } -> "perform:" ^ eff
+  | Resume _ -> "resume"
+  | Discontinue _ -> "discontinue"
+  | Raise { exn } -> "raise:" ^ exn
+  | Handler_push _ -> "handler_push"
+  | Handler_pop _ -> "handler_pop"
+  | Extcall_begin { name } | Extcall_end { name } -> "extcall:" ^ name
+  | Callback_begin { name } | Callback_end { name } -> "callback:" ^ name
+  | Runq_depth _ -> "runq_depth"
+  | Io_pending _ -> "io_pending"
+  | Request _ -> "request"
+  | Fault_injected { kind; _ } -> "fault:" ^ kind
+  | Shed _ -> "shed"
+  | Retry _ -> "retry"
+  | Gc_pause _ -> "gc_pause"
+  | Inflight_depth _ -> "inflight_depth"
+  | Mark { name } -> name
+
+(* integer arguments, rendered into the exporters' args objects *)
+let args = function
+  | Fiber_create { id; parent; size } ->
+      [ ("id", id); ("parent", parent); ("size", size) ]
+  | Fiber_switch { from_id; to_id } -> [ ("from", from_id); ("to", to_id) ]
+  | Fiber_grow { id; old_words; new_words; copied } ->
+      [ ("id", id); ("old", old_words); ("new", new_words); ("copied", copied) ]
+  | Fiber_free { id } -> [ ("id", id) ]
+  | Cache_hit { size } | Cache_miss { size } -> [ ("size", size) ]
+  | Perform _ -> []
+  | Resume { kid; fibers } -> [ ("kid", kid); ("fibers", fibers) ]
+  | Discontinue { kid; _ } -> [ ("kid", kid) ]
+  | Raise _ -> []
+  | Handler_push { hidx; fiber } | Handler_pop { hidx; fiber } ->
+      [ ("hidx", hidx); ("fiber", fiber) ]
+  | Extcall_begin _ | Extcall_end _ | Callback_begin _ | Callback_end _ -> []
+  | Runq_depth { depth } | Io_pending { depth } | Inflight_depth { depth } ->
+      [ ("depth", depth) ]
+  | Request { conn; attempt; status; start; finish } ->
+      [ ("conn", conn); ("attempt", attempt); ("status", status);
+        ("dur", finish - start) ]
+  | Fault_injected { conn; _ } -> [ ("conn", conn) ]
+  | Shed { conn } -> [ ("conn", conn) ]
+  | Retry { conn; attempt } -> [ ("conn", conn); ("attempt", attempt) ]
+  | Gc_pause { start = _; dur } -> [ ("dur", dur) ]
+  | Mark _ -> []
+
+type phase = Begin | End | Complete of int (* duration *) | Counter | Instant
+
+let phase = function
+  | Extcall_begin _ | Callback_begin _ -> Begin
+  | Extcall_end _ | Callback_end _ -> End
+  | Request { start; finish; _ } -> Complete (finish - start)
+  | Gc_pause { dur; _ } -> Complete dur
+  | Runq_depth _ | Io_pending _ | Inflight_depth _ -> Counter
+  | _ -> Instant
+
+(* Chrome trace_event phase letter *)
+let phase_letter = function
+  | Begin -> "B"
+  | End -> "E"
+  | Complete _ -> "X"
+  | Counter -> "C"
+  | Instant -> "i"

@@ -1,0 +1,54 @@
+(** Typed events of the runtime eventlog.
+
+    One constructor per observable runtime action: fiber lifecycle and
+    stack management (§5.1–5.2), effect operations, handler
+    setup/teardown, the external-call/callback boundary (§5.3), httpsim
+    request lifecycle and fault injections, and scheduler queue depths.
+    Timestamps are virtual (machine events: cumulative weighted
+    instructions; httpsim events: simulated nanoseconds), so an
+    eventlog is a pure function of the workload seed. *)
+
+type ev =
+  | Fiber_create of { id : int; parent : int; size : int }
+  | Fiber_switch of { from_id : int; to_id : int }
+  | Fiber_grow of { id : int; old_words : int; new_words : int; copied : int }
+  | Fiber_free of { id : int }
+  | Cache_hit of { size : int }
+  | Cache_miss of { size : int }
+  | Perform of { eff : string }
+  | Resume of { kid : int; fibers : int }
+  | Discontinue of { kid : int; exn : string }
+  | Raise of { exn : string }
+  | Handler_push of { hidx : int; fiber : int }
+  | Handler_pop of { hidx : int; fiber : int }
+  | Extcall_begin of { name : string }
+  | Extcall_end of { name : string }
+  | Callback_begin of { name : string }
+  | Callback_end of { name : string }
+  | Runq_depth of { depth : int }
+  | Io_pending of { depth : int }
+  | Request of { conn : int; attempt : int; status : int; start : int; finish : int }
+  | Fault_injected of { conn : int; kind : string }
+  | Shed of { conn : int }
+  | Retry of { conn : int; attempt : int }
+  | Gc_pause of { start : int; dur : int }
+  | Inflight_depth of { depth : int }
+  | Mark of { name : string }
+
+type t = { ts : int; ev : ev }
+
+val track : ev -> int
+(** Virtual thread id for the Chrome exporter: 1 = fiber machine,
+    2 = schedulers, 3 = httpsim, 0 = free-form marks. *)
+
+val cat : ev -> string
+
+val name : ev -> string
+
+val args : ev -> (string * int) list
+
+type phase = Begin | End | Complete of int | Counter | Instant
+
+val phase : ev -> phase
+
+val phase_letter : phase -> string

@@ -1,0 +1,304 @@
+(* Eventlog exporters and the Chrome trace_event schema checker.
+
+   [to_chrome] renders the JSON Array Format variant of the Chrome
+   trace_event spec (the one chrome://tracing and Perfetto both load):
+   a top-level object with a "traceEvents" array plus metadata.
+   Timestamps are written in the event's own virtual nanoseconds; we
+   declare "displayTimeUnit":"ns" and never consult a wall clock, so
+   the bytes are a pure function of the captured events.
+
+   [to_text] is the human-readable flat form: one line per event,
+   fixed-width timestamp, category, name, then key=value args.
+
+   [validate_chrome] re-parses exporter output (or any file claiming
+   the format) with a small self-contained JSON reader and checks the
+   schema the tools actually rely on: traceEvents is an array of
+   objects, each with string "name"/"cat"/"ph", integer "ts"/"pid"/
+   "tid", a known phase letter, and a "dur" on complete events. *)
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pid = 1
+
+let chrome_event buf (e : Event.t) =
+  let ph = Event.phase e.ev in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"name":"%s","cat":"%s","ph":"%s","ts":%d,"pid":%d,"tid":%d|}
+       (escape_json (Event.name e.ev))
+       (escape_json (Event.cat e.ev))
+       (Event.phase_letter ph)
+       (match ph with
+       (* complete events span [start, finish]; ts is the start *)
+       | Event.Complete d -> e.ts - d
+       | _ -> e.ts)
+       pid (Event.track e.ev));
+  (match ph with
+  | Event.Complete d -> Buffer.add_string buf (Printf.sprintf {|,"dur":%d|} d)
+  | _ -> ());
+  (match Event.args e.ev with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf {|,"args":{|};
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf {|"%s":%d|} (escape_json k) v))
+        args;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let to_chrome ?(dropped = 0) events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"displayTimeUnit":"ns","droppedEvents":|};
+  Buffer.add_string buf (string_of_int dropped);
+  Buffer.add_string buf {|,"traceEvents":[|};
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      chrome_event buf e)
+    events;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let of_trace_chrome t = to_chrome ~dropped:(Trace.dropped t) (Trace.to_list t)
+
+let to_text events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Event.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12d %-6s %-24s" e.ts (Event.cat e.ev) (Event.name e.ev));
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%d" k v))
+        (Event.args e.ev);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let of_trace_text t = to_text (Trace.to_list t)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader (objects, arrays, strings, ints/floats, atoms) *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("bad literal " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+               if !pos + 4 >= n then fail "truncated \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+               | Some _ -> Buffer.add_char buf '?'
+               | None -> fail "bad \\u escape");
+               pos := !pos + 4
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> J_int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> J_float f
+        | None -> fail ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                J_obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_list []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                J_list (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+        end
+    | Some '"' -> J_string (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes after JSON value";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Schema checking *)
+
+let known_phases = [ "B"; "E"; "X"; "C"; "i"; "I"; "M"; "b"; "e" ]
+
+let validate_chrome (text : string) : (int, string) result =
+  match parse_json text with
+  | exception Bad_json msg -> Error ("not JSON: " ^ msg)
+  | J_obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | None -> Error "missing traceEvents key"
+      | Some (J_list events) -> (
+          let check i = function
+            | J_obj ev ->
+                let str key =
+                  match List.assoc_opt key ev with
+                  | Some (J_string s) -> Ok s
+                  | Some _ -> Error (Printf.sprintf "event %d: %s not a string" i key)
+                  | None -> Error (Printf.sprintf "event %d: missing %s" i key)
+                in
+                let int key =
+                  match List.assoc_opt key ev with
+                  | Some (J_int _) -> Ok ()
+                  | Some _ ->
+                      Error (Printf.sprintf "event %d: %s not an integer" i key)
+                  | None -> Error (Printf.sprintf "event %d: missing %s" i key)
+                in
+                let ( let* ) = Result.bind in
+                let* _name = str "name" in
+                let* _cat = str "cat" in
+                let* ph = str "ph" in
+                let* () =
+                  if List.mem ph known_phases then Ok ()
+                  else Error (Printf.sprintf "event %d: unknown phase %S" i ph)
+                in
+                let* () = int "ts" in
+                let* () = int "pid" in
+                let* () = int "tid" in
+                let* () = if ph = "X" then int "dur" else Ok () in
+                Ok ()
+            | _ -> Error (Printf.sprintf "event %d: not an object" i)
+          in
+          let rec go i = function
+            | [] -> Ok (List.length events)
+            | ev :: rest -> (
+                match check i ev with Ok () -> go (i + 1) rest | Error e -> Error e)
+          in
+          match go 0 events with
+          | Ok count -> Ok count
+          | Error e -> Error e)
+      | Some _ -> Error "traceEvents is not an array")
+  | _ -> Error "top level is not an object"

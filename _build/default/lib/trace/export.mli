@@ -1,0 +1,38 @@
+(** Eventlog exporters and the Chrome trace_event schema checker. *)
+
+val to_chrome : ?dropped:int -> Event.t list -> string
+(** Chrome trace_event "JSON Array Format" (loadable in chrome://tracing
+    and Perfetto): a top-level object with a [traceEvents] array.
+    Timestamps are virtual nanoseconds; no wall clock is consulted, so
+    the bytes are a pure function of the events. *)
+
+val of_trace_chrome : Trace.t -> string
+
+val to_text : Event.t list -> string
+(** Human-readable flat form: one line per event — timestamp, category,
+    name, key=value args. *)
+
+val of_trace_text : Trace.t -> string
+
+(** {1 Schema checking} *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+val parse_json : string -> json
+(** Minimal self-contained JSON reader.  @raise Bad_json on malformed
+    input. *)
+
+val validate_chrome : string -> (int, string) result
+(** Check the schema the trace viewers rely on: [traceEvents] is an
+    array of objects, each with string [name]/[cat]/[ph], integer
+    [ts]/[pid]/[tid], a known phase letter, and [dur] on complete
+    events.  Returns the event count. *)

@@ -156,3 +156,19 @@ let merge_into ~dst src =
     if src.min_seen < dst.min_seen then dst.min_seen <- src.min_seen;
     if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
   end
+
+let copy t = { t with counts = Array.copy t.counts }
+
+(* Non-destructive merge: a fresh histogram holding the union of both
+   recording sets.  Aggregating per-fiber (or per-run) latency
+   histograms into a registry snapshot goes through here. *)
+let merge a b =
+  let dst = copy a in
+  merge_into ~dst b;
+  dst
+
+let add_hist = merge_into
+
+(* The raw bucket counts, for property tests: merge must preserve the
+   per-bucket sums exactly, not just the total. *)
+let bucket_counts t = Array.copy t.counts

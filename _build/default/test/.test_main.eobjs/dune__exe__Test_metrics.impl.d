@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest List Retrofit_metrics Retrofit_util String

@@ -13,6 +13,8 @@ let () =
       ("fiber", Test_fiber.suite);
       ("fiber.frozen", Test_frozen.suite);
       ("dwarf", Test_dwarf.suite);
+      ("trace", Test_trace.suite);
+      ("metrics", Test_metrics.suite);
       ("core", Test_core.suite);
       ("conformance", Test_conformance.suite);
       ("monad", Test_monad.suite);

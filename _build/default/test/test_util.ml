@@ -111,6 +111,46 @@ let hist_merge () =
   Alcotest.(check int) "min" 10 (Histogram.min_value a);
   Alcotest.(check bool) "max ge" true (Histogram.max_recorded a >= 1000)
 
+let hist_of_samples xs =
+  let h = Histogram.create ~max_value:100_000 () in
+  List.iter (Histogram.record h) xs;
+  h
+
+(* merge is a pure pairwise sum: total count and every bucket add up,
+   and neither input is disturbed *)
+let prop_hist_merge_sums =
+  QCheck.Test.make ~name:"histogram merge preserves counts and buckets"
+    ~count:200
+    QCheck.(pair (list (int_range 1 200_000)) (list (int_range 1 200_000)))
+    (fun (xs, ys) ->
+      let a = hist_of_samples xs and b = hist_of_samples ys in
+      let ca = Histogram.count a and cb = Histogram.count b in
+      let sa = Histogram.saturated a and sb = Histogram.saturated b in
+      let ba = Histogram.bucket_counts a and bb = Histogram.bucket_counts b in
+      let m = Histogram.merge a b in
+      Histogram.count m = ca + cb
+      && Histogram.saturated m = sa + sb
+      && Histogram.bucket_counts m
+         = Array.init (Array.length ba) (fun i -> ba.(i) + bb.(i))
+      (* inputs untouched *)
+      && Histogram.count a = ca
+      && Histogram.count b = cb
+      && Histogram.bucket_counts a = ba
+      && Histogram.bucket_counts b = bb)
+
+let prop_hist_add_hist_matches_merge =
+  QCheck.Test.make ~name:"add_hist mutates dst to the merge" ~count:200
+    QCheck.(pair (list (int_range 1 200_000)) (list (int_range 1 200_000)))
+    (fun (xs, ys) ->
+      let a = hist_of_samples xs and b = hist_of_samples ys in
+      let m = Histogram.merge a b in
+      Histogram.add_hist ~dst:a b;
+      Histogram.count a = Histogram.count m
+      && Histogram.saturated a = Histogram.saturated m
+      && Histogram.bucket_counts a = Histogram.bucket_counts m
+      && Histogram.min_value a = Histogram.min_value m
+      && Histogram.max_recorded a = Histogram.max_recorded m)
+
 let prop_hist_percentile_bounds =
   QCheck.Test.make ~name:"histogram p50 within recorded range" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 50) (int_range 1 100_000))
@@ -394,6 +434,8 @@ let suite =
     test "histogram precision" hist_precision;
     test "histogram saturation" hist_saturation;
     test "histogram merge" hist_merge;
+    QCheck_alcotest.to_alcotest prop_hist_merge_sums;
+    QCheck_alcotest.to_alcotest prop_hist_add_hist_matches_merge;
     QCheck_alcotest.to_alcotest prop_hist_percentile_bounds;
     QCheck_alcotest.to_alcotest prop_hist_mean_close;
     test "pqueue order" pq_order;

@@ -47,6 +47,23 @@ val merge_into : dst:t -> t -> unit
 (** Add all recordings of the source into [dst].  Both histograms must
     have identical parameters.  @raise Invalid_argument otherwise. *)
 
+val add_hist : dst:t -> t -> unit
+(** Alias of {!merge_into}. *)
+
+val copy : t -> t
+(** An independent histogram with the same parameters and recordings. *)
+
+val merge : t -> t -> t
+(** Non-destructive merge: a fresh histogram holding the union of both
+    recording sets — used to aggregate per-fiber latency histograms
+    into registry snapshots.  Preserves total count, per-bucket sums,
+    saturation counts and min/max.  Both arguments must have identical
+    parameters.  @raise Invalid_argument otherwise. *)
+
+val bucket_counts : t -> int array
+(** A copy of the raw per-bucket counts, for property tests that check
+    merge preserves bucket sums exactly. *)
+
 (** {2 Bucketing internals}
 
     Exposed so property tests can check the log-linear indexing

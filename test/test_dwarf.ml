@@ -188,6 +188,45 @@ let prop_validation =
       let _, report = D.Validate.run_validated ~cfuns cfg compiled in
       report.D.Validate.mismatches = [] && report.D.Validate.probes > 0)
 
+(* ---------------- Sampling profiler ---------------- *)
+
+let profiled_run () =
+  let compiled = F.Compile.compile (F.Programs.effect_depth ~depth:4 ~iters:30) in
+  let table = D.Table.build compiled in
+  let prof = D.Profile.create ~interval:50 table in
+  (match F.Machine.run ~on_step:(D.Profile.hook prof) F.Config.mc compiled with
+  | F.Machine.Done _, _ -> ()
+  | _ -> Alcotest.fail "effect_depth failed");
+  prof
+
+let profiler_samples_cross_fibers () =
+  let prof = profiled_run () in
+  Alcotest.(check bool) "took samples" true (D.Profile.samples prof > 0);
+  Alcotest.(check int) "no unwind failures" 0 (D.Profile.failures prof);
+  Alcotest.(check bool) "some stacks cross a fiber boundary" true
+    (D.Profile.boundary_samples prof > 0);
+  let folded = D.Profile.folded prof in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "folded mentions <fiber>" true (contains folded "<fiber>");
+  (* every folded line is "stack count" with a positive count *)
+  String.split_on_char '\n' folded
+  |> List.iter (fun line ->
+         if line <> "" then
+           match String.rindex_opt line ' ' with
+           | None -> Alcotest.failf "malformed folded line %S" line
+           | Some i ->
+               let n = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+               Alcotest.(check bool) "positive count" true (n > 0))
+
+let profiler_deterministic () =
+  let a = D.Profile.folded (profiled_run ()) in
+  let b = D.Profile.folded (profiled_run ()) in
+  Alcotest.(check string) "same workload, byte-identical profile" a b
+
 let suite =
   [
     test "cfi roundtrip" cfi_roundtrip;
@@ -205,5 +244,7 @@ let suite =
     test "no fde outside code" unwind_error_on_bad_pc;
     test "formatted backtrace" format_renders;
     test "suspended request snapshots (§6.3.4)" request_snapshots;
+    test "profiler samples across fibers" profiler_samples_cross_fibers;
+    test "profiler deterministic" profiler_deterministic;
     QCheck_alcotest.to_alcotest prop_validation;
   ]

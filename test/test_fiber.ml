@@ -144,6 +144,48 @@ let cache_hit_miss_lookup_identity () =
       Alcotest.(check bool) "lookups happened" true (get "stack_cache_lookup" > 0)
   | _ -> Alcotest.fail "effect roundtrip failed"
 
+let cache_scoped_stats_independent () =
+  (* Two back-to-back experiments sharing one cache must each see only
+     their own traffic: scoped_stats diffs around the callback, so the
+     second report is independent of the first. *)
+  let cache = F.Stack_cache.create () in
+  let compiled = F.Compile.compile (F.Programs.effect_roundtrip ~iters:100) in
+  let go () =
+    match F.Machine.run ~cache F.Config.mc compiled with
+    | F.Machine.Done _, _ -> ()
+    | _ -> Alcotest.fail "effect roundtrip failed"
+  in
+  let (), s1 = F.Stack_cache.scoped_stats cache go in
+  let (), s2 = F.Stack_cache.scoped_stats cache go in
+  Alcotest.(check bool) "first run looked up" true (s1.F.Stack_cache.lookups > 0);
+  (* the cache is warm on the second run, so the split shifts toward
+     hits — but the per-scope totals balance independently *)
+  Alcotest.(check int) "scope 1 balances" s1.F.Stack_cache.lookups
+    (s1.F.Stack_cache.hits + s1.F.Stack_cache.misses);
+  Alcotest.(check int) "scope 2 balances" s2.F.Stack_cache.lookups
+    (s2.F.Stack_cache.hits + s2.F.Stack_cache.misses);
+  Alcotest.(check int) "same workload, same lookups" s1.F.Stack_cache.lookups
+    s2.F.Stack_cache.lookups;
+  Alcotest.(check bool) "warm cache hits more" true
+    (s2.F.Stack_cache.hits >= s1.F.Stack_cache.hits);
+  (* cumulative stats cover both scopes *)
+  let total = F.Stack_cache.stats cache in
+  Alcotest.(check int) "cumulative lookups"
+    (s1.F.Stack_cache.lookups + s2.F.Stack_cache.lookups)
+    total.F.Stack_cache.lookups
+
+let cache_reset_stats () =
+  let cache = F.Stack_cache.create () in
+  let compiled = F.Compile.compile (F.Programs.effect_roundtrip ~iters:50) in
+  (match F.Machine.run ~cache F.Config.mc compiled with
+  | F.Machine.Done _, _ -> ()
+  | _ -> Alcotest.fail "effect roundtrip failed");
+  Alcotest.(check bool) "stats accumulated" true
+    ((F.Stack_cache.stats cache).F.Stack_cache.lookups > 0);
+  F.Stack_cache.reset_stats cache;
+  Alcotest.(check bool) "reset to zero" true
+    (F.Stack_cache.stats cache = F.Stack_cache.zero_stats)
+
 (* ---------------- Compiler ---------------- *)
 
 let compile_leafness () =
@@ -548,6 +590,8 @@ let suite =
     test "stack cache total-words exact" cache_total_words_exact;
     test "stack cache take returns zeroed segment" cache_take_zeroed;
     test "stack cache hit+miss=lookups" cache_hit_miss_lookup_identity;
+    test "stack cache scoped stats independent" cache_scoped_stats_independent;
+    test "stack cache reset stats" cache_reset_stats;
     test "compiler leaf analysis" compile_leafness;
     test "compiler frame words" compile_frame_words;
     test "compiler errors" compile_errors;
