@@ -13,6 +13,7 @@ let () =
   let no_dwarf = ref false in
   let no_audit = ref false in
   let no_shrink = ref false in
+  let analyze = ref false in
   let multishot = ref false in
   let sem_multishot = ref false in
   let skip_corpus = ref false in
@@ -26,6 +27,10 @@ let () =
       ("--no-dwarf", Arg.Set no_dwarf, " disable DWARF unwind sampling");
       ("--no-audit", Arg.Set no_audit, " disable the fiber-machine auditor");
       ("--no-shrink", Arg.Set no_shrink, " report failures unshrunk");
+      ( "--analyze",
+        Arg.Set analyze,
+        " run the static effect-safety analyzer on every program and fail on \
+         any Safe/Must claim a backend contradicts" );
       ( "--multishot",
         Arg.Set multishot,
         " mutation mode: disable the fiber machine's one-shot check (expected to fail)"
@@ -58,7 +63,8 @@ let () =
   let stats =
     C.Fuzz.campaign ~fiber_config ~fib_fuel:!max_steps
       ~sem_one_shot:(not !sem_multishot) ~audit:(not !no_audit)
-      ~dwarf:(not !no_dwarf) ~shrink:(not !no_shrink) ~seed:!seed ~count:!count ()
+      ~dwarf:(not !no_dwarf) ~analyze:!analyze ~shrink:(not !no_shrink)
+      ~seed:!seed ~count:!count ()
   in
   print_string (C.Fuzz.stats_to_string stats);
   if stats.C.Fuzz.failures <> [] then failed := true;

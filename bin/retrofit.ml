@@ -7,6 +7,7 @@
    retrofit bench table1       regenerate one of the paper's tables/figures
    retrofit bench --all --quick
    retrofit backtrace          the Fig 1d meander backtrace
+   retrofit lint               static effect-safety lints over the built-ins
    retrofit websim --rate 20000
    retrofit websim --trace out.json --metrics out.prom --profile out.folded
    retrofit validate-trace out.json
@@ -263,6 +264,85 @@ let websim_cmd =
       const run $ rate $ duration $ seed $ faults $ trace_out $ metrics_out
       $ profile_out)
 
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let module F = Retrofit_fiber in
+  let module A = Retrofit_analysis in
+  (* The built-ins' C stubs, modelled precisely: the identity and the
+     pending-list snapshot never re-enter OCaml; the two callback stubs
+     re-enter through exactly one known function. *)
+  let cfun_model = function
+    | "c_id" | "list_pending" -> A.Cfg.Pure
+    | "c_cb" -> A.Cfg.Calls_back "ocaml_id"
+    | "ocaml_to_c" -> A.Cfg.Calls_back "c_to_ocaml"
+    | _ -> A.Cfg.Opaque
+  in
+  (* Small fixed sizes: the lints are size-independent, and the golden
+     file must be stable. *)
+  let targets =
+    [
+      ("fib", F.Programs.fib ~n:5);
+      ("exnraise", F.Programs.exnraise ~iters:3);
+      ("extcall", F.Programs.extcall ~iters:3);
+      ("callback", F.Programs.callback ~iters:3);
+      ("meander", F.Programs.meander);
+      ("effect_roundtrip", F.Programs.effect_roundtrip ~iters:3);
+      ("effect_depth", F.Programs.effect_depth ~depth:3 ~iters:2);
+      ("counter_effect", F.Programs.counter_effect ~upto:4);
+      ("one_shot_violation", F.Programs.one_shot_violation);
+      ("unhandled_effect", F.Programs.unhandled_effect);
+      ("discontinue_cleanup", F.Programs.discontinue_cleanup);
+      ("effect_in_callback", F.Programs.effect_in_callback);
+      ("cross_resume", F.Programs.cross_resume);
+      ("multishot_choice", F.Programs.multishot_choice);
+      ("suspended_requests", F.Programs.suspended_requests ~n:3);
+    ]
+  in
+  let run red_zone name =
+    let targets =
+      match name with
+      | None -> targets
+      | Some n -> List.filter (fun (tn, _) -> tn = n) targets
+    in
+    if targets = [] then begin
+      prerr_endline "unknown program; omit the argument to list all";
+      1
+    end
+    else begin
+      let findings = ref 0 in
+      List.iter
+        (fun (name, p) ->
+          let report = A.Analyze.lint ~cfun_model ~red_zone p in
+          findings := !findings + List.length report.A.Diag.diags;
+          Printf.printf "== %s ==\n%s\n" name (A.Diag.report_to_string report))
+        targets;
+      Printf.printf "%d findings across %d programs\n" !findings
+        (List.length targets);
+      0
+    end
+  in
+  let red_zone =
+    Arg.(
+      value & opt int 16
+      & info [ "red-zone" ]
+          ~doc:"Red-zone size (words) for the frame-usage audit (§5.2).")
+  in
+  let prog =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Lint a single built-in program.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static effect-safety lints: handled-effect dataflow, continuation \
+          linearity, C-frame barriers and the red-zone audit over the \
+          built-in fiber programs")
+    Term.(const run $ red_zone $ prog)
+
 let validate_trace_cmd =
   let run file =
     let ic = open_in_bin file in
@@ -289,7 +369,7 @@ let main_cmd =
        ~doc:
          "Reproduction of 'Retrofitting Effect Handlers onto OCaml' (PLDI 2021)")
     [
-      interp_cmd; examples_cmd; bench_cmd; backtrace_cmd; websim_cmd;
+      interp_cmd; examples_cmd; bench_cmd; backtrace_cmd; lint_cmd; websim_cmd;
       validate_trace_cmd;
     ]
 

@@ -1,0 +1,47 @@
+(** Analyzer driver: index, linearity, effect dataflow, the must pass,
+    and the red-zone audit, assembled into one {!Diag.report}.
+
+    Program-level verdicts compose two soundness directions.  The flow
+    analyses over-approximate, so their negative answer is a [Safe]
+    claim: the outcome cannot happen in any execution, under any
+    resume discipline.  The must pass runs the (closed, deterministic)
+    program in a bounded concrete interpreter under the one-shot
+    discipline; when it terminates within budget, [May] sharpens to
+    [Must] for the observed outcome and to [Safe] for the other.  After
+    a one-shot violation a multi-shot runtime diverges from that unique
+    execution, so multi-shot claims should use the [flow_*] fields,
+    which remain sound for every discipline. *)
+
+type must = M_value | M_raises of string | M_unknown
+
+type result = {
+  report : Diag.report;
+  flow_unhandled_may : bool;
+      (** ["Unhandled"] escapes [main] in the over-approximation *)
+  flow_one_shot_may : bool;
+  must : must;
+  hit_violation : bool;
+      (** the must pass resumed a dead continuation: its execution is
+          only valid under the one-shot discipline from that point *)
+}
+
+val must_run :
+  ?fuel:int ->
+  (string -> Cfg.cfun_model) ->
+  Retrofit_fiber.Ir.program ->
+  must * bool
+
+val analyze :
+  ?cfun_model:(string -> Cfg.cfun_model) ->
+  ?must_fuel:int ->
+  Retrofit_fiber.Ir.program ->
+  result
+
+val lint :
+  ?cfun_model:(string -> Cfg.cfun_model) ->
+  ?red_zone:int ->
+  ?must_fuel:int ->
+  Retrofit_fiber.Ir.program ->
+  Diag.report
+(** [analyze] plus the §5.2 red-zone audit over the compiled form;
+    [red_zone] defaults to the paper's 16 words. *)

@@ -1,0 +1,91 @@
+type verdict = Safe | May | Must
+
+type clause = Eff_clause | Exn_clause
+
+type kind =
+  | Possibly_unhandled of { effect_name : string }
+  | Effect_across_c_frame of { effect_name : string; cfun : string }
+  | Dead_handler_clause of { clause : clause; label : string; case_fn : string }
+  | May_resume_twice of { origin : string }
+  | May_leak of { origin : string }
+  | Redzone_unsound of {
+      claimed_frame : int;
+      computed_frame : int;
+      claimed_leaf : bool;
+      computed_leaf : bool;
+    }
+
+type t = {
+  kind : kind;
+  verdict : verdict;
+  fn : string;  (** source function the finding anchors to *)
+  path : string list;  (** call-graph witness from [main], outermost first *)
+  site : string;  (** printed fragment of the offending expression *)
+}
+
+type report = {
+  diags : t list;
+  unhandled : verdict;
+  one_shot : verdict;
+}
+
+let verdict_to_string = function Safe -> "safe" | May -> "may" | Must -> "must"
+
+let kind_label = function
+  | Possibly_unhandled _ -> "possibly-unhandled"
+  | Effect_across_c_frame _ -> "effect-across-c-frame"
+  | Dead_handler_clause _ -> "dead-handler-clause"
+  | May_resume_twice _ -> "may-resume-twice"
+  | May_leak _ -> "may-leak"
+  | Redzone_unsound _ -> "red-zone-unsound"
+
+let kind_detail = function
+  | Possibly_unhandled { effect_name } ->
+      Printf.sprintf "effect %s may escape to toplevel" effect_name
+  | Effect_across_c_frame { effect_name; cfun } ->
+      Printf.sprintf "effect %s may reach the C frame of %s with no intervening \
+                      handler"
+        effect_name cfun
+  | Dead_handler_clause { clause; label; case_fn } ->
+      Printf.sprintf "%s clause for %s (case %s) can never fire"
+        (match clause with Eff_clause -> "effect" | Exn_clause -> "exception")
+        label case_fn
+  | May_resume_twice { origin } ->
+      Printf.sprintf "continuation captured for %s may be resumed twice on one \
+                      path"
+        origin
+  | May_leak { origin } ->
+      Printf.sprintf "continuation captured for %s may be neither continued nor \
+                      discontinued"
+        origin
+  | Redzone_unsound { claimed_frame; computed_frame; claimed_leaf; computed_leaf }
+    ->
+      Printf.sprintf
+        "overflow check elided but recomputed frame disagrees (claimed %d words \
+         leaf=%b, computed %d words leaf=%b)"
+        claimed_frame claimed_leaf computed_frame computed_leaf
+
+let to_string d =
+  Printf.sprintf "%-22s %-4s %s: %s%s%s" (kind_label d.kind)
+    (verdict_to_string d.verdict)
+    d.fn (kind_detail d.kind)
+    (if d.path = [] then "" else " [" ^ String.concat " -> " d.path ^ "]")
+    (if d.site = "" then "" else "\n    at " ^ d.site)
+
+(* Deterministic report order: by kind label, function, then detail. *)
+let sort_key d = (kind_label d.kind, d.fn, kind_detail d.kind, d.site)
+
+let sorted diags = List.sort (fun a b -> compare (sort_key a) (sort_key b)) diags
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "verdicts: unhandled=%s one-shot=%s\n"
+       (verdict_to_string r.unhandled)
+       (verdict_to_string r.one_shot));
+  if r.diags = [] then Buffer.add_string b "no findings\n"
+  else
+    List.iter
+      (fun d -> Buffer.add_string b (to_string d ^ "\n"))
+      (sorted r.diags);
+  Buffer.contents b

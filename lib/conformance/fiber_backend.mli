@@ -20,6 +20,13 @@ type result = {
 
 val lower : Ir.program -> Retrofit_fiber.Ir.program
 
+val ext_id_cfun : string
+(** Name of the C identity stub [Ext_id] lowers to. *)
+
+val callback_cfun : string -> string
+(** [callback_cfun f] — name of the C stub [Callback f] lowers to; the
+    stub re-enters the machine through [f]. *)
+
 val run :
   ?config:Retrofit_fiber.Config.t ->
   ?fuel:int ->

@@ -2,6 +2,7 @@ type failure = {
   index : int;
   prog_seed : int;
   report : Oracle.report;
+  analysis : string option;
   shrunk : Ir.program option;
   shrunk_report : Oracle.report option;
 }
@@ -12,6 +13,7 @@ type stats = {
   skips : (string * int) list;
   audit_checks : int;
   dwarf_probes : int;
+  analyzed : int;
   failures : failure list;
 }
 
@@ -22,7 +24,8 @@ let prog_seed ~seed i = (seed lxor ((i + 1) * 0x9E3779B1)) land max_int
 let pair_names = [ "semantics<->fiber"; "fiber<->native"; "semantics<->native" ]
 
 let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
-    ?(dwarf = true) ?(max_failures = 5) ?(shrink = true) ~seed ~count () : stats =
+    ?(dwarf = true) ?(analyze = false) ?(max_failures = 5) ?(shrink = true)
+    ~seed ~count () : stats =
   let agree = Hashtbl.create 4 and skip = Hashtbl.create 4 in
   List.iter
     (fun p ->
@@ -32,10 +35,23 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
   let bump tbl p = Hashtbl.replace tbl p (Hashtbl.find tbl p + 1) in
   let audit_checks = ref 0 and dwarf_probes = ref 0 in
   let failures = ref [] in
+  let analyzed = ref 0 in
   let run_oracle p s =
     Oracle.run ?fiber_config ?fib_fuel ?sem_one_shot ~audit
       ?dwarf_seed:(if dwarf then Some s else None)
       p
+  in
+  (* The analyzer-vs-oracle soundness check: a crash in the analyzer is
+     as much a campaign failure as an unsound claim. *)
+  let static_check p r =
+    if not analyze then None
+    else begin
+      incr analyzed;
+      match Static.analyze p with
+      | c -> Static.check ?fiber_config ?sem_one_shot c r
+      | exception e ->
+          Some (Printf.sprintf "analyzer raised %s" (Printexc.to_string e))
+    end
   in
   let i = ref 0 in
   while !i < count && List.length !failures < max_failures do
@@ -51,16 +67,28 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
         | Oracle.Skip -> bump skip name
         | Oracle.Diff -> ())
       r.Oracle.pairs;
-    if not (Oracle.ok r) then begin
+    let analysis = static_check p r in
+    if (not (Oracle.ok r)) || analysis <> None then begin
+      let failing q rq = (not (Oracle.ok rq)) || static_check q rq <> None in
       let shrunk, shrunk_report =
         if shrink then begin
-          let interesting q = not (Oracle.ok (run_oracle q s)) in
+          let interesting q = failing q (run_oracle q s) in
           let q = Shrink.minimize ~interesting p in
           (Some q, Some (run_oracle q s))
         end
         else (None, None)
       in
-      failures := { index = !i; prog_seed = s; report = r; shrunk; shrunk_report } :: !failures
+      let analysis =
+        match (analysis, shrunk, shrunk_report) with
+        | None, _, _ | _, None, _ | _, _, None -> analysis
+        | Some _, Some q, Some rq -> (
+            (* re-derive the message for the minimized program, keeping
+               the original if shrinking converged on an oracle diff *)
+            match static_check q rq with None -> analysis | some -> some)
+      in
+      failures :=
+        { index = !i; prog_seed = s; report = r; analysis; shrunk; shrunk_report }
+        :: !failures
     end;
     incr i
   done;
@@ -70,6 +98,7 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
     skips = List.map (fun p -> (p, Hashtbl.find skip p)) pair_names;
     audit_checks = !audit_checks;
     dwarf_probes = !dwarf_probes;
+    analyzed = !analyzed;
     failures = List.rev !failures;
   }
 
@@ -95,6 +124,9 @@ let failure_to_string f =
   Buffer.add_string b (Ir.program_to_string f.report.Oracle.program);
   Buffer.add_char b '\n';
   Buffer.add_string b (Oracle.to_string f.report);
+  (match f.analysis with
+  | Some msg -> Buffer.add_string b (Printf.sprintf "static soundness: %s\n" msg)
+  | None -> ());
   (match (f.shrunk, f.shrunk_report) with
   | Some q, Some r ->
       Buffer.add_string b
@@ -117,7 +149,7 @@ let stats_to_string s =
         (Printf.sprintf "  %-20s agree %d, skip %d\n" p n (List.assoc p s.skips)))
     s.agreements;
   Buffer.add_string b
-    (Printf.sprintf "audit checks: %d, dwarf probes: %d, failures: %d\n"
-       s.audit_checks s.dwarf_probes (List.length s.failures));
+    (Printf.sprintf "audit checks: %d, dwarf probes: %d, analyzed: %d, failures: %d\n"
+       s.audit_checks s.dwarf_probes s.analyzed (List.length s.failures));
   List.iter (fun f -> Buffer.add_string b (failure_to_string f)) s.failures;
   Buffer.contents b

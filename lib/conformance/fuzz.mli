@@ -9,6 +9,8 @@ type failure = {
   index : int;
   prog_seed : int;
   report : Oracle.report;
+  analysis : string option;
+      (** analyzer-vs-oracle soundness contradiction, when [analyze] *)
   shrunk : Ir.program option;
   shrunk_report : Oracle.report option;
 }
@@ -19,6 +21,7 @@ type stats = {
   skips : (string * int) list;  (** per pair, fuel-outs *)
   audit_checks : int;
   dwarf_probes : int;
+  analyzed : int;  (** programs run through the static analyzer *)
   failures : failure list;
 }
 
@@ -32,6 +35,7 @@ val campaign :
   ?sem_one_shot:bool ->
   ?audit:bool ->
   ?dwarf:bool ->
+  ?analyze:bool ->
   ?max_failures:int ->
   ?shrink:bool ->
   seed:int ->
@@ -40,9 +44,14 @@ val campaign :
   stats
 (** Runs [count] programs.  Stops early after [max_failures] failures
     (default 5).  [dwarf] (default true) samples unwind round-trips,
-    reusing the per-program seed for probe placement.  [shrink]
-    (default true) minimises each failing program before recording
-    it. *)
+    reusing the per-program seed for probe placement.  [analyze]
+    (default false) additionally runs {!Static.analyze} on every
+    program and records a failure whenever the analyzer's [Safe] or
+    [Must] claims contradict a backend's observed outcome (or the
+    analyzer itself raises).  [shrink] (default true) minimises each
+    failing program before recording it; with [analyze] on, a program
+    stays interesting while either the oracle disagrees or the
+    contradiction persists. *)
 
 val replay_corpus : unit -> (string * string) list
 (** Runs every {!Corpus} entry through the oracle and pins its native

@@ -1,0 +1,103 @@
+module A = Retrofit_analysis
+
+(* The two external functions the lowering emits are fully understood:
+   [Ext_id] never re-enters the program, [Callback f] re-enters through
+   exactly [f].  Anything else (there is none today) stays opaque. *)
+let cfun_model c =
+  if c = Fiber_backend.ext_id_cfun then A.Cfg.Pure
+  else if String.length c > 3 && String.sub c 0 3 = "cb_" then
+    A.Cfg.Calls_back (String.sub c 3 (String.length c - 3))
+  else A.Cfg.Opaque
+
+type claims = {
+  lowered : Retrofit_fiber.Ir.program;
+  result : A.Analyze.result;
+}
+
+let analyze ?must_fuel (p : Ir.program) : claims =
+  let lowered = Fiber_backend.lower p in
+  { lowered; result = A.Analyze.analyze ~cfun_model ?must_fuel lowered }
+
+(* The per-backend verdict.  The must pass's execution follows the
+   one-shot discipline; it also predicts a multi-shot backend as long
+   as it never actually resumed a dead continuation.  Otherwise
+   multi-shot claims fall back to the flow analysis, which is sound
+   for every discipline. *)
+let sharpen ~flow ~(must : A.Analyze.must) ~usable label =
+  if usable then
+    match must with
+    | A.Analyze.M_raises l when l = label -> A.Diag.Must
+    | _ when not flow -> A.Diag.Safe
+    | A.Analyze.M_value | A.Analyze.M_raises _ -> A.Diag.Safe
+    | A.Analyze.M_unknown -> A.Diag.May
+  else if flow then A.Diag.May
+  else A.Diag.Safe
+
+let verdicts ~one_shot (c : claims) =
+  let r = c.result in
+  let usable = one_shot || not r.A.Analyze.hit_violation in
+  ( sharpen ~flow:r.A.Analyze.flow_unhandled_may ~must:r.A.Analyze.must ~usable
+      "Unhandled",
+    sharpen ~flow:r.A.Analyze.flow_one_shot_may ~must:r.A.Analyze.must ~usable
+      "Invalid_argument" )
+
+let contradiction ?(one_shot = true) (c : claims) (o : Outcome.t) :
+    string option =
+  let vu, vo = verdicts ~one_shot c in
+  match o with
+  | Outcome.Unhandled ->
+      if vu = A.Diag.Safe then
+        Some "analyzer claimed safe-from-Unhandled; backend observed Unhandled"
+      else None
+  | Outcome.One_shot ->
+      if vo = A.Diag.Safe then
+        Some
+          "analyzer claimed safe-from-one-shot; backend observed a one-shot \
+           violation"
+      else None
+  | Outcome.Value _ | Outcome.Exn _ ->
+      if vu = A.Diag.Must then
+        Some
+          (Printf.sprintf
+             "analyzer claimed must-Unhandled; backend observed %s"
+             (Outcome.to_string o))
+      else if vo = A.Diag.Must then
+        Some
+          (Printf.sprintf
+             "analyzer claimed must-one-shot; backend observed %s"
+             (Outcome.to_string o))
+      else None
+  | Outcome.Fuel_out | Outcome.Model_error _ -> None
+
+(* All three oracle backends at once; [fiber_config]/[sem_one_shot]
+   mirror the campaign's run parameters so each backend is judged
+   against the discipline it actually enforces. *)
+let check ?(fiber_config = Retrofit_fiber.Config.mc) ?(sem_one_shot = true)
+    (c : claims) (r : Oracle.report) : string option =
+  let probe name one_shot o =
+    match contradiction ~one_shot c o with
+    | Some msg -> Some (Printf.sprintf "%s: %s" name msg)
+    | None -> None
+  in
+  match probe "semantics" sem_one_shot r.Oracle.sem with
+  | Some _ as s -> s
+  | None -> (
+      match
+        probe "fiber"
+          (not fiber_config.Retrofit_fiber.Config.multishot)
+          r.Oracle.fib
+      with
+      | Some _ as s -> s
+      | None -> probe "native" true r.Oracle.nat)
+
+let claims_to_string (c : claims) =
+  let vu, vo = verdicts ~one_shot:true c in
+  Printf.sprintf "static: unhandled=%s one-shot=%s (flow %b/%b, must %s%s)"
+    (A.Diag.verdict_to_string vu)
+    (A.Diag.verdict_to_string vo)
+    c.result.A.Analyze.flow_unhandled_may c.result.A.Analyze.flow_one_shot_may
+    (match c.result.A.Analyze.must with
+    | A.Analyze.M_value -> "value"
+    | A.Analyze.M_raises l -> "raises " ^ l
+    | A.Analyze.M_unknown -> "unknown")
+    (if c.result.A.Analyze.hit_violation then ", violated" else "")

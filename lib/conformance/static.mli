@@ -1,0 +1,42 @@
+(** Bridge from the conformance IR to the static effect-safety
+    analyzer, and the soundness cross-check the fuzzer enforces.
+
+    A generated program is lowered with {!Fiber_backend.lower} and
+    analyzed with the precise external-function model (the lowering's
+    [Ext_id] stub is pure, its [Callback f] stub re-enters [f]).  The
+    analyzer's [Safe] and [Must] claims are then held against what the
+    backends actually observed: a [Safe]-from-[Unhandled] (or
+    one-shot) claim contradicted by any backend, or a [Must] claim
+    contradicted by a settled terminating outcome, is a soundness bug
+    and fails the campaign.  Fuel-outs and model errors are never
+    contradictions. *)
+
+val cfun_model : string -> Retrofit_analysis.Cfg.cfun_model
+
+type claims = {
+  lowered : Retrofit_fiber.Ir.program;
+  result : Retrofit_analysis.Analyze.result;
+}
+
+val analyze : ?must_fuel:int -> Ir.program -> claims
+
+val verdicts :
+  one_shot:bool ->
+  claims ->
+  Retrofit_analysis.Diag.verdict * Retrofit_analysis.Diag.verdict
+(** [(unhandled, one_shot_violation)] as claimed against a backend that
+    does ([one_shot:true]) or does not enforce the one-shot
+    discipline. *)
+
+val contradiction : ?one_shot:bool -> claims -> Outcome.t -> string option
+
+val check :
+  ?fiber_config:Retrofit_fiber.Config.t ->
+  ?sem_one_shot:bool ->
+  claims ->
+  Oracle.report ->
+  string option
+(** First contradiction across the three backends of one oracle
+    report, labelled with the backend name. *)
+
+val claims_to_string : claims -> string

@@ -8,6 +8,7 @@ type cfn = {
   max_traps : int;
   frame_words : int;
   is_leaf : bool;
+  max_ostack : int;
   cfi_edits : (int * int) list;
 }
 
@@ -99,6 +100,54 @@ type fn_state = {
   mutable max_traps : int;
   mutable edits : (int * int) list;  (* collected in reverse *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Operand-stack depth of one compiled function, by forward dataflow
+   over its instruction range.  The depth entering each instruction is
+   deterministic (the compiler always materialises the same stack shape
+   at a join), so taking the max at joins is exact; the peak over entry
+   depths is the peak Vec length because every intra-instruction push is
+   the entry depth of some successor.  A trap handler is entered with
+   the depth recorded at its PushtrapI plus the two words (payload; id)
+   the runtime pushes after truncating. *)
+
+let max_operand_depth ~(code : int -> Ir.instr) ~entry ~code_end ~arity
+    ~handle_nargs =
+  let n = code_end - entry in
+  let depth = Array.make (max n 1) (-1) in
+  let maxd = ref 0 in
+  let work = Queue.create () in
+  let visit addr d =
+    if addr >= entry && addr < code_end && depth.(addr - entry) < d then begin
+      depth.(addr - entry) <- d;
+      Queue.push addr work
+    end
+  in
+  visit entry 0;
+  while not (Queue.is_empty work) do
+    let addr = Queue.pop work in
+    let d = depth.(addr - entry) in
+    if d > !maxd then maxd := d;
+    let next nd = visit (addr + 1) nd in
+    match code addr with
+    | Ir.Const _ | Ir.Load _ | Ir.Dup -> next (d + 1)
+    | Ir.Store _ | Ir.Pop | Ir.Bin _ -> next (d - 1)
+    | Ir.Jump a -> visit a d
+    | Ir.JumpIfNot a ->
+        visit a (d - 1);
+        next (d - 1)
+    | Ir.CallI fid -> next (d - arity fid + 1)
+    | Ir.HandleI h -> next (d - handle_nargs h + 1)
+    | Ir.ExtcallI (_, nargs) -> next (d - nargs + 1)
+    | Ir.PerformI _ -> next d (* payload popped; result pushed on resume *)
+    | Ir.ContinueI | Ir.DiscontinueI _ -> next (d - 1)
+    | Ir.PushtrapI target ->
+        visit target (d + 2);
+        next d
+    | Ir.PoptrapI -> next d
+    | Ir.RaiseI _ | Ir.ReraiseI | Ir.Ret | Ir.Stop -> ()
+  done;
+  !maxd
 
 let compile (program : Ir.program) =
   let code = Retrofit_util.Vec.create ~capacity:256 () in
@@ -289,6 +338,12 @@ let compile (program : Ir.program) =
         compile_expr st env f.Ir.body;
         ignore (emit Ir.Ret);
         let code_end = here () in
+        let max_ostack =
+          max_operand_depth
+            ~code:(Retrofit_util.Vec.get code)
+            ~entry ~code_end ~arity
+            ~handle_nargs:(fun h -> (Retrofit_util.Vec.get handles h).h_nargs)
+        in
         let base_offset = 1 + st.nlocals in
         let cfi_edits =
           (entry, base_offset)
@@ -306,6 +361,7 @@ let compile (program : Ir.program) =
           max_traps = st.max_traps;
           frame_words = 1 + st.nlocals + (Layout.trap_words * st.max_traps);
           is_leaf = not (has_calls f.Ir.body);
+          max_ostack;
           cfi_edits;
         })
       fn_arr

@@ -27,6 +27,12 @@ type cfn = {
   max_traps : int;  (** deepest static trap nesting *)
   frame_words : int;  (** 1 + nlocals + trap words *)
   is_leaf : bool;
+  max_ostack : int;
+      (** peak operand-stack depth of any execution through the body,
+          by forward dataflow over the instruction range (trap handlers
+          entered at their recorded depth + 2 for \[payload; id\]).
+          Exposed so the static analyzer can cross-check it instead of
+          re-deriving frame metadata from scratch. *)
   cfi_edits : (int * int) list;
       (** (code address, new cfa offset) — the first entry is the
           post-prologue state at [entry] *)

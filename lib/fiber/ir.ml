@@ -84,6 +84,68 @@ let instr_to_string = function
   | ExtcallI (c, n) -> Printf.sprintf "extcall c%d/%d" c n
   | Stop -> "stop"
 
+(* ------------------------------------------------------------------ *)
+(* Printing.
+
+   The printer is injective on the constructor structure: every [expr]
+   form prints with a distinct head symbol and every subterm is
+   parenthesised, so two structurally different expressions can only
+   print alike if their embedded names collide (names are taken verbatim
+   and must not contain spaces or parentheses).  The analyzer's
+   diagnostics quote these strings, and a QCheck property in the test
+   suite pins the injectivity. *)
+
+let rec expr_to_string = function
+  | Int n -> Printf.sprintf "(int %d)" n
+  | Var x -> Printf.sprintf "(var %s)" x
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (binop_to_string op) (expr_to_string a)
+        (expr_to_string b)
+  | If (c, t, f) ->
+      Printf.sprintf "(if %s %s %s)" (expr_to_string c) (expr_to_string t)
+        (expr_to_string f)
+  | Let (x, e1, e2) ->
+      Printf.sprintf "(let (%s %s) %s)" x (expr_to_string e1) (expr_to_string e2)
+  | Seq (a, b) -> Printf.sprintf "(seq %s %s)" (expr_to_string a) (expr_to_string b)
+  | Call (f, args) ->
+      Printf.sprintf "(call %s%s)" f (args_to_string args)
+  | Raise (l, e) -> Printf.sprintf "(raise %s %s)" l (expr_to_string e)
+  | Trywith (body, cases) ->
+      Printf.sprintf "(try %s%s)" (expr_to_string body)
+        (String.concat ""
+           (List.map
+              (fun (l, x, e) ->
+                Printf.sprintf " (case %s %s %s)" l x (expr_to_string e))
+              cases))
+  | Perform (l, e) -> Printf.sprintf "(perform %s %s)" l (expr_to_string e)
+  | Handle h ->
+      Printf.sprintf "(handle (body %s%s) (ret %s)%s%s)" h.body_fn
+        (args_to_string h.body_args)
+        h.retc
+        (String.concat ""
+           (List.map (fun (l, g) -> Printf.sprintf " (exn %s %s)" l g) h.exncs))
+        (String.concat ""
+           (List.map (fun (l, g) -> Printf.sprintf " (eff %s %s)" l g) h.effcs))
+  | Continue (k, v) ->
+      Printf.sprintf "(continue %s %s)" (expr_to_string k) (expr_to_string v)
+  | Discontinue (k, l, e) ->
+      Printf.sprintf "(discontinue %s %s %s)" (expr_to_string k) l
+        (expr_to_string e)
+  | Extcall (c, args) -> Printf.sprintf "(extcall %s%s)" c (args_to_string args)
+  | Repeat (c, b) ->
+      Printf.sprintf "(repeat %s %s)" (expr_to_string c) (expr_to_string b)
+
+and args_to_string args =
+  String.concat "" (List.map (fun a -> " " ^ expr_to_string a) args)
+
+let fn_to_string f =
+  Printf.sprintf "(fn %s (%s) %s)" f.fn_name
+    (String.concat " " f.params)
+    (expr_to_string f.body)
+
+let program_to_string p =
+  String.concat "\n" (List.map fn_to_string p.fns @ [ "(main " ^ p.main ^ ")" ])
+
 let call name args = Call (name, args)
 
 let seq = function

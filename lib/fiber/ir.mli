@@ -77,6 +77,22 @@ type instr =
   | Stop  (** terminates the program with the popped value *)
 
 val instr_to_string : instr -> string
+(** Each constructor prints with a distinct head, so the rendering is
+    injective on structure. *)
+
+(** {1 Printing}
+
+    Fully parenthesised, s-expression-like renderings.  Every [expr]
+    constructor prints with a distinct head symbol and every subterm is
+    parenthesised, so the printer is injective as long as the embedded
+    names contain no spaces or parentheses (a QCheck property pins
+    this).  {!Retrofit_analysis} diagnostics quote these strings. *)
+
+val expr_to_string : expr -> string
+
+val fn_to_string : fn -> string
+
+val program_to_string : program -> string
 
 (** {1 Convenience constructors} *)
 

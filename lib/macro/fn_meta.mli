@@ -12,6 +12,12 @@ type t = { fn_name : string; kind : kind; body_bytes : int }
 
 val make : string -> kind -> body_bytes:int -> t
 
+val frame_words_of_kind : kind -> int
+(** Modeled frame size per shape class; the static red-zone audit's
+    macro-suite agreement test feeds these through
+    {!Retrofit_fiber.Otss.needs_check} and pins the result to
+    {!checked}. *)
+
 val checked : red_zone:int option -> kind -> bool
 (** [red_zone = None] is stock: nothing checked. *)
 

@@ -24,4 +24,5 @@ let () =
       ("micro", Test_micro.suite);
       ("crosslevel", Test_crosslevel.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
     ]
