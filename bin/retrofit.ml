@@ -152,8 +152,30 @@ let backtrace_cmd =
 
 let websim_cmd =
   let module HS = Retrofit_httpsim in
-  let run rate duration seed faults trace_out metrics_out profile_out =
+  let run rate duration seed faults chaos drain trace_out metrics_out
+      profile_out =
     let workload () =
+      match chaos with
+      | Some cseed ->
+          (* Supervised trio under the seeded chaos scheduler: accept
+             loops in a supervision tree, per-connection nurseries, a
+             watchdog, and optionally a graceful drain.  Deterministic
+             in the seed — see DESIGN.md §12. *)
+          let base = HS.Supervised.default_config ~seed:cseed in
+          let cfg =
+            {
+              base with
+              HS.Supervised.chaos =
+                Some (Retrofit_core.Sched.Chaos.default ~seed:cseed);
+              wedge_rate = 0.05;
+              max_restarts = 1000;
+              drain_after_ns = drain;
+            }
+          in
+          List.iter
+            (fun s -> print_endline (HS.Supervised.summary_to_string s))
+            (HS.Supervised.run_servers cfg)
+      | None ->
       if faults <= 0.0 then begin
       let outcomes = HS.Experiment.fig6b ~rate_rps:rate ~duration_ms:duration () in
       List.iter
@@ -235,6 +257,25 @@ let websim_cmd =
             "Fault intensity (multiplier over the default fault plan); 0 \
              disables injection and runs the plain engine.")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Run the supervised simulation under the seeded chaos scheduler \
+             (fiber kills, delayed resumes, spurious wakeups) instead of the \
+             load generator.  Deterministic: the same seed reproduces the \
+             run byte-for-byte.")
+  in
+  let drain =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drain" ] ~docv:"NS"
+          ~doc:
+            "With --chaos: begin a graceful drain at this virtual time (ns).")
+  in
   let trace_out =
     Arg.(
       value
@@ -261,8 +302,8 @@ let websim_cmd =
   Cmd.v
     (Cmd.info "websim" ~doc:"Run the web-server simulation at one load point")
     Term.(
-      const run $ rate $ duration $ seed $ faults $ trace_out $ metrics_out
-      $ profile_out)
+      const run $ rate $ duration $ seed $ faults $ chaos $ drain $ trace_out
+      $ metrics_out $ profile_out)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

@@ -26,15 +26,44 @@ type mode = Sync | Async
 
 type timeout_status = [ `Running | `Done | `Cancelled ]
 
-let run_mode mode loop main =
+let run_mode mode ?chaos loop main =
   let runq : (unit -> unit) Queue.t = Queue.create () in
   let current : Sched.Ctl.t option ref = ref None in
-  let enqueue thunk =
+  let raw_enqueue thunk =
     Queue.push thunk runq;
     if Metrics.on () then Metrics.inc "sched_runq_pushes_total";
     if Trace.on () then
       Trace.emit ~ts:(Evloop.now loop) (Tev.Runq_depth { depth = Queue.length runq })
   in
+  let raw_pop () =
+    match Queue.pop runq with t -> Some t | exception Queue.Empty -> None
+  in
+  (* Dequeue the element [n] positions in, preserving relative order of
+     the ones skipped over (chaos reorder). *)
+  let pop_nth n =
+    let rotate i =
+      for _ = 1 to i do
+        Queue.push (Queue.pop runq) runq
+      done
+    in
+    let len = Queue.length runq in
+    let n = n mod len in
+    rotate n;
+    let target = Queue.pop runq in
+    rotate (len - 1 - n);
+    target
+  in
+  let chst = Option.map Sched.Chaos.make chaos in
+  let run_next_cell = ref (fun () -> ()) in
+  let enqueue, pop =
+    match chst with
+    | None -> (raw_enqueue, raw_pop)
+    | Some st ->
+        Sched.Chaos.wrap st ~push:raw_enqueue ~pop:raw_pop
+          ~depth:(fun () -> Queue.length runq)
+          ~pop_nth ~run_next:run_next_cell
+  in
+  let kill_draw ctl = Sched.Chaos.kill_draw chst ctl in
   let pending_reads : pending list ref = ref [] in
   (* The event-loop clock stamps this loop's I/O depth track. *)
   let observe_pending () =
@@ -61,9 +90,9 @@ let run_mode mode loop main =
             Effect.Deep.discontinue p.k e)
   in
   let rec run_next () =
-    match Queue.pop runq with
-    | thunk -> thunk ()
-    | exception Queue.Empty -> (
+    match pop () with
+    | Some thunk -> thunk ()
+    | None -> (
         pending_reads := List.filter (fun (Pending p) -> !(p.live)) !pending_reads;
         match !pending_reads with
         | [] -> ()
@@ -87,6 +116,7 @@ let run_mode mode loop main =
             List.iter resume_read ready;
             run_next ())
   in
+  run_next_cell := run_next;
   let rec spawn : Sched.Ctl.t option -> (unit -> unit) -> unit =
    fun ctl f ->
     current := ctl;
@@ -102,6 +132,10 @@ let run_mode mode loop main =
             | Some c, Sched.Cancelled when Sched.Ctl.cancelled c ->
                 Sched.Ctl.finish c;
                 run_next ()
+            | Some c, Sched.Killed ->
+                Sched.Ctl.finish c;
+                Sched.Ctl.run_cleanup c;
+                run_next ()
             | _ -> raise e);
         effc =
           (fun (type c) (eff : c Effect.t) ->
@@ -110,9 +144,14 @@ let run_mode mode loop main =
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
-                    enqueue (fun () ->
-                        current := ctl;
-                        Effect.Deep.continue k ());
+                    if kill_draw ctl then
+                      enqueue (fun () ->
+                          current := ctl;
+                          Effect.Deep.discontinue k Sched.Killed)
+                    else
+                      enqueue (fun () ->
+                          current := ctl;
+                          Effect.Deep.continue k ());
                     run_next ())
             | Sched.Fork f' ->
                 Some
@@ -141,16 +180,24 @@ let run_mode mode loop main =
                             current := ctl;
                             Effect.Deep.discontinue k Sched.Cancelled)
                     | _ ->
-                        let resumer =
-                          Sched.Ctl.arm ?ctl ~enqueue
-                            ~continue:(fun v ->
+                        if kill_draw ctl then
+                          (* killed instead of parked: the waiter is
+                             never handed to [g], so no queue ever holds
+                             a dead resumer for it *)
+                          enqueue (fun () ->
                               current := ctl;
-                              Effect.Deep.continue k v)
-                            ~discontinue:(fun e ->
-                              current := ctl;
-                              Effect.Deep.discontinue k e)
-                        in
-                        g resumer);
+                              Effect.Deep.discontinue k Sched.Killed)
+                        else
+                          let resumer =
+                            Sched.Ctl.arm ?ctl ~enqueue
+                              ~continue:(fun v ->
+                                current := ctl;
+                                Effect.Deep.continue k v)
+                              ~discontinue:(fun e ->
+                                current := ctl;
+                                Effect.Deep.discontinue k e)
+                          in
+                          g resumer);
                     run_next ())
             | In_line ic ->
                 Some
@@ -172,20 +219,35 @@ let run_mode mode loop main =
                                     current := ctl;
                                     Effect.Deep.discontinue k Sched.Cancelled)
                             | _ ->
-                                let live = ref true in
-                                (match ctl with
-                                | Some c ->
-                                    Sched.Ctl.set_parked c (fun e ->
-                                        live := false;
-                                        enqueue (fun () ->
-                                            current := ctl;
-                                            Effect.Deep.discontinue k e))
-                                | None -> ());
-                                pending_reads :=
-                                  Pending { ic; k; ctl; live } :: !pending_reads;
-                                if Metrics.on () then
-                                  Metrics.inc "aio_parked_reads_total";
-                                observe_pending ());
+                                if kill_draw ctl then
+                                  enqueue (fun () ->
+                                      current := ctl;
+                                      Effect.Deep.discontinue k Sched.Killed)
+                                else begin
+                                  let live = ref true in
+                                  (match ctl with
+                                  | Some c ->
+                                      Sched.Ctl.set_parked c (fun e ->
+                                          live := false;
+                                          (* eager purge: drop the dead
+                                             read now, so the pending
+                                             depth metric never counts
+                                             cancelled waiters *)
+                                          pending_reads :=
+                                            List.filter
+                                              (fun (Pending p) -> !(p.live))
+                                              !pending_reads;
+                                          observe_pending ();
+                                          enqueue (fun () ->
+                                              current := ctl;
+                                              Effect.Deep.discontinue k e))
+                                  | None -> ());
+                                  pending_reads :=
+                                    Pending { ic; k; ctl; live } :: !pending_reads;
+                                  if Metrics.on () then
+                                    Metrics.inc "aio_parked_reads_total";
+                                  observe_pending ()
+                                end);
                             run_next ()
                         | exception (Sys_error _ as e) ->
                             Effect.Deep.discontinue k e))
@@ -195,14 +257,25 @@ let run_mode mode loop main =
                     match Chan.write_string oc s with
                     | () -> Effect.Deep.continue k ()
                     | exception e -> Effect.Deep.discontinue k e)
+            | Sched.Set_killable b ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    (match !current with
+                    | Some c -> Sched.Ctl.set_killable_cell c b
+                    | None -> ());
+                    Effect.Deep.continue k ())
+            | Sched.Current_ctl ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    Effect.Deep.continue k !current)
             | _ -> None);
       }
   in
   spawn None main
 
-let run_sync loop main = run_mode Sync loop main
+let run_sync ?chaos loop main = run_mode Sync ?chaos loop main
 
-let run_async loop main = run_mode Async loop main
+let run_async ?chaos loop main = run_mode Async ?chaos loop main
 
 let timeout loop ~delay f =
   let state = ref (`Running : timeout_status) in

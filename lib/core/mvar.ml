@@ -1,9 +1,18 @@
 (* State machine: Empty with a queue of parked takers, or Full with the
    value and a queue of parked putters (each carrying the value it wants
-   to deposit). *)
+   to deposit).
+
+   Waiters carry a liveness flag tied to their fiber's cancellation
+   cell: a fiber cancelled while parked here is purged from the queue
+   eagerly (via Ctl.set_cleanup), so no dead resumer ever lingers to
+   skew the queue-depth accounting — and a cancelled put never deposits
+   its value. *)
+
+type 'a waiter = { resume : 'a Sched.resumer; live : bool ref }
+
 type 'a state =
-  | Empty of 'a Sched.resumer Queue.t
-  | Full of 'a * ('a * unit Sched.resumer) Queue.t
+  | Empty of 'a waiter Queue.t
+  | Full of 'a * ('a * unit waiter) Queue.t
 
 type 'a t = { mutable state : 'a state }
 
@@ -11,35 +20,89 @@ let create_empty () = { state = Empty (Queue.create ()) }
 
 let create v = { state = Full (v, Queue.create ()) }
 
+let purge q live_of =
+  let keep = Queue.create () in
+  let rec go () =
+    match Queue.pop q with
+    | n ->
+        if !(live_of n) then Queue.push n keep;
+        go ()
+    | exception Queue.Empty -> ()
+  in
+  go ();
+  Queue.transfer keep q
+
+(* The control cell is fetched before suspending: effects cannot be
+   performed from inside the suspend callback (it runs in the
+   scheduler's handler context).
+
+   pop the first live waiter, dropping dead ones encountered on the way
+   (belt and braces: cleanup should already have purged them) *)
+let rec pop_live q =
+  match Queue.pop q with
+  | n -> if !(n.live) then Some n else pop_live q
+  | exception Queue.Empty -> None
+
+let rec pop_live_putter q =
+  match Queue.pop q with
+  | (v, n) -> if !(n.live) then Some (v, n) else pop_live_putter q
+  | exception Queue.Empty -> None
+
 let take t =
   match t.state with
-  | Empty takers -> Sched.suspend (fun resume -> Queue.push resume takers)
+  | Empty takers ->
+      let ctl = Sched.current_ctl () in
+      Sched.suspend (fun resume ->
+          let live = ref true in
+          Queue.push { resume; live } takers;
+          match ctl with
+          | Some c ->
+              Sched.Ctl.set_cleanup c (fun () ->
+                  live := false;
+                  purge takers (fun n -> n.live))
+          | None -> ())
   | Full (v, putters) ->
-      (match Queue.pop putters with
-      | v', resume ->
+      (match pop_live_putter putters with
+      | Some (v', n) ->
           t.state <- Full (v', putters);
-          resume ()
-      | exception Queue.Empty -> t.state <- Empty (Queue.create ()));
+          n.resume ()
+      | None -> t.state <- Empty (Queue.create ()));
       v
 
 let put t v =
   match t.state with
   | Full (_, putters) ->
-      Sched.suspend (fun resume -> Queue.push (v, resume) putters)
+      let ctl = Sched.current_ctl () in
+      Sched.suspend (fun resume ->
+          let live = ref true in
+          Queue.push (v, { resume; live }) putters;
+          match ctl with
+          | Some c ->
+              Sched.Ctl.set_cleanup c (fun () ->
+                  live := false;
+                  purge putters (fun (_, n) -> n.live))
+          | None -> ())
   | Empty takers -> (
-      match Queue.pop takers with
-      | resume -> resume v
-      | exception Queue.Empty -> t.state <- Full (v, Queue.create ()))
+      match pop_live takers with
+      | Some n -> n.resume v
+      | None -> t.state <- Full (v, Queue.create ()))
 
 let try_take t =
   match t.state with
   | Empty _ -> None
   | Full (v, putters) ->
-      (match Queue.pop putters with
-      | v', resume ->
+      (match pop_live_putter putters with
+      | Some (v', n) ->
           t.state <- Full (v', putters);
-          resume ()
-      | exception Queue.Empty -> t.state <- Empty (Queue.create ()));
+          n.resume ()
+      | None -> t.state <- Empty (Queue.create ()));
       Some v
 
 let is_empty t = match t.state with Empty _ -> true | Full _ -> false
+
+let waiters t =
+  match t.state with
+  | Empty takers ->
+      Queue.fold (fun acc n -> if !(n.live) then acc + 1 else acc) 0 takers
+  | Full (_, putters) ->
+      Queue.fold (fun acc (_, n) -> if !(n.live) then acc + 1 else acc) 0 putters

@@ -22,3 +22,9 @@ val try_take : 'a t -> 'a option
 (** Non-blocking: [None] when empty. *)
 
 val is_empty : 'a t -> bool
+
+val waiters : 'a t -> int
+(** Number of live parked waiters (takers when empty, putters when
+    full).  Fibers cancelled while parked are purged eagerly — via
+    {!Sched.Ctl.set_cleanup} — so they never count here, and a
+    cancelled [put] never deposits its value. *)

@@ -1,12 +1,15 @@
 module Trace = Retrofit_trace.Trace
 module Tev = Retrofit_trace.Event
 module Metrics = Retrofit_metrics.Metrics
+module Rng = Retrofit_util.Rng
 
 type policy = Fifo | Lifo
 
 type 'a resumer = 'a -> unit
 
 exception Cancelled
+
+exception Killed
 
 exception One_shot
 
@@ -20,9 +23,22 @@ module Ctl = struct
     mutable requested : bool;
     mutable parked : (exn -> unit) option;
     mutable finished : bool;
+    mutable killable : bool;
+    mutable cleanup : (unit -> unit) option;
+        (* fired exactly once when cancel strikes while this cell is
+           parked (or armed for its next park): lets wait queues purge
+           the dead waiter eagerly instead of leaving a no-op resumer
+           behind.  Cleared on a normal resume. *)
   }
 
-  let create () = { requested = false; parked = None; finished = false }
+  let create () =
+    {
+      requested = false;
+      parked = None;
+      finished = false;
+      killable = false;
+      cleanup = None;
+    }
 
   let finish t = t.finished <- true
 
@@ -32,9 +48,23 @@ module Ctl = struct
 
   let clear_parked t = t.parked <- None
 
+  let set_killable_cell t b = t.killable <- b
+
+  let set_cleanup t f = t.cleanup <- Some f
+
+  let clear_cleanup t = t.cleanup <- None
+
+  let run_cleanup t =
+    match t.cleanup with
+    | Some f ->
+        t.cleanup <- None;
+        f ()
+    | None -> ()
+
   let cancel t =
     if (not t.finished) && not t.requested then begin
       t.requested <- true;
+      run_cleanup t;
       match t.parked with
       | Some d ->
           t.parked <- None;
@@ -57,17 +87,156 @@ module Ctl = struct
       match !state with
       | `Waiting ->
           state := `Resumed;
-          (match ctl with Some c -> clear_parked c | None -> ());
+          (match ctl with
+          | Some c ->
+              clear_parked c;
+              clear_cleanup c
+          | None -> ());
           enqueue (fun () -> continue v)
       | `Resumed -> raise One_shot
       | `Cancelled -> ()
 end
+
+(* Deterministic adversarial scheduling (chaos mode).  Every decision is
+   drawn from a dedicated xoshiro stream seeded by the config, at sites
+   whose order is itself deterministic (the cooperative scheduler's
+   enqueue/dequeue sequence), so a chaos run is a pure function of
+   (workload seed, chaos seed): double runs are byte-identical and a
+   failing seed shrinks like a conformance-oracle diff. *)
+module Chaos = struct
+  type t = {
+    seed : int;
+    kill_rate : float;  (** P(kill a killable fiber at a suspension point) *)
+    delay_rate : float;  (** P(stash a resume for a few scheduler ops) *)
+    max_delay : int;  (** max stash duration, in dequeue steps *)
+    reorder_rate : float;  (** P(dequeue an adversarial position instead) *)
+    spurious_rate : float;  (** P(inject a spurious wakeup alongside a push) *)
+  }
+
+  let default ~seed =
+    {
+      seed;
+      kill_rate = 0.002;
+      delay_rate = 0.05;
+      max_delay = 4;
+      reorder_rate = 0.1;
+      spurious_rate = 0.02;
+    }
+
+  type stats = { kills : int; delays : int; reorders : int; spurious : int }
+
+  type state = {
+    cfg : t;
+    rng : Rng.t;
+    mutable delayed : (int * (unit -> unit)) list;
+        (* (remaining dequeue steps, thunk), in stash order *)
+    mutable kills : int;
+    mutable delays : int;
+    mutable reorders : int;
+    mutable spurious : int;
+  }
+
+  let latest : state option ref = ref None
+
+  let make cfg =
+    let st =
+      {
+        cfg;
+        rng = Rng.create cfg.seed;
+        delayed = [];
+        kills = 0;
+        delays = 0;
+        reorders = 0;
+        spurious = 0;
+      }
+    in
+    latest := Some st;
+    st
+
+  let hit st rate = rate > 0.0 && Rng.float st.rng 1.0 < rate
+
+  let snapshot st =
+    {
+      kills = st.kills;
+      delays = st.delays;
+      reorders = st.reorders;
+      spurious = st.spurious;
+    }
+
+  let inject _st kind =
+    if Metrics.on () then
+      Metrics.inc "sched_chaos_injections_total" ~labels:[ ("kind", kind) ];
+    if Trace.on () then Trace.emit ~ts:0 (Tev.Chaos_inject { kind })
+
+  (* Turn a runner's raw (push, pop) pair into the chaos-perturbed pair.
+     [run_next] must be tied to the runner's drain function before the
+     first pop: spurious wakeups are raw queue entries and must keep the
+     drain chain alive (a bare no-op thunk would stall the runner). *)
+  let wrap st ~push ~pop ~depth ~pop_nth ~run_next =
+    let cpush thunk =
+      (if hit st st.cfg.delay_rate then begin
+         st.delays <- st.delays + 1;
+         inject st "delay";
+         let ttl = 1 + Rng.int st.rng st.cfg.max_delay in
+         st.delayed <- st.delayed @ [ (ttl, thunk) ]
+       end
+       else push thunk);
+      if hit st st.cfg.spurious_rate then begin
+        st.spurious <- st.spurious + 1;
+        inject st "spurious";
+        push (fun () -> !run_next ())
+      end
+    in
+    let cpop () =
+      (* age the stash; expired resumes rejoin the queue in order *)
+      (if st.delayed <> [] then
+         let due, still = List.partition (fun (ttl, _) -> ttl <= 1) st.delayed in
+         st.delayed <- List.map (fun (ttl, t) -> (ttl - 1, t)) still;
+         List.iter (fun (_, t) -> push t) due);
+      let d = depth () in
+      if d = 0 then
+        (* never strand a stashed resume: if the queue ran dry, the
+           oldest delayed thunk runs now regardless of its ttl *)
+        match st.delayed with
+        | (_, t) :: rest ->
+            st.delayed <- rest;
+            Some t
+        | [] -> None
+      else if d > 1 && hit st st.cfg.reorder_rate then begin
+        st.reorders <- st.reorders + 1;
+        inject st "reorder";
+        Some (pop_nth (1 + Rng.int st.rng (d - 1)))
+      end
+      else pop ()
+    in
+    (cpush, cpop)
+
+  (* Seeded kill: fires only for fibers that opted in via
+     [set_killable], and only at a suspension point, where discontinuing
+     is always legal. *)
+  let kill_draw st_opt (ctl : Ctl.t option) =
+    match (st_opt, ctl) with
+    | Some st, Some c
+      when c.Ctl.killable && (not c.Ctl.requested) && not c.Ctl.finished ->
+        if hit st st.cfg.kill_rate then begin
+          st.kills <- st.kills + 1;
+          inject st "kill";
+          if Metrics.on () then Metrics.inc "sched_chaos_kills_total";
+          true
+        end
+        else false
+    | _ -> false
+end
+
+let chaos_stats () = Option.map Chaos.snapshot !Chaos.latest
 
 type _ Effect.t +=
   | Fork : (unit -> unit) -> unit Effect.t
   | Yield : unit Effect.t
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
   | Fork_cancellable : (unit -> unit) -> (unit -> unit) Effect.t
+  | Set_killable : bool -> unit Effect.t
+  | Current_ctl : Ctl.t option Effect.t
 
 let fork f = Effect.perform (Fork f)
 
@@ -76,6 +245,12 @@ let fork_cancellable f = Effect.perform (Fork_cancellable f)
 let yield () = Effect.perform Yield
 
 let suspend f = Effect.perform (Suspend f)
+
+let set_killable b =
+  try Effect.perform (Set_killable b) with Effect.Unhandled _ -> ()
+
+let current_ctl () =
+  try Effect.perform Current_ctl with Effect.Unhandled _ -> None
 
 let switches = ref 0
 
@@ -117,21 +292,64 @@ let rq_pop rq =
   (match popped with Some _ when Trace.on () -> rq_observe rq | _ -> ());
   popped
 
-let run ?(policy = Fifo) main =
+(* Dequeue the element [n] positions below the normal one, preserving
+   the relative order of the elements skipped over. *)
+let rq_pop_nth rq n =
+  match rq.policy with
+  | Fifo ->
+      let rec rotate i =
+        if i > 0 then begin
+          Queue.push (Queue.pop rq.queue) rq.queue;
+          rotate (i - 1)
+        end
+      in
+      let len = Queue.length rq.queue in
+      let n = n mod len in
+      (* take the n-th: rotate it to the front, pop, then restore order *)
+      rotate n;
+      let target = Queue.pop rq.queue in
+      rotate (len - 1 - n);
+      target
+  | Lifo ->
+      let skipped = ref [] in
+      for _ = 1 to n mod Stack.length rq.stack do
+        skipped := Stack.pop rq.stack :: !skipped
+      done;
+      let target = Stack.pop rq.stack in
+      List.iter (fun t -> Stack.push t rq.stack) !skipped;
+      target
+
+let run ?(policy = Fifo) ?chaos ?idle main =
   let rq = { queue = Queue.create (); stack = Stack.create (); policy; ops = 0 } in
   switches := 0;
+  let chst = Option.map Chaos.make chaos in
+  let run_next_cell = ref (fun () -> ()) in
+  let push, pop =
+    match chst with
+    | None -> (rq_push rq, fun () -> rq_pop rq)
+    | Some st ->
+        Chaos.wrap st ~push:(rq_push rq)
+          ~pop:(fun () -> rq_pop rq)
+          ~depth:(fun () -> rq_depth rq)
+          ~pop_nth:(rq_pop_nth rq) ~run_next:run_next_cell
+  in
   (* The control cell of the fiber currently executing; every thunk that
      re-enters a fiber restores it so nested suspensions park against
      the right cell. *)
   let current : Ctl.t option ref = ref None in
-  let run_next () =
-    match rq_pop rq with
+  let rec run_next () =
+    match pop () with
     | Some thunk ->
         incr switches;
         if Metrics.on () then Metrics.inc "sched_switches_total";
         thunk ()
-    | None -> ()
+    | None -> (
+        match idle with
+        | Some f -> if f () then run_next ()
+        | None -> ())
   in
+  run_next_cell := run_next;
+  let kill_draw ctl = Chaos.kill_draw chst ctl in
   let rec spawn : Ctl.t option -> (unit -> unit) -> unit =
    fun ctl f ->
     current := ctl;
@@ -144,10 +362,15 @@ let run ?(policy = Fifo) main =
         exnc =
           (fun e ->
             (* A discontinued fiber unwinds with Cancelled after its
-               cleanup handlers; that is a normal exit, not an error. *)
+               cleanup handlers; that is a normal exit, not an error.
+               A chaos-killed fiber unwinds with Killed the same way. *)
             match (ctl, e) with
             | Some c, Cancelled when Ctl.cancelled c ->
                 Ctl.finish c;
+                run_next ()
+            | Some c, Killed ->
+                Ctl.finish c;
+                Ctl.run_cleanup c;
                 run_next ()
             | _ -> raise e);
         effc =
@@ -157,15 +380,20 @@ let run ?(policy = Fifo) main =
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
-                    rq_push rq (fun () ->
-                        current := ctl;
-                        Effect.Deep.continue k ());
+                    if kill_draw ctl then
+                      push (fun () ->
+                          current := ctl;
+                          Effect.Deep.discontinue k Killed)
+                    else
+                      push (fun () ->
+                          current := ctl;
+                          Effect.Deep.continue k ());
                     run_next ())
             | Fork f' ->
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
-                    rq_push rq (fun () ->
+                    push (fun () ->
                         current := ctl;
                         Effect.Deep.continue k ());
                     spawn None f')
@@ -174,7 +402,7 @@ let run ?(policy = Fifo) main =
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let parent = !current in
                     let child = Ctl.create () in
-                    rq_push rq (fun () ->
+                    push (fun () ->
                         current := parent;
                         Effect.Deep.continue k (fun () -> Ctl.cancel child));
                     spawn (Some child) f')
@@ -186,21 +414,40 @@ let run ?(policy = Fifo) main =
                     | Some c when Ctl.cancelled c ->
                         (* Cancel arrived before this park: discontinue
                            straight away instead of parking. *)
-                        rq_push rq (fun () ->
+                        push (fun () ->
                             current := ctl;
                             Effect.Deep.discontinue k Cancelled)
                     | _ ->
-                        let resumer =
-                          Ctl.arm ?ctl ~enqueue:(rq_push rq)
-                            ~continue:(fun v ->
+                        if kill_draw ctl then
+                          (* killed instead of parked: the waiter is
+                             never handed to [f], so no queue ever holds
+                             a dead resumer for it *)
+                          push (fun () ->
                               current := ctl;
-                              Effect.Deep.continue k v)
-                            ~discontinue:(fun e ->
-                              current := ctl;
-                              Effect.Deep.discontinue k e)
-                        in
-                        f resumer);
+                              Effect.Deep.discontinue k Killed)
+                        else
+                          let resumer =
+                            Ctl.arm ?ctl ~enqueue:push
+                              ~continue:(fun v ->
+                                current := ctl;
+                                Effect.Deep.continue k v)
+                              ~discontinue:(fun e ->
+                                current := ctl;
+                                Effect.Deep.discontinue k e)
+                          in
+                          f resumer);
                     run_next ())
+            | Set_killable b ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    (match !current with
+                    | Some c -> c.Ctl.killable <- b
+                    | None -> ());
+                    Effect.Deep.continue k ())
+            | Current_ctl ->
+                Some
+                  (fun (k : (c, unit) Effect.Deep.continuation) ->
+                    Effect.Deep.continue k !current)
             | _ -> None);
       }
   in

@@ -7,7 +7,10 @@
 
     The scheduling policy is a parameter: the paper observes that
     changing the run queue from FIFO to LIFO changes the scheduling
-    algorithm without touching any other code.
+    algorithm without touching any other code.  {!Chaos} extends the
+    same idea adversarially: a seeded chaos policy perturbs dequeue
+    order, stashes resumes, injects spurious wakeups, and kills opted-in
+    fibers at suspension points — all deterministically in the seed.
 
     Cancellation follows §2.3: {!fork_cancellable} returns a [cancel]
     handle that [discontinue]s the fiber with {!Cancelled} at its
@@ -24,6 +27,12 @@ type 'a resumer = 'a -> unit
 exception Cancelled
 (** Raised at the suspension point of a fiber that has been cancelled
     via the handle returned by {!fork_cancellable}. *)
+
+exception Killed
+(** Raised at the suspension point of a fiber destroyed by the chaos
+    engine (or by a supervisor's force-kill).  Unlike {!Cancelled} this
+    is an {e abnormal} exit: supervisors restart on it, and the server
+    crash barriers let it pass through rather than counting a 500. *)
 
 exception One_shot
 (** Raised by a resumer invoked a second time (continuations are
@@ -49,13 +58,30 @@ module Ctl : sig
   val set_parked : t -> (exn -> unit) -> unit
   (** Install the discontinue hook for the fiber's current suspension. *)
 
+  val set_killable_cell : t -> bool -> unit
+  (** Flip the chaos opt-in flag on the cell directly; runners use this
+      to serve the {!Set_killable} effect. *)
+
   val clear_parked : t -> unit
 
+  val set_cleanup : t -> (unit -> unit) -> unit
+  (** Install a hook fired exactly once if the fiber is cancelled (or
+      chaos-killed) before its current suspension resumes: wait queues
+      use it to purge the dead waiter eagerly.  Cleared automatically
+      when the suspension resumes normally. *)
+
+  val clear_cleanup : t -> unit
+
+  val run_cleanup : t -> unit
+  (** Fire and clear the cleanup hook, if any.  Runners call this when a
+      fiber dies abnormally ({!Killed}) without going through
+      {!cancel}. *)
+
   val cancel : t -> unit
-  (** Request cancellation: fires the parked hook with {!Cancelled} if
-      the fiber is suspended, otherwise marks it for discontinuation at
-      its next suspension point.  One-shot; a no-op after the fiber
-      finishes or after a previous cancel. *)
+  (** Request cancellation: fires the cleanup hook, then the parked
+      hook with {!Cancelled} if the fiber is suspended, otherwise marks
+      it for discontinuation at its next suspension point.  One-shot; a
+      no-op after the fiber finishes or after a previous cancel. *)
 
   val arm :
     ?ctl:t ->
@@ -69,6 +95,59 @@ module Ctl : sig
       installs the cancel hook that enqueues [discontinue]. *)
 end
 
+(** Seeded adversarial scheduling.  All draws come from one xoshiro
+    stream at sites whose order is fixed by the deterministic scheduler,
+    so a chaos run is a pure function of (workload seed, chaos seed):
+    double runs are byte-identical.  With [chaos] absent every code path
+    below is untouched — the frozen cost counters stay bit-identical. *)
+module Chaos : sig
+  type t = {
+    seed : int;
+    kill_rate : float;  (** P(kill a killable fiber at a suspension point) *)
+    delay_rate : float;  (** P(stash a resume for a few scheduler ops) *)
+    max_delay : int;  (** max stash duration, in dequeue steps *)
+    reorder_rate : float;  (** P(dequeue an adversarial position instead) *)
+    spurious_rate : float;  (** P(inject a spurious wakeup alongside a push) *)
+  }
+
+  val default : seed:int -> t
+
+  type stats = { kills : int; delays : int; reorders : int; spurious : int }
+
+  type state
+  (** Mutable per-run chaos state: the rng stream, the stash of delayed
+      resumes, and the injection counters. *)
+
+  val make : t -> state
+  (** Also registers the state as the latest for {!chaos_stats}. *)
+
+  val snapshot : state -> stats
+
+  val wrap :
+    state ->
+    push:((unit -> unit) -> unit) ->
+    pop:(unit -> (unit -> unit) option) ->
+    depth:(unit -> int) ->
+    pop_nth:(int -> unit -> unit) ->
+    run_next:(unit -> unit) ref ->
+    ((unit -> unit) -> unit) * (unit -> (unit -> unit) option)
+  (** [wrap st ~push ~pop ~depth ~pop_nth ~run_next] turns a runner's
+      raw queue operations into the chaos-perturbed (push, pop) pair:
+      pushes may be stashed (delayed resume) or doubled with a spurious
+      wakeup, pops may dequeue an adversarial position.  [run_next] must
+      be tied to the runner's drain loop before the first pop.  Used by
+      {!run} and by {!Aio}'s runners. *)
+
+  val kill_draw : state option -> Ctl.t option -> bool
+  (** Draw a kill decision for a fiber about to park: [true] only for a
+      live, killable, not-yet-cancelled cell under an active chaos
+      state.  Counts and emits the injection when it fires. *)
+end
+
+val chaos_stats : unit -> Chaos.stats option
+(** Injection counts of the most recent (or current) chaos-enabled
+    {!run} / {!Aio} run; [None] before any chaos run. *)
+
 (** The scheduler effects are public so that other runners (notably
     {!Aio}) can handle them alongside their own — an effect declared
     once composes with any handler that chooses to serve it. *)
@@ -77,6 +156,8 @@ type _ Effect.t +=
   | Yield : unit Effect.t
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
   | Fork_cancellable : (unit -> unit) -> (unit -> unit) Effect.t
+  | Set_killable : bool -> unit Effect.t
+  | Current_ctl : Ctl.t option Effect.t
 
 val fork : (unit -> unit) -> unit
 (** Must run inside {!run}. *)
@@ -97,11 +178,29 @@ val suspend : ('a resumer -> unit) -> 'a
     {!One_shot}; invoking it after the suspension was cancelled is a
     no-op. *)
 
-val run : ?policy:policy -> (unit -> unit) -> unit
+val set_killable : bool -> unit
+(** Opt the current fiber in (or out) of chaos kills.  Only fibers that
+    opted in — supervised workers and nursery children, which have a
+    restart / unwind story — are ever killed; bare fibers are not.
+    A no-op outside {!run} / {!Aio}. *)
+
+val current_ctl : unit -> Ctl.t option
+(** The control cell of the calling fiber, if it was spawned with
+    {!fork_cancellable}.  Wait queues capture it {e before} parking to
+    register an eager-purge cleanup.  [None] for plain fibers or
+    outside a runner. *)
+
+val run :
+  ?policy:policy -> ?chaos:Chaos.t -> ?idle:(unit -> bool) -> (unit -> unit) -> unit
 (** Runs the main thread and every forked descendant to completion.
     An exception escaping any thread aborts the whole scheduler run,
-    except {!Cancelled} leaving a cancelled fiber, which is a normal
-    exit. *)
+    except {!Cancelled} leaving a cancelled fiber and {!Killed} leaving
+    a chaos-killed one, which are normal exits.
+
+    [chaos] switches the run queue to the seeded adversarial policy.
+    [idle] is called when the run queue is empty; returning [true]
+    retries (use it to advance a virtual-time event loop that will
+    resume parked fibers), [false] ends the run. *)
 
 val stats_switches : unit -> int
 (** Context switches performed by the most recent (or current) [run];

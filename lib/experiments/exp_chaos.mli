@@ -1,0 +1,5 @@
+(** Supervision + chaos experiment: recovery under seeded fiber-kill
+    chaos, graceful-drain disposition accounting, and the double-run
+    determinism campaign over the supervised websim. *)
+
+val report : ?quick:bool -> unit -> string

@@ -68,6 +68,12 @@ let all =
       run = Exp_degradation.report;
     };
     {
+      id = "chaos";
+      title = "supervision trees and chaos scheduling";
+      paper_ref = "Section 6.3.4 (robustness extension)";
+      run = Exp_chaos.report;
+    };
+    {
       id = "backtrace";
       title = "meander backtrace and DWARF validation";
       paper_ref = "Figure 1d / Section 5.5";

@@ -1,3 +1,5 @@
+module Sched = Retrofit_core.Sched
+
 type _ Effect.t += Io_ready : unit Effect.t
 
 let handled = ref 0
@@ -5,21 +7,32 @@ let handled = ref 0
 let requests_handled () = !handled
 
 (* The per-request thread body, in direct style: wait for the socket,
-   parse, handle, serialise. *)
-let request_thread raw () =
+   parse, handle, serialise.  [pre] runs between the socket wait and
+   the parse: the supervised simulation injects the request's service
+   time there as a cooperative sleep, so the barrier below guards real
+   suspension points. *)
+let request_thread ~pre raw () =
   Effect.perform Io_ready;
+  pre ();
   match Http.parse_request raw with
   | Ok (req, _) -> Http.format_response (Server.app_handler req)
   | Error e -> Http.format_response (Http.bad_request e)
 
-let process_raw raw =
+let process_raw_with ?(pre = fun () -> ()) raw =
   incr handled;
-  Effect.Deep.match_with (request_thread raw) ()
+  Effect.Deep.match_with (request_thread ~pre raw) ()
     {
       Effect.Deep.retc = Fun.id;
       (* Crash barrier: an exception escaping the request fiber becomes
-         a 500 at the handler boundary — it never aborts the server. *)
-      exnc = (fun _e -> Http.format_response Server.internal_error);
+         a 500 at the handler boundary — it never aborts the server.
+         Asynchronous terminations are not handler crashes: a Cancelled
+         or chaos-Killed unwind passes through to whoever initiated it
+         (cancelled ≠ crashed — it must not count as a 500). *)
+      exnc =
+        (fun e ->
+          match e with
+          | Sched.Cancelled | Sched.Killed -> raise e
+          | _ -> Http.format_response Server.internal_error);
       effc =
         (fun (type c) (eff : c Effect.t) ->
           match eff with
@@ -30,3 +43,5 @@ let process_raw raw =
                   Effect.Deep.continue k ())
           | _ -> None);
     }
+
+let process_raw raw = process_raw_with raw

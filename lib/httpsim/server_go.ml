@@ -1,3 +1,5 @@
+module Sched = Retrofit_core.Sched
+
 let handled = ref 0
 
 let requests_handled () = !handled
@@ -13,18 +15,27 @@ let run_all () =
     (Queue.pop runq) ()
   done
 
-let process_raw raw =
+let process_raw_with ?(pre = fun () -> ()) raw =
   incr handled;
   let result = ref "" in
   go (fun () ->
       (* Crash barrier: a panicking handler goroutine recovers to a 500
-         (Go's recover-in-ServeHTTP), never killing the server loop. *)
+         (Go's recover-in-ServeHTTP), never killing the server loop.
+         But recover does not catch goroutine destruction: a Cancelled
+         or chaos-Killed unwind propagates (cancelled ≠ crashed). *)
       let resp =
         match Http.parse_request raw with
         | Ok (req, _) -> (
-            try Server.app_handler req with _ -> Server.internal_error)
+            try
+              pre ();
+              Server.app_handler req
+            with
+            | (Sched.Cancelled | Sched.Killed) as e -> raise e
+            | _ -> Server.internal_error)
         | Error e -> Http.bad_request e
       in
       result := Http.format_response resp);
   run_all ();
   !result
+
+let process_raw raw = process_raw_with raw

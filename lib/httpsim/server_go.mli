@@ -9,4 +9,10 @@ val process_raw : string -> string
 (** Never raises: a panicking handler goroutine is recovered into a 500
     (the crash barrier). *)
 
+val process_raw_with : ?pre:(unit -> unit) -> string -> string
+(** Like {!process_raw} with [pre] (the simulated service time) run
+    inside the recover barrier.  {!Retrofit_core.Sched.Cancelled} and
+    {!Retrofit_core.Sched.Killed} re-raise instead of recovering to a
+    500: cancelled ≠ crashed. *)
+
 val requests_handled : unit -> int

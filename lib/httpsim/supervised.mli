@@ -1,0 +1,90 @@
+(** Supervised web-server simulation (ISSUE 7 tentpole wiring).
+
+    Runs one of the three §6.3.4 servers at the fiber level under a
+    {!Retrofit_core.Supervise} tree: sharded accept loops (transient,
+    killable workers under a listener supervisor), per-connection
+    {!Retrofit_core.Supervise.Nursery} scopes with one fiber per
+    pipelined request, a watchdog worker that health-checks accept-loop
+    heartbeats and kills wedged loops, and a graceful drain protocol
+    (stop accepting, give in-flight requests a deadline, then shut the
+    tree down bottom-up).
+
+    The simulation is pure in its config: all randomness (arrival
+    times, service jitter, wedge placement) comes from [seed], virtual
+    time comes from a private {!Retrofit_core.Evloop}, and optional
+    chaos comes from the seeded {!Retrofit_core.Sched.Chaos} policy —
+    so two runs of the same config produce byte-identical summaries. *)
+
+type config = {
+  seed : int;
+  connections : int;
+  requests_per_conn : int;
+  interarrival_ns : int;  (** mean gap between connection arrivals *)
+  think_ns : int;  (** gap between pipelined requests on a connection *)
+  service_jitter_ns : int;  (** uniform jitter added to each service time *)
+  shards : int;  (** number of accept loops *)
+  listener_strategy : Retrofit_core.Supervise.strategy;
+  max_restarts : int;
+  window_ns : int;  (** restart-intensity window; 0 = unbounded *)
+  chaos : Retrofit_core.Sched.Chaos.t option;
+  wedge_rate : float;  (** P(a connection wedges its accept loop) *)
+  wedge_ns : int;  (** how long a wedged loop stops heartbeating *)
+  watchdog_interval_ns : int;
+  watchdog_stale_ns : int;  (** heartbeat age that gets a loop killed *)
+  accept_chunk_ns : int;  (** max sleep between accept-loop heartbeats *)
+  drain_after_ns : int option;  (** start graceful drain at this time *)
+  drain_deadline_ns : int;  (** grace period before in-flight cancel *)
+  poll_ns : int;  (** main/drain poll interval *)
+}
+
+val default_config : seed:int -> config
+(** 120 connections x 6 requests, 4 shards, no chaos, no wedges, no
+    drain: a healthy baseline run. *)
+
+(** Where every request ended up.  Each of the [total] requests lands
+    in exactly one of the disposition counters; [silent] counts
+    accepted requests that reached the final sweep with no disposition
+    at all (the invariant the chaos campaign checks is [silent = 0]). *)
+type summary = {
+  server : string;
+  total : int;
+  completed : int;  (** 2xx responses *)
+  server_errors : int;  (** 5xx: the crash barrier fired *)
+  client_errors : int;  (** 4xx *)
+  killed : int;  (** aborted by a kill/crash before any drain *)
+  cancelled_drain : int;  (** in-flight, cancelled at the drain deadline *)
+  rejected_drain : int;  (** never accepted: listener was draining *)
+  lost : int;  (** never accepted: the tree gave up *)
+  silent : int;  (** accepted but unaccounted — must be 0 *)
+  conns_aborted : int;  (** connection nurseries that failed *)
+  restarts : int;
+  escalations : int;
+  watchdog_kills : int;
+  chaos_stats : Retrofit_core.Sched.Chaos.stats option;
+  outcome : string;  (** ["completed"] or ["gave_up:<path>"] *)
+  duration_ns : int;  (** virtual time at exit *)
+  drain_latency_ns : int;  (** drain begin -> tree down; -1 if no drain *)
+  throughput_rps : float;  (** completed per virtual second *)
+  p50_ns : int;  (** latency percentiles over 200s *)
+  p99_ns : int;
+}
+
+val run :
+  ?model:Server.model ->
+  ?process:(?pre:(unit -> unit) -> string -> string) ->
+  config ->
+  summary
+(** Run the supervised simulation.  [model] (default {!Server.mc})
+    supplies the cost constants; [process] (default
+    {!Server_effects.process_raw_with}) handles one raw request with
+    the request's service time injected via [?pre]. *)
+
+val run_servers : config -> summary list
+(** [run] once per server: effects (mc), goroutine (go), monadic
+    (lwt), in that order. *)
+
+val summary_to_string : summary -> string
+(** One deterministic line — the chaos campaign byte-compares these. *)
+
+val accounted : summary -> int
+(** Sum of all disposition counters; equals [total] on every run. *)

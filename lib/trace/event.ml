@@ -43,6 +43,12 @@ type ev =
   | Retry of { conn : int; attempt : int }
   | Gc_pause of { start : int; dur : int }
   | Inflight_depth of { depth : int }
+  (* supervision / chaos (PR 6) *)
+  | Sup_child_exit of { path : string; how : string }
+  | Sup_restart of { path : string }
+  | Sup_escalate of { path : string }
+  | Chaos_inject of { kind : string }
+  | Drain_phase of { phase : string }
   (* free-form instant marker *)
   | Mark of { name : string }
 
@@ -61,6 +67,9 @@ let track = function
   | Request _ | Fault_injected _ | Shed _ | Retry _ | Gc_pause _ | Inflight_depth _
     ->
       3
+  | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ | Chaos_inject _
+  | Drain_phase _ ->
+      4
   | Mark _ -> 0
 
 let cat = function
@@ -75,6 +84,8 @@ let cat = function
   | Request _ | Fault_injected _ | Shed _ | Retry _ | Gc_pause _ | Inflight_depth _
     ->
       "http"
+  | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ -> "sup"
+  | Chaos_inject _ | Drain_phase _ -> "chaos"
   | Mark _ -> "mark"
 
 let name = function
@@ -100,6 +111,11 @@ let name = function
   | Retry _ -> "retry"
   | Gc_pause _ -> "gc_pause"
   | Inflight_depth _ -> "inflight_depth"
+  | Sup_child_exit { path; how } -> "sup_exit:" ^ path ^ ":" ^ how
+  | Sup_restart { path } -> "sup_restart:" ^ path
+  | Sup_escalate { path } -> "sup_escalate:" ^ path
+  | Chaos_inject { kind } -> "chaos:" ^ kind
+  | Drain_phase { phase } -> "drain:" ^ phase
   | Mark { name } -> name
 
 (* integer arguments, rendered into the exporters' args objects *)
@@ -127,6 +143,9 @@ let args = function
   | Shed { conn } -> [ ("conn", conn) ]
   | Retry { conn; attempt } -> [ ("conn", conn); ("attempt", attempt) ]
   | Gc_pause { start = _; dur } -> [ ("dur", dur) ]
+  | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ | Chaos_inject _
+  | Drain_phase _ ->
+      []
   | Mark _ -> []
 
 type phase = Begin | End | Complete of int (* duration *) | Counter | Instant

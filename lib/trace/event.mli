@@ -33,13 +33,19 @@ type ev =
   | Retry of { conn : int; attempt : int }
   | Gc_pause of { start : int; dur : int }
   | Inflight_depth of { depth : int }
+  | Sup_child_exit of { path : string; how : string }
+  | Sup_restart of { path : string }
+  | Sup_escalate of { path : string }
+  | Chaos_inject of { kind : string }
+  | Drain_phase of { phase : string }
   | Mark of { name : string }
 
 type t = { ts : int; ev : ev }
 
 val track : ev -> int
 (** Virtual thread id for the Chrome exporter: 1 = fiber machine,
-    2 = schedulers, 3 = httpsim, 0 = free-form marks. *)
+    2 = schedulers, 3 = httpsim, 4 = supervision/chaos, 0 = free-form
+    marks. *)
 
 val cat : ev -> string
 

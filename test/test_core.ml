@@ -249,6 +249,40 @@ let mvar_blocking_put () =
     [ "take 0"; "take 1"; "p1 done" ]
     (List.rev !order)
 
+(* A taker cancelled while parked is purged eagerly: the wait queue
+   drops it immediately and a later put goes to the surviving taker. *)
+let mvar_cancelled_taker_purged () =
+  let got = ref None and cancelled = ref 0 in
+  C.Sched.run (fun () ->
+      let mv = C.Mvar.create_empty () in
+      let cancel =
+        C.Sched.fork_cancellable (fun () ->
+            try ignore (C.Mvar.take mv)
+            with C.Sched.Cancelled ->
+              incr cancelled;
+              raise C.Sched.Cancelled)
+      in
+      C.Sched.fork (fun () -> got := Some (C.Mvar.take mv));
+      Alcotest.(check int) "two takers parked" 2 (C.Mvar.waiters mv);
+      cancel ();
+      Alcotest.(check int) "purged eagerly on cancel" 1 (C.Mvar.waiters mv);
+      C.Mvar.put mv 9;
+      C.Sched.yield ();
+      Alcotest.(check (option int)) "survivor got the value" (Some 9) !got;
+      Alcotest.(check int) "cancelled exactly once" 1 !cancelled)
+
+(* A putter cancelled while parked never deposits its value. *)
+let mvar_cancelled_putter_purged () =
+  C.Sched.run (fun () ->
+      let mv = C.Mvar.create 0 in
+      let cancel = C.Sched.fork_cancellable (fun () -> C.Mvar.put mv 1) in
+      Alcotest.(check int) "putter parked" 1 (C.Mvar.waiters mv);
+      cancel ();
+      Alcotest.(check int) "purged eagerly on cancel" 0 (C.Mvar.waiters mv);
+      Alcotest.(check int) "stored value intact" 0 (C.Mvar.take mv);
+      Alcotest.(check (option int)) "cancelled put never lands" None
+        (C.Mvar.try_take mv))
+
 (* ---------------- Evloop ---------------- *)
 
 let evloop_ordering () =
@@ -408,6 +442,146 @@ let aio_timeout_completes () =
   Alcotest.(check bool) "status done" true (!status () = `Done);
   Alcotest.(check string) "full copy" "a\n" (C.Chan.contents oc)
 
+(* ---------------- Ctl protocol edges under Aio ---------------- *)
+
+(* §2.3 cancellation edges exercised through the async runner: cancel
+   after finish and double cancel are no-ops, in both runners. *)
+let aio_ctl_edges () =
+  List.iter
+    (fun run ->
+      let loop = C.Evloop.create () in
+      let ran = ref 0 in
+      run loop (fun () ->
+          let cancel = C.Sched.fork_cancellable (fun () -> incr ran) in
+          C.Sched.yield ();
+          cancel ();
+          cancel ());
+      Alcotest.(check int) "ran once, cancels no-ops" 1 !ran)
+    [ C.Aio.run_sync ?chaos:None; C.Aio.run_async ?chaos:None ]
+
+(* A fiber cancelled while parked on a pending read: the §3.2 cleanup
+   unwinds it, the eager purge drops it from the pending list, and the
+   I/O completing later must not revive it. *)
+let aio_cancel_races_pending_resume () =
+  let cancelled = ref 0 and revived = ref false and got = ref None in
+  let loop = C.Evloop.create () in
+  let ic = C.Chan.make_ic_lazy loop ~latency:100 [ "x"; "y" ] in
+  C.Aio.run_async loop (fun () ->
+      let cancel =
+        C.Sched.fork_cancellable (fun () ->
+            (try ignore (C.Aio.input_line ic)
+             with C.Sched.Cancelled ->
+               incr cancelled;
+               raise C.Sched.Cancelled);
+            revived := true)
+      in
+      (* the child is parked on the not-yet-ready line; cancel it just
+         before the data arrives *)
+      cancel ();
+      cancel ();
+      (* a second reader issued after the cancel gets the line the dead
+         one must not consume *)
+      got := Some (C.Aio.input_line ic));
+  Alcotest.(check int) "cancelled exactly once" 1 !cancelled;
+  Alcotest.(check bool) "completion did not revive it" false !revived;
+  Alcotest.(check (option string)) "line went to the live reader"
+    (Some "x") !got
+
+(* ---------------- chaos scheduling ---------------- *)
+
+(* The same seed must produce the same interleaving, kill decisions and
+   injection counters — run the workload twice and compare everything. *)
+let chaos_run seed =
+  let log = ref [] in
+  let chaos =
+    {
+      (C.Sched.Chaos.default ~seed) with
+      C.Sched.Chaos.kill_rate = 0.05;
+      delay_rate = 0.2;
+      reorder_rate = 0.3;
+      spurious_rate = 0.1;
+    }
+  in
+  C.Sched.run ~chaos (fun () ->
+      for i = 1 to 4 do
+        let (_ : unit -> unit) =
+          C.Sched.fork_cancellable (fun () ->
+               C.Sched.set_killable (i mod 2 = 0);
+               Fun.protect
+                 ~finally:(fun () -> log := (i, -1) :: !log)
+                 (fun () ->
+                   for j = 1 to 5 do
+                     log := (i, j) :: !log;
+                     C.Sched.yield ()
+                   done))
+        in
+        ()
+      done);
+  let stats =
+    match C.Sched.chaos_stats () with
+    | Some s ->
+        C.Sched.Chaos.
+          [ s.kills; s.delays; s.reorders; s.spurious ]
+    | None -> []
+  in
+  (List.rev !log, stats)
+
+let sched_chaos_deterministic () =
+  let log1, stats1 = chaos_run 11 in
+  let log2, stats2 = chaos_run 11 in
+  Alcotest.(check (list (pair int int))) "same interleaving" log1 log2;
+  Alcotest.(check (list int)) "same injection counters" stats1 stats2;
+  Alcotest.(check bool) "chaos actually injected" true
+    (List.exists (fun n -> n > 0) stats1)
+
+(* Only fibers that opted in via [set_killable] are ever killed. *)
+let sched_chaos_kills_killable_only () =
+  let safe_steps = ref 0 and killable_unwound = ref 0 in
+  let chaos =
+    { (C.Sched.Chaos.default ~seed:3) with C.Sched.Chaos.kill_rate = 1.0 }
+  in
+  C.Sched.run ~chaos (fun () ->
+      let (_ : unit -> unit) =
+        C.Sched.fork_cancellable (fun () ->
+            C.Sched.set_killable true;
+            Fun.protect
+              ~finally:(fun () -> incr killable_unwound)
+              (fun () ->
+                for _ = 1 to 5 do
+                  C.Sched.yield ()
+                done))
+      in
+      let (_ : unit -> unit) =
+        C.Sched.fork_cancellable (fun () ->
+            for _ = 1 to 5 do
+              incr safe_steps;
+              C.Sched.yield ()
+            done)
+      in
+      ());
+  Alcotest.(check int) "non-killable fiber untouched" 5 !safe_steps;
+  Alcotest.(check int) "killable fiber unwound once" 1 !killable_unwound
+
+(* Chaos through the async I/O runner: same seed, same bytes. *)
+let aio_chaos_deterministic () =
+  let run () =
+    let loop = C.Evloop.create () in
+    let ic = C.Chan.make_ic_lazy loop ~latency:10 [ "a"; "b"; "c" ] in
+    let oc = C.Chan.make_oc loop in
+    let chaos =
+      {
+        (C.Sched.Chaos.default ~seed:21) with
+        C.Sched.Chaos.delay_rate = 0.3;
+        spurious_rate = 0.2;
+      }
+    in
+    C.Aio.run_async ~chaos loop (fun () -> C.Aio.copy ic oc);
+    C.Chan.contents oc
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "double run byte-identical" a b;
+  Alcotest.(check string) "nothing lost under chaos" "a\nb\nc\n" a
+
 let suite =
   [
     test "eff match_with deep" eff_match_with;
@@ -429,6 +603,8 @@ let suite =
     test "mvar basics" mvar_basic;
     test "mvar blocking take" mvar_blocking_take;
     test "mvar blocking put" mvar_blocking_put;
+    test "mvar cancelled taker purged" mvar_cancelled_taker_purged;
+    test "mvar cancelled putter purged" mvar_cancelled_putter_purged;
     test "evloop ordering" evloop_ordering;
     test "evloop same instant" evloop_same_instant;
     test "evloop advance_until" evloop_advance_until;
@@ -443,4 +619,9 @@ let suite =
     test "aio with mvar" aio_mix_with_mvar;
     test "aio timeout cancels copy" aio_timeout_cancels_copy;
     test "aio timeout completes" aio_timeout_completes;
+    test "aio ctl edges both runners" aio_ctl_edges;
+    test "aio cancel races pending resume" aio_cancel_races_pending_resume;
+    test "sched chaos deterministic" sched_chaos_deterministic;
+    test "sched chaos kills killable only" sched_chaos_kills_killable_only;
+    test "aio chaos deterministic" aio_chaos_deterministic;
   ]

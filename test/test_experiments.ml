@@ -18,7 +18,7 @@ let harness_clock_monotone () =
   Alcotest.(check bool) "monotone" true (Int64.compare b a >= 0)
 
 let registry_ids () =
-  Alcotest.(check int) "13 experiments" 13 (List.length E.Registry.all);
+  Alcotest.(check int) "14 experiments" 14 (List.length E.Registry.all);
   Alcotest.(check bool) "find" true (E.Registry.find "table1" <> None);
   Alcotest.(check bool) "find degradation" true (E.Registry.find "degradation" <> None);
   Alcotest.(check bool) "missing" true (E.Registry.find "zzz" = None);

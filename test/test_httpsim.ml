@@ -511,6 +511,93 @@ let degradation_graceful () =
   Alcotest.(check bool) (Printf.sprintf "monotone %.4f >= %.4f" g1 g2) true (g1 >= g2);
   Alcotest.(check bool) (Printf.sprintf "no collapse (%.4f)" g2) true (g2 > 0.9)
 
+(* ---------------- crash barriers: cancelled <> crashed ---------------- *)
+
+(* ISSUE 7 regression: each server's crash barrier must turn handler
+   exceptions into a 500 but re-raise Cancelled/Killed unwinds — an
+   asynchronously terminated request is not a server error. *)
+let barriers_distinguish_cancelled () =
+  let module Sched = Retrofit_core.Sched in
+  let raw = H.Netsim.request_for ~target:"/" ~conn_id:0 in
+  let withs : (string * (?pre:(unit -> unit) -> string -> string)) list =
+    [
+      ("mc", H.Server_effects.process_raw_with);
+      ("go", H.Server_go.process_raw_with);
+      ("lwt", H.Server_monad.process_raw_with);
+    ]
+  in
+  List.iter
+    (fun (name, (process : ?pre:(unit -> unit) -> string -> string)) ->
+      (* a crashing handler is still a 500 *)
+      (match
+         H.Http.parse_response (process ~pre:(fun () -> failwith "boom") raw)
+       with
+      | Ok (resp, _) ->
+          Alcotest.(check int) (name ^ " crash is 500") 500 resp.H.Http.status
+      | Error e -> Alcotest.fail e);
+      (* cancellation and kills pass through *)
+      Alcotest.check_raises (name ^ " cancel re-raised") Sched.Cancelled
+        (fun () ->
+          ignore (process ~pre:(fun () -> raise Sched.Cancelled) raw));
+      Alcotest.check_raises (name ^ " kill re-raised") Sched.Killed (fun () ->
+          ignore (process ~pre:(fun () -> raise Sched.Killed) raw));
+      (* and the plain path still serves *)
+      match H.Http.parse_response (process raw) with
+      | Ok (resp, _) ->
+          Alcotest.(check int) (name ^ " still 200") 200 resp.H.Http.status
+      | Error e -> Alcotest.fail e)
+    withs
+
+(* ---------------- supervised simulation ---------------- *)
+
+let supervised_calm_completes () =
+  let cfg =
+    { (H.Supervised.default_config ~seed:5) with H.Supervised.connections = 24 }
+  in
+  let s = H.Supervised.run cfg in
+  Alcotest.(check int) "all completed" s.H.Supervised.total
+    s.H.Supervised.completed;
+  Alcotest.(check int) "no restarts" 0 s.H.Supervised.restarts;
+  Alcotest.(check int) "accounting conserved" s.H.Supervised.total
+    (H.Supervised.accounted s);
+  Alcotest.(check int) "no silent drops" 0 s.H.Supervised.silent
+
+let supervised_chaos_deterministic () =
+  let cfg =
+    {
+      (H.Supervised.default_config ~seed:13) with
+      H.Supervised.connections = 30;
+      chaos = Some (Retrofit_core.Sched.Chaos.default ~seed:13);
+      wedge_rate = 0.1;
+      max_restarts = 1000;
+    }
+  in
+  let a = H.Supervised.run cfg and b = H.Supervised.run cfg in
+  Alcotest.(check string) "double run byte-identical"
+    (H.Supervised.summary_to_string a)
+    (H.Supervised.summary_to_string b);
+  Alcotest.(check int) "accounting conserved under chaos"
+    a.H.Supervised.total (H.Supervised.accounted a);
+  Alcotest.(check int) "no silent drops under chaos" 0 a.H.Supervised.silent
+
+let supervised_drain_accounts_everything () =
+  let cfg =
+    {
+      (H.Supervised.default_config ~seed:4) with
+      H.Supervised.connections = 40;
+      drain_after_ns = Some 300_000;
+      drain_deadline_ns = 1_500_000;
+    }
+  in
+  let s = H.Supervised.run cfg in
+  Alcotest.(check bool) "drain ran" true (s.H.Supervised.drain_latency_ns >= 0);
+  Alcotest.(check bool) "something was rejected mid-drain" true
+    (s.H.Supervised.rejected_drain > 0);
+  Alcotest.(check int) "accounting conserved" s.H.Supervised.total
+    (H.Supervised.accounted s);
+  Alcotest.(check int) "zero silent drops" 0 s.H.Supervised.silent;
+  Alcotest.(check string) "graceful outcome" "completed" s.H.Supervised.outcome
+
 let suite =
   [
     test "parse GET" parse_get;
@@ -543,4 +630,8 @@ let suite =
     test "resilient run under default faults" resilient_default_faults;
     test "admission control sheds" resilient_sheds_under_tiny_cap;
     test "goodput degrades gracefully" degradation_graceful;
+    test "barriers: cancelled is not a 500" barriers_distinguish_cancelled;
+    test "supervised calm run completes" supervised_calm_completes;
+    test "supervised chaos deterministic" supervised_chaos_deterministic;
+    test "supervised drain accounts everything" supervised_drain_accounts_everything;
   ]

@@ -25,4 +25,5 @@ let () =
       ("crosslevel", Test_crosslevel.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("supervise", Test_supervise.suite);
     ]
