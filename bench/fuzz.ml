@@ -15,8 +15,11 @@ let () =
   let no_shrink = ref false in
   let analyze = ref false in
   let multishot = ref false in
+  let fib_multishot = ref false in
   let sem_multishot = ref false in
   let skip_corpus = ref false in
+  let stack_policy = ref "" in
+  let policy_diff = ref false in
   let speclist =
     [
       ("--seed", Arg.Set_int seed, "INT campaign seed (default 1)");
@@ -33,13 +36,26 @@ let () =
          any Safe/Must claim a backend contradicts" );
       ( "--multishot",
         Arg.Set multishot,
-        " mutation mode: disable the fiber machine's one-shot check (expected to fail)"
-      );
+        " multishot campaign: clone continuations on resume in both the \
+         semantics machine and the fiber backend and skip the (one-shot) \
+         native leg; requires a multishot-capable fiber configuration" );
+      ( "--fib-multishot",
+        Arg.Set fib_multishot,
+        " mutation mode: enable fiber-side cloning alone, against the \
+         one-shot semantics machine (expected to fail)" );
       ( "--sem-multishot",
         Arg.Set sem_multishot,
         " mutation mode: disable the semantics machine's one-shot discipline (expected \
          to fail)" );
       ("--skip-corpus", Arg.Set skip_corpus, " skip the corpus replay");
+      ( "--stack-policy",
+        Arg.Set_string stack_policy,
+        "NAME run the fiber backend under this stack policy (copy | segmented \
+         | segmented-cow | reserve; default copy)" );
+      ( "--policy-diff",
+        Arg.Set policy_diff,
+        " additionally run every program under each alternative stack policy \
+         and diff against the default policy" );
     ]
   in
   Arg.parse speclist
@@ -55,16 +71,29 @@ let () =
           (fun (name, problem) -> Printf.printf "corpus %s FAILED: %s\n" name problem)
           problems
   end;
-  let fiber_config =
-    if !multishot then
-      Retrofit_fiber.Config.with_multishot true Retrofit_fiber.Config.mc
-    else Retrofit_fiber.Config.mc
+  let module F = Retrofit_fiber in
+  let policy =
+    match !stack_policy with
+    | "" -> F.Stack_policy.copy_double
+    | name -> (
+        match F.Stack_policy.of_string name with
+        | Some p -> p
+        | None ->
+            Printf.eprintf "unknown stack policy %S (try: %s)\n" name
+              (String.concat ", " (List.map fst F.Stack_policy.all));
+            exit 2)
   in
+  let fiber_config =
+    F.Config.mc
+    |> F.Config.with_policy policy
+    |> F.Config.with_multishot (!multishot || !fib_multishot)
+  in
+  let policies = if !policy_diff then C.Fuzz.default_policies else [] in
   let stats =
     C.Fuzz.campaign ~fiber_config ~fib_fuel:!max_steps
       ~sem_one_shot:(not !sem_multishot) ~audit:(not !no_audit)
       ~dwarf:(not !no_dwarf) ~analyze:!analyze ~shrink:(not !no_shrink)
-      ~seed:!seed ~count:!count ()
+      ~policies ~multishot:!multishot ~seed:!seed ~count:!count ()
   in
   print_string (C.Fuzz.stats_to_string stats);
   if stats.C.Fuzz.failures <> [] then failed := true;

@@ -341,7 +341,7 @@ let lint_cmd =
       ("suspended_requests", F.Programs.suspended_requests ~n:3);
     ]
   in
-  let run red_zone name =
+  let run red_zone multishot name =
     let targets =
       match name with
       | None -> targets
@@ -355,7 +355,7 @@ let lint_cmd =
       let findings = ref 0 in
       List.iter
         (fun (name, p) ->
-          let report = A.Analyze.lint ~cfun_model ~red_zone p in
+          let report = A.Analyze.lint ~cfun_model ~red_zone ~multishot p in
           findings := !findings + List.length report.A.Diag.diags;
           Printf.printf "== %s ==\n%s\n" name (A.Diag.report_to_string report))
         targets;
@@ -370,6 +370,16 @@ let lint_cmd =
       & info [ "red-zone" ]
           ~doc:"Red-zone size (words) for the frame-usage audit (§5.2).")
   in
+  let multishot =
+    Arg.(
+      value & flag
+      & info [ "multishot" ]
+          ~doc:
+            "Lint for a multishot runtime: continuation cloning makes a \
+             second resume legal, so may-resume-twice findings are \
+             verified-safe and resume sites stop counting as one-shot \
+             violation sources.")
+  in
   let prog =
     Arg.(
       value
@@ -382,7 +392,7 @@ let lint_cmd =
          "Static effect-safety lints: handled-effect dataflow, continuation \
           linearity, C-frame barriers and the red-zone audit over the \
           built-in fiber programs")
-    Term.(const run $ red_zone $ prog)
+    Term.(const run $ red_zone $ multishot $ prog)
 
 let validate_trace_cmd =
   let run file =

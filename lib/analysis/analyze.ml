@@ -200,16 +200,23 @@ let refine ~flow_may ~(must : must) label =
   | M_raises _ -> Diag.Safe
   | M_unknown -> Diag.May
 
-let analyze ?cfun_model ?must_fuel (p : F.Ir.program) : result =
+let analyze ?cfun_model ?must_fuel ?(multishot = false) (p : F.Ir.program) :
+    result =
   let cfg = Cfg.build ?cfun_model p in
   let lin = Linearity.analyze cfg in
-  let eff = Effects.analyze cfg lin in
+  let eff = Effects.analyze ~multishot cfg lin in
   let diags = Effects.diagnostics eff in
   let flow_u = Effects.unhandled_may eff in
   let flow_o = Effects.one_shot_may eff in
   let must, hit_violation = must_run ?fuel:must_fuel cfg.Cfg.cfun_model p in
-  let unhandled = refine ~flow_may:flow_u ~must Effects.unhandled in
-  let one_shot = refine ~flow_may:flow_o ~must Effects.invalid_argument in
+  (* The interpreter's continuations are the host's, hence one-shot:
+     past a violation its execution diverges from the cloning runtime,
+     so its outcome cannot sharpen multishot verdicts. *)
+  let must_usable = if multishot && hit_violation then M_unknown else must in
+  let unhandled = refine ~flow_may:flow_u ~must:must_usable Effects.unhandled in
+  let one_shot =
+    refine ~flow_may:flow_o ~must:must_usable Effects.invalid_argument
+  in
   {
     report = { Diag.diags; unhandled; one_shot };
     flow_unhandled_may = flow_u;
@@ -218,8 +225,8 @@ let analyze ?cfun_model ?must_fuel (p : F.Ir.program) : result =
     hit_violation;
   }
 
-let lint ?cfun_model ?(red_zone = 16) ?must_fuel (p : F.Ir.program) :
+let lint ?cfun_model ?(red_zone = 16) ?must_fuel ?multishot (p : F.Ir.program) :
     Diag.report =
-  let r = analyze ?cfun_model ?must_fuel p in
+  let r = analyze ?cfun_model ?must_fuel ?multishot p in
   let rz = Redzone.audit ~red_zone (F.Compile.compile p) in
   { r.report with Diag.diags = Diag.sorted (rz @ r.report.Diag.diags) }

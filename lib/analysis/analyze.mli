@@ -34,13 +34,22 @@ val must_run :
 val analyze :
   ?cfun_model:(string -> Cfg.cfun_model) ->
   ?must_fuel:int ->
+  ?multishot:bool ->
   Retrofit_fiber.Ir.program ->
   result
+(** [multishot] (default [false]) targets a runtime that clones
+    continuations on resume: {!Diag.May_resume_twice} findings carry a
+    [Safe] verdict, resume sites stop counting as ["Invalid_argument"]
+    sources for the [one_shot] verdict, and a must-pass execution that
+    hit a one-shot violation is discarded rather than used to sharpen
+    (the interpreter's own continuations are one-shot, so past that
+    point it diverges from the cloning runtime). *)
 
 val lint :
   ?cfun_model:(string -> Cfg.cfun_model) ->
   ?red_zone:int ->
   ?must_fuel:int ->
+  ?multishot:bool ->
   Retrofit_fiber.Ir.program ->
   Diag.report
 (** [analyze] plus the §5.2 red-zone audit over the compiled form;

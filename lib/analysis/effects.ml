@@ -9,6 +9,7 @@ type esc = { eff : SS.t; exn : SS.t }
 type t = {
   cfg : Cfg.t;
   lin : Linearity.t;
+  multishot : bool;
   ctx : (string, (string, ctx_entry) Hashtbl.t) Hashtbl.t;
   esc_tbl : (string, esc) Hashtbl.t;
 }
@@ -295,8 +296,12 @@ let phase_b t =
                 | _ -> rel
               in
               let rel =
+                (* Under a multishot runtime a second resume clones the
+                   fiber chain instead of raising, so resume sites stop
+                   being Invalid_argument sources. *)
                 if
-                  Linearity.site_may_second t.lin site || IS.is_empty specs
+                  (not t.multishot)
+                  && (Linearity.site_may_second t.lin site || IS.is_empty specs)
                 then { rel with exn = SS.add invalid_argument rel.exn }
                 else rel
               in
@@ -330,9 +335,9 @@ let phase_b t =
       fns_rev
   done
 
-let analyze (cfg : Cfg.t) (lin : Linearity.t) =
+let analyze ?(multishot = false) (cfg : Cfg.t) (lin : Linearity.t) =
   let t =
-    { cfg; lin; ctx = Hashtbl.create 16; esc_tbl = Hashtbl.create 16 }
+    { cfg; lin; multishot; ctx = Hashtbl.create 16; esc_tbl = Hashtbl.create 16 }
   in
   phase_a t;
   phase_b t;
@@ -452,7 +457,9 @@ let diagnostics t =
                 add
                   {
                     Diag.kind = Diag.May_resume_twice { origin };
-                    verdict = Diag.May;
+                    (* verified-safe under multishot cloning: the second
+                       resume runs a fresh copy instead of raising *)
+                    verdict = (if t.multishot then Diag.Safe else Diag.May);
                     fn = s.Cfg.sp_in;
                     path = path ();
                     site = site ();

@@ -35,7 +35,12 @@ type esc = { eff : Set.Make(String).t; exn : Set.Make(String).t }
 
 type t
 
-val analyze : Cfg.t -> Linearity.t -> t
+val analyze : ?multishot:bool -> Cfg.t -> Linearity.t -> t
+(** [multishot] (default [false]) analyzes for a runtime that clones
+    continuations on resume: resume sites stop injecting
+    ["Invalid_argument"], and {!Diag.May_resume_twice} findings are
+    reported with a [Safe] verdict — the shape is still worth flagging,
+    but a second resume is legal. *)
 
 val ctx_entry : t -> string -> string -> ctx_entry
 (** [ctx_entry t fn label] *)

@@ -1,8 +1,12 @@
+module F = Retrofit_fiber
+
 type failure = {
   index : int;
   prog_seed : int;
   report : Oracle.report;
   analysis : string option;
+  policy : string option;
+  policy_outcome : Outcome.t option;
   shrunk : Ir.program option;
   shrunk_report : Oracle.report option;
 }
@@ -11,6 +15,8 @@ type stats = {
   programs : int;
   agreements : (string * int) list;
   skips : (string * int) list;
+  policy_agreements : (string * int) list;
+  policy_skips : (string * int) list;
   audit_checks : int;
   dwarf_probes : int;
   analyzed : int;
@@ -23,23 +29,76 @@ let prog_seed ~seed i = (seed lxor ((i + 1) * 0x9E3779B1)) land max_int
 
 let pair_names = [ "semantics<->fiber"; "fiber<->native"; "semantics<->native" ]
 
-let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
-    ?(dwarf = true) ?(analyze = false) ?(max_failures = 5) ?(shrink = true)
-    ~seed ~count () : stats =
+let default_policies = F.Stack_policy.[ segmented; segmented_cow; large_reserve ]
+
+let campaign ?cfg ?(fiber_config = F.Config.mc) ?fib_fuel ?sem_one_shot
+    ?(audit = true) ?(dwarf = true) ?(analyze = false) ?(max_failures = 5)
+    ?(shrink = true) ?(policies = []) ?(multishot = false) ~seed ~count () :
+    stats =
+  if multishot && not fiber_config.F.Config.multishot then
+    invalid_arg
+      "Fuzz.campaign: a multishot campaign needs a fiber configuration with \
+       multishot continuation cloning enabled (Config.with_multishot true); \
+       the default one-shot runtime cannot execute programs that resume a \
+       continuation twice";
+  let sem_one_shot = if multishot then Some false else sem_one_shot in
+  let with_native = not multishot in
   let agree = Hashtbl.create 4 and skip = Hashtbl.create 4 in
   List.iter
     (fun p ->
       Hashtbl.replace agree p 0;
       Hashtbl.replace skip p 0)
     pair_names;
+  let policy_cfgs =
+    List.map
+      (fun p -> (F.Stack_policy.name p, F.Config.with_policy p fiber_config))
+      policies
+  in
+  let pagree = Hashtbl.create 4 and pskip = Hashtbl.create 4 in
+  List.iter
+    (fun (n, _) ->
+      Hashtbl.replace pagree n 0;
+      Hashtbl.replace pskip n 0)
+    policy_cfgs;
   let bump tbl p = Hashtbl.replace tbl p (Hashtbl.find tbl p + 1) in
   let audit_checks = ref 0 and dwarf_probes = ref 0 in
   let failures = ref [] in
   let analyzed = ref 0 in
   let run_oracle p s =
-    Oracle.run ?fiber_config ?fib_fuel ?sem_one_shot ~audit
+    Oracle.run ~fiber_config ?fib_fuel ?sem_one_shot ~audit ~with_native
       ?dwarf_seed:(if dwarf then Some s else None)
       p
+  in
+  let run_policies p s =
+    List.map
+      (fun (name, cfgp) ->
+        ( name,
+          Fiber_backend.run ~config:cfgp ?fuel:fib_fuel ~audit
+            ?dwarf_seed:(if dwarf then Some s else None)
+            p ))
+      policy_cfgs
+  in
+  (* A policy run disagrees when its outcome differs from the default
+     policy's, or its auditor/unwinder tripped.  Running out of the
+     (finite) reservation is a resource limit of the policy, not a
+     semantic disagreement, so a policy-side Stack_overflow the default
+     policy did not produce is inconclusive. *)
+  let policy_verdict base (fr : Fiber_backend.result) =
+    if fr.Fiber_backend.audit_violations <> [] || fr.Fiber_backend.dwarf_failures <> []
+    then Oracle.Diff
+    else
+      match fr.Fiber_backend.outcome with
+      | Outcome.Exn ("Stack_overflow", _) as o when not (Outcome.equal base o) ->
+          Oracle.Skip
+      | o -> Oracle.compare_pair base o
+  in
+  let policy_diffs base runs =
+    List.filter_map
+      (fun (name, fr) ->
+        match policy_verdict base fr with
+        | Oracle.Diff -> Some (name, fr.Fiber_backend.outcome)
+        | Oracle.Agree | Oracle.Skip -> None)
+      runs
   in
   (* The analyzer-vs-oracle soundness check: a crash in the analyzer is
      as much a campaign failure as an unsound claim. *)
@@ -48,7 +107,7 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
     else begin
       incr analyzed;
       match Static.analyze p with
-      | c -> Static.check ?fiber_config ?sem_one_shot c r
+      | c -> Static.check ~fiber_config ?sem_one_shot c r
       | exception e ->
           Some (Printf.sprintf "analyzer raised %s" (Printexc.to_string e))
     end
@@ -67,9 +126,24 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
         | Oracle.Skip -> bump skip name
         | Oracle.Diff -> ())
       r.Oracle.pairs;
+    let pol_runs = run_policies p s in
+    List.iter
+      (fun (name, fr) ->
+        audit_checks := !audit_checks + fr.Fiber_backend.audit_checks;
+        dwarf_probes := !dwarf_probes + fr.Fiber_backend.dwarf_probes;
+        match policy_verdict r.Oracle.fib fr with
+        | Oracle.Agree -> bump pagree name
+        | Oracle.Skip -> bump pskip name
+        | Oracle.Diff -> ())
+      pol_runs;
+    let offending = policy_diffs r.Oracle.fib pol_runs in
     let analysis = static_check p r in
-    if (not (Oracle.ok r)) || analysis <> None then begin
-      let failing q rq = (not (Oracle.ok rq)) || static_check q rq <> None in
+    if (not (Oracle.ok r)) || analysis <> None || offending <> [] then begin
+      let failing q rq =
+        (not (Oracle.ok rq))
+        || static_check q rq <> None
+        || policy_diffs rq.Oracle.fib (run_policies q s) <> []
+      in
       let shrunk, shrunk_report =
         if shrink then begin
           let interesting q = failing q (run_oracle q s) in
@@ -86,8 +160,29 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
                the original if shrinking converged on an oracle diff *)
             match static_check q rq with None -> analysis | some -> some)
       in
+      let policy, policy_outcome =
+        (* name the policy the shrunk program still disagrees on when
+           there is one, else the original offender *)
+        let shrunk_offender =
+          match (shrunk, shrunk_report) with
+          | Some q, Some rq -> policy_diffs rq.Oracle.fib (run_policies q s)
+          | _ -> []
+        in
+        match (shrunk_offender, offending) with
+        | (n, o) :: _, _ | [], (n, o) :: _ -> (Some n, Some o)
+        | [], [] -> (None, None)
+      in
       failures :=
-        { index = !i; prog_seed = s; report = r; analysis; shrunk; shrunk_report }
+        {
+          index = !i;
+          prog_seed = s;
+          report = r;
+          analysis;
+          policy;
+          policy_outcome;
+          shrunk;
+          shrunk_report;
+        }
         :: !failures
     end;
     incr i
@@ -96,6 +191,9 @@ let campaign ?cfg ?fiber_config ?fib_fuel ?sem_one_shot ?(audit = true)
     programs = !i;
     agreements = List.map (fun p -> (p, Hashtbl.find agree p)) pair_names;
     skips = List.map (fun p -> (p, Hashtbl.find skip p)) pair_names;
+    policy_agreements =
+      List.map (fun (n, _) -> (n, Hashtbl.find pagree n)) policy_cfgs;
+    policy_skips = List.map (fun (n, _) -> (n, Hashtbl.find pskip n)) policy_cfgs;
     audit_checks = !audit_checks;
     dwarf_probes = !dwarf_probes;
     analyzed = !analyzed;
@@ -127,6 +225,13 @@ let failure_to_string f =
   (match f.analysis with
   | Some msg -> Buffer.add_string b (Printf.sprintf "static soundness: %s\n" msg)
   | None -> ());
+  (match (f.policy, f.policy_outcome) with
+  | Some name, Some o ->
+      Buffer.add_string b
+        (Printf.sprintf "offending stack policy %s: %s (default policy: %s)\n"
+           name (Outcome.to_string o)
+           (Outcome.to_string f.report.Oracle.fib))
+  | _ -> ());
   (match (f.shrunk, f.shrunk_report) with
   | Some q, Some r ->
       Buffer.add_string b
@@ -148,6 +253,12 @@ let stats_to_string s =
       Buffer.add_string b
         (Printf.sprintf "  %-20s agree %d, skip %d\n" p n (List.assoc p s.skips)))
     s.agreements;
+  List.iter
+    (fun (p, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  policy %-13s agree %d, skip %d\n" p n
+           (List.assoc p s.policy_skips)))
+    s.policy_agreements;
   Buffer.add_string b
     (Printf.sprintf "audit checks: %d, dwarf probes: %d, analyzed: %d, failures: %d\n"
        s.audit_checks s.dwarf_probes s.analyzed (List.length s.failures));

@@ -11,6 +11,10 @@ type failure = {
   report : Oracle.report;
   analysis : string option;
       (** analyzer-vs-oracle soundness contradiction, when [analyze] *)
+  policy : string option;
+      (** name of the stack policy whose run disagreed with the default
+          policy, when the failure is a policy differential *)
+  policy_outcome : Outcome.t option;
   shrunk : Ir.program option;
   shrunk_report : Oracle.report option;
 }
@@ -19,6 +23,11 @@ type stats = {
   programs : int;
   agreements : (string * int) list;  (** per pair *)
   skips : (string * int) list;  (** per pair, fuel-outs *)
+  policy_agreements : (string * int) list;
+      (** per stack policy, vs the default policy's outcome *)
+  policy_skips : (string * int) list;
+      (** per stack policy: fuel-outs, plus reservation exhaustion the
+          default policy did not hit *)
   audit_checks : int;
   dwarf_probes : int;
   analyzed : int;  (** programs run through the static analyzer *)
@@ -27,6 +36,11 @@ type stats = {
 
 val prog_seed : seed:int -> int -> int
 (** Deterministic per-program seed derived from the campaign seed. *)
+
+val default_policies : Retrofit_fiber.Stack_policy.t list
+(** The non-default stack policies ([segmented], [segmented-cow],
+    [reserve]) — the [policies] argument of the nightly differential
+    matrix. *)
 
 val campaign :
   ?cfg:Gen.cfg ->
@@ -38,6 +52,8 @@ val campaign :
   ?analyze:bool ->
   ?max_failures:int ->
   ?shrink:bool ->
+  ?policies:Retrofit_fiber.Stack_policy.t list ->
+  ?multishot:bool ->
   seed:int ->
   count:int ->
   unit ->
@@ -51,7 +67,24 @@ val campaign :
     analyzer itself raises).  [shrink] (default true) minimises each
     failing program before recording it; with [analyze] on, a program
     stays interesting while either the oracle disagrees or the
-    contradiction persists. *)
+    contradiction persists.
+
+    [policies] (default [[]]) additionally runs every program on the
+    fiber backend under each listed stack policy and diffs the outcome
+    against the default policy's run; a disagreement (or a policy-side
+    audit violation or unwind failure) is a campaign failure whose
+    shrunk repro names the offending policy.  Fuel-outs, and a
+    policy-side [Stack_overflow] the default policy did not produce
+    (reservation exhaustion), are skips.
+
+    [multishot] (default [false]) runs a multishot campaign: the
+    semantics machine drops its one-shot discipline and the native leg
+    is skipped (host continuations cannot resume twice), so generated
+    programs that resume a continuation multiple times are checked
+    semantics<->fiber — and across [policies], exercising clone
+    strategies.  Raises [Invalid_argument] — loudly, rather than
+    generating programs the backend then rejects — when [fiber_config]
+    does not have multishot cloning enabled. *)
 
 val replay_corpus : unit -> (string * string) list
 (** Runs every {!Corpus} entry through the oracle and pins its native

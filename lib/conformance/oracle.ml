@@ -21,10 +21,14 @@ let is_model_error = function Outcome.Model_error _ -> true | _ -> false
 
 let run ?sem_fuel ?fib_fuel ?nat_fuel ?(audit = true) ?dwarf_seed
     ?(fiber_config = Retrofit_fiber.Config.mc) ?(sem_one_shot = true)
-    (p : Ir.program) : report =
+    ?(with_native = true) (p : Ir.program) : report =
   let sem = Sem_backend.run ?fuel:sem_fuel ~one_shot:sem_one_shot p in
   let fr = Fiber_backend.run ~config:fiber_config ?fuel:fib_fuel ~audit ?dwarf_seed p in
-  let nat = Native_backend.run ?fuel:nat_fuel p in
+  (* Host effects are one-shot; multishot campaigns drop the native leg
+     by reporting it as inconclusive, which [compare_pair] skips. *)
+  let nat =
+    if with_native then Native_backend.run ?fuel:nat_fuel p else Outcome.Fuel_out
+  in
   let fib = fr.Fiber_backend.outcome in
   {
     program = p;

@@ -15,6 +15,10 @@
 
 type verdict = Agree | Skip | Diff
 
+val compare_pair : Outcome.t -> Outcome.t -> verdict
+(** The pairwise rule above, exposed so policy-differential campaigns
+    can diff extra backend runs under the same conventions. *)
+
 type report = {
   program : Ir.program;
   sem : Outcome.t;
@@ -37,12 +41,19 @@ val run :
   ?dwarf_seed:int ->
   ?fiber_config:Retrofit_fiber.Config.t ->
   ?sem_one_shot:bool ->
+  ?with_native:bool ->
   Ir.program ->
   report
 (** [sem_one_shot] defaults to [true] so the §4 machine enforces the
     same one-shot discipline as the other two models; pass [false] to
     deliberately reintroduce multi-shot semantics (used by the
-    mutation-catching tests). *)
+    mutation-catching tests and by multishot campaigns).
+
+    [with_native] defaults to [true]; pass [false] to drop the native
+    leg — its outcome is recorded as [Fuel_out] so every pair involving
+    it is skipped.  Multishot campaigns need this: host continuations
+    are genuinely one-shot, so the native backend cannot execute
+    programs that resume twice. *)
 
 val ok : report -> bool
 

@@ -91,6 +91,12 @@ let all =
       paper_ref = "Sections 5.1, 5.2, 5.5";
       run = Exp_ablation.report;
     };
+    {
+      id = "stacklab";
+      title = "stack-management strategy lab";
+      paper_ref = "Sections 2.1, 5.2 (policy alternatives)";
+      run = Exp_stacklab.report;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

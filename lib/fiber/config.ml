@@ -7,6 +7,7 @@ type t = {
   stack_cache : bool;
   stock_stack_words : int;
   multishot : bool;
+  policy : Stack_policy.t;
 }
 
 let stock =
@@ -17,6 +18,7 @@ let stock =
     stack_cache = false;
     stock_stack_words = 1 lsl 20;
     multishot = false;
+    policy = Stack_policy.copy_double;
   }
 
 let mc =
@@ -27,6 +29,7 @@ let mc =
     stack_cache = true;
     stock_stack_words = 1 lsl 20;
     multishot = false;
+    policy = Stack_policy.copy_double;
   }
 
 let mc_red_zone n =
@@ -39,11 +42,18 @@ let with_initial_words initial_words t =
   if initial_words < 1 then invalid_arg "Config.with_initial_words: must be positive";
   { t with initial_words }
 
+let with_policy policy t = { t with policy }
+
 let name t =
   match t.kind with
   | Stock -> "stock"
   | Mc ->
       let base = Printf.sprintf "mc(rz=%d)" t.red_zone in
-      if t.stack_cache then base else base ^ "-nocache"
+      let base = if t.stack_cache then base else base ^ "-nocache" in
+      let base =
+        if t.policy.Stack_policy.pk = Stack_policy.Copy_double then base
+        else base ^ "-" ^ Stack_policy.name t.policy
+      in
+      if t.multishot then base ^ "-ms" else base
 
 let with_multishot multishot t = { t with multishot }

@@ -26,6 +26,10 @@ type t = {
           implementation rejects as "unnecessary and inefficient" for
           the concurrency use case; off by default, measurable via the
           ablation bench *)
+  policy : Stack_policy.t;
+      (** the stack-management strategy (growth, checks, cloning);
+          {!Stack_policy.copy_double} — the paper's design — by
+          default.  Only meaningful under [Mc]. *)
 }
 
 val stock : t
@@ -45,4 +49,7 @@ val with_initial_words : int -> t -> t
 
 val with_multishot : bool -> t -> t
 
+val with_policy : Stack_policy.t -> t -> t
+
 val name : t -> string
+(** E.g. ["mc(rz=16)"], ["mc(rz=16)-segmented"], ["mc(rz=16)-ms"]. *)

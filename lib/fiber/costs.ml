@@ -37,3 +37,15 @@ let fiber_return = 8
 let grow_base = 20
 
 let grow_per_word = 1
+
+let segment_check = 2
+
+let chunk_commit = 12
+
+let page_fault = 30
+
+let page_commit = 6
+
+let cow_share = 5
+
+let cow_per_word = 1

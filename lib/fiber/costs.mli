@@ -74,3 +74,26 @@ val grow_base : int
     word through [grow_per_word] *)
 
 val grow_per_word : int
+
+(** {1 Alternative stack policies (see {!Stack_policy})} *)
+
+val segment_check : int
+(** the per-call boundary check of the segmented policy; unlike the
+    red-zone scheme it cannot be elided for leaf frames *)
+
+val chunk_commit : int
+(** link one chunk from the free list (or allocate it) into the
+    committed region *)
+
+val page_fault : int
+(** taking the modeled guard-page trap of the large-reserve policy *)
+
+val page_commit : int
+(** committing one page after a fault; charged per page *)
+
+val cow_share : int
+(** setting up one chunk-sharing clone fiber (refcount bumps plus
+    register/bookkeeping copies) *)
+
+val cow_per_word : int
+(** deferred copy cost when a shared chunk is privatized by a write *)

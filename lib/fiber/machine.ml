@@ -74,6 +74,11 @@ type t = {
   mutable next_base : int;
   mutable next_id : int;
   cfun_impls : (ctx -> int array -> int) option array;
+  (* Chunk free-list for the segmented and large-reserve policies: the
+     backing arrays of stripped extension chunks, all of the policy's
+     uniform size, recycled across fibers. *)
+  mutable chunk_pool : int array list;
+  mutable chunk_pool_len : int;
   mutable result : outcome option;
   mutable fuel : int;
   on_call : (t -> unit) option;
@@ -140,6 +145,45 @@ let pop_op (f : Fiber.t) =
 (* ------------------------------------------------------------------ *)
 (* Fiber allocation, preamble initialisation and growth *)
 
+let mc_policy t =
+  match t.cfg.kind with
+  | Config.Stock -> Stack_policy.copy_double
+  | Config.Mc -> t.cfg.Config.policy
+
+(* Chunk free-list (segmented / large-reserve policies). *)
+
+let take_chunk t ~words =
+  match t.chunk_pool with
+  | arr :: rest when Array.length arr = words ->
+      t.chunk_pool <- rest;
+      t.chunk_pool_len <- t.chunk_pool_len - 1;
+      count t "chunk_pool_hit";
+      Array.fill arr 0 words 0;
+      arr
+  | _ -> Array.make words 0
+
+let put_chunk t arr =
+  if t.chunk_pool_len < 1024 then begin
+    t.chunk_pool <- arr :: t.chunk_pool;
+    t.chunk_pool_len <- t.chunk_pool_len + 1
+  end
+
+let seg_create t ~size =
+  let pol = mc_policy t in
+  let seg =
+    match pol.Stack_policy.pk with
+    | Stack_policy.Copy_double -> Segment.create ~base:t.next_base ~size
+    | Stack_policy.Segmented | Stack_policy.Large_reserve ->
+        Segment.create_reserved ~base:t.next_base
+          ~reserve:(max pol.Stack_policy.reserve_words size)
+          ~committed:size
+          ~ext_words:(Stack_policy.ext_words pol)
+  in
+  (* Leave a small unmapped gap between segments so that stray
+     pointer arithmetic cannot silently cross into a neighbour. *)
+  t.next_base <- t.next_base + Segment.reserve seg + 8;
+  seg
+
 let alloc_segment t ~size =
   if t.cfg.stack_cache then count t "stack_cache_lookup";
   match if t.cfg.stack_cache then Stack_cache.take t.cache ~size else None with
@@ -155,11 +199,7 @@ let alloc_segment t ~size =
       end;
       count t "malloc";
       charge t Costs.fiber_alloc;
-      let seg = Segment.create ~base:t.next_base ~size in
-      (* Leave a small unmapped gap between segments so that stray
-         pointer arithmetic cannot silently cross into a neighbour. *)
-      t.next_base <- t.next_base + size + 8;
-      seg
+      seg_create t ~size
 
 (* Lay out the Fig 3a preamble at the high end of the fiber and point
    the registers below it.  [bottom_trap] is the sentinel handler pc of
@@ -217,7 +257,20 @@ let free_fiber t (f : Fiber.t) =
   t.by_base <- Imap.remove (Segment.base f.seg) t.by_base;
   count t "fiber_free";
   charge t Costs.fiber_free;
-  if t.cfg.stack_cache then Stack_cache.put t.cache ~size:(Segment.size f.seg) f.seg
+  match (mc_policy t).Stack_policy.pk with
+  | Stack_policy.Copy_double ->
+      if t.cfg.stack_cache then
+        Stack_cache.put t.cache ~size:(Segment.size f.seg) f.seg
+  | Stack_policy.Segmented | Stack_policy.Large_reserve ->
+      (* Extension chunks go back to the free list; the stripped base
+         segment is recyclable through the stack cache only when no
+         multishot clone still shares its chunks. *)
+      List.iter (put_chunk t) (Segment.strip f.seg);
+      if Segment.fully_private f.seg then begin
+        if t.cfg.stack_cache then
+          Stack_cache.put t.cache ~size:(Segment.size f.seg) f.seg
+      end
+      else Segment.release f.seg
 
 (* Grow the fiber by copying it into a segment of (at least) double the
    size, then rebase every stored stack address, including the trap
@@ -282,6 +335,40 @@ let raise_ref :
 (* machine_raise and emulate_call are mutually recursive with the
    overflow path; tied below. *)
 
+(* In-place growth for the segmented and large-reserve policies: commit
+   chunks below the live region until the frame (plus the red-zone
+   scratch that callbacks and boundary traps rely on) fits.  No copy,
+   no rebasing.  Returns false — after raising Stack_overflow — when
+   the reservation is exhausted. *)
+let grow_in_place t (f : Fiber.t) ~needed ~per_chunk =
+  let seg = f.seg in
+  let old_words = Segment.size seg in
+  let fits () = f.regs.sp - needed >= Segment.limit seg + t.cfg.red_zone in
+  let rec loop () =
+    if fits () then true
+    else if Segment.can_extend seg then begin
+      per_chunk ();
+      Segment.extend seg (take_chunk t ~words:(Segment.ext_words seg));
+      loop ()
+    end
+    else begin
+      (* The reservation's guard page: a real overflow. *)
+      !raise_ref t t.overflow_id 0;
+      false
+    end
+  in
+  let ok = loop () in
+  if ok && Trace.on () && Segment.size seg > old_words then
+    emit_ev t
+      (Tev.Fiber_grow
+         {
+           id = f.Fiber.id;
+           old_words;
+           new_words = Segment.size seg;
+           copied = 0;
+         });
+  ok
+
 let emulate_call t (f : Fiber.t) fid (args : int array) ~ra =
   let fn = t.prog.fns.(fid) in
   let needed = fn.frame_words in
@@ -294,31 +381,55 @@ let emulate_call t (f : Fiber.t) fid (args : int array) ~ra =
           false
         end
         else true
-    | Config.Mc ->
-        let checked = not (fn.is_leaf && needed <= t.cfg.red_zone) in
-        (match t.auditor with
-        | Some a
-          when checked
-               <> Otss.needs_check ~red_zone:t.cfg.red_zone ~is_leaf:fn.is_leaf
-                    ~frame_words:needed ->
-            audit_fail a "red-zone-elision"
-              (Printf.sprintf
-                 "%s: overflow check %s but Otss.needs_check says %b (leaf=%b, \
-                  frame=%d, red_zone=%d)"
-                 fn.fn_name
-                 (if checked then "emitted" else "elided")
-                 (not checked) fn.is_leaf needed t.cfg.red_zone)
-        | _ -> ());
-        if checked then begin
-          count t "overflow_check";
-          charge t Costs.check;
-          if f.regs.sp - needed < Segment.limit f.seg + t.cfg.red_zone then
-            grow t f ~needed
-        end
-        else count t "check_elided";
-        if f.regs.sp - needed < Segment.limit f.seg then
-          fatal (Printf.sprintf "red zone violated by %s" fn.fn_name);
-        true
+    | Config.Mc -> (
+        match t.cfg.Config.policy.Stack_policy.pk with
+        | Stack_policy.Copy_double ->
+            let checked = not (fn.is_leaf && needed <= t.cfg.red_zone) in
+            (match t.auditor with
+            | Some a
+              when checked
+                   <> Otss.needs_check ~red_zone:t.cfg.red_zone ~is_leaf:fn.is_leaf
+                        ~frame_words:needed ->
+                audit_fail a "red-zone-elision"
+                  (Printf.sprintf
+                     "%s: overflow check %s but Otss.needs_check says %b (leaf=%b, \
+                      frame=%d, red_zone=%d)"
+                     fn.fn_name
+                     (if checked then "emitted" else "elided")
+                     (not checked) fn.is_leaf needed t.cfg.red_zone)
+            | _ -> ());
+            if checked then begin
+              count t "overflow_check";
+              charge t Costs.check;
+              if f.regs.sp - needed < Segment.limit f.seg + t.cfg.red_zone then
+                grow t f ~needed
+            end
+            else count t "check_elided";
+            if f.regs.sp - needed < Segment.limit f.seg then
+              fatal (Printf.sprintf "red zone violated by %s" fn.fn_name);
+            true
+        | Stack_policy.Segmented ->
+            (* Every call pays the boundary check; there is no red-zone
+               elision to buy back (the libseff segmented trade-off). *)
+            count t "segment_check";
+            charge t Costs.segment_check;
+            if f.regs.sp - needed < Segment.limit f.seg + t.cfg.red_zone then
+              grow_in_place t f ~needed ~per_chunk:(fun () ->
+                  count t "chunk_commit";
+                  charge t Costs.chunk_commit)
+            else true
+        | Stack_policy.Large_reserve ->
+            (* No prologue checks at all: the guard page is the check.
+               Crossing the committed watermark is a modeled fault that
+               commits pages in place. *)
+            if f.regs.sp - needed < Segment.limit f.seg + t.cfg.red_zone then begin
+              count t "page_fault";
+              charge t Costs.page_fault;
+              grow_in_place t f ~needed ~per_chunk:(fun () ->
+                  count t "page_commit";
+                  charge t Costs.page_commit)
+            end
+            else true)
   in
   if ok then begin
     count t "call";
@@ -498,13 +609,55 @@ let take_cont t kid =
 (* Deep-copy one captured fiber for multi-shot resumption (§5.2's
    semantics-faithful behaviour): a fresh segment with the same
    contents, rebased registers, shadow stack and trap mirror, and the
-   in-memory trap chain rewritten — the same fixups as stack growth. *)
+   in-memory trap chain rewritten — the same fixups as stack growth.
+
+   The clone is policy-aware.  Copy-and-double clones eagerly through
+   the stack cache.  The chunked policies rebuild the source's chunk
+   shape (free-list chunks plus a cache-recycled base) and copy the
+   committed words; with [cow_clone] the clone instead {e shares} the
+   source's chunks and defers each chunk's copy to its first write
+   ([chunk_cow]/[cow_words] count the deferred copies as they
+   happen). *)
 let copy_fiber t (f : Fiber.t) =
   let size = Segment.size f.seg in
-  let seg = alloc_segment t ~size in
-  Segment.blit_into ~src:f.seg ~dst:seg;
-  Counter.add t.t_counters "words_copied" size;
-  charge t (Costs.grow_per_word * size);
+  let pol = mc_policy t in
+  let seg =
+    match pol.Stack_policy.pk with
+    | Stack_policy.Copy_double ->
+        let seg = alloc_segment t ~size in
+        Segment.blit_into ~src:f.seg ~dst:seg;
+        Counter.add t.t_counters "words_copied" size;
+        charge t (Costs.grow_per_word * size);
+        seg
+    | Stack_policy.Segmented when pol.Stack_policy.cow_clone ->
+        let seg = Segment.share_clone f.seg ~base:t.next_base in
+        t.next_base <- t.next_base + Segment.reserve seg + 8;
+        count t "cont_share";
+        charge t Costs.cow_share;
+        Segment.set_notify_cow seg (fun words ->
+            count t "chunk_cow";
+            Counter.add t.t_counters "cow_words" words;
+            charge t (Costs.cow_per_word * words));
+        seg
+    | Stack_policy.Segmented | Stack_policy.Large_reserve ->
+        let ext = Segment.ext_words f.seg in
+        let head = size - (Segment.ext_count f.seg * ext) in
+        let seg = alloc_segment t ~size:head in
+        let commit_counter, commit_cost =
+          match pol.Stack_policy.pk with
+          | Stack_policy.Large_reserve -> ("page_commit", Costs.page_commit)
+          | _ -> ("chunk_commit", Costs.chunk_commit)
+        in
+        for _ = 1 to Segment.ext_count f.seg do
+          count t commit_counter;
+          charge t commit_cost;
+          Segment.extend seg (take_chunk t ~words:ext)
+        done;
+        Segment.blit_into ~src:f.seg ~dst:seg;
+        Counter.add t.t_counters "words_copied" size;
+        charge t (Costs.grow_per_word * size);
+        seg
+  in
   let copy = Fiber.create ~id:t.next_id ~seg ~parent:None ~handler:f.handler in
   t.next_id <- t.next_id + 1;
   copy.regs.pc <- f.regs.pc;
@@ -1081,6 +1234,8 @@ let run ?cache ?(cfuns = []) ?on_call ?on_step ?audit ?(fuel = 200_000_000) cfg
       next_base = 16;
       next_id = 0;
       cfun_impls;
+      chunk_pool = [];
+      chunk_pool_len = 0;
       result = None;
       fuel;
       on_call;

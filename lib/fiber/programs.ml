@@ -398,6 +398,85 @@ let multishot_choice =
     ]
     "main"
 
+(* Backtracking n-queens over a Pick effect: the handler resumes each
+   captured continuation once per column, so one capture fans out into
+   n clone executions and the handle's result is the solution count.
+   The canonical multishot workload — every clone mutates its own
+   stack, so any sharing bug between siblings corrupts the count. *)
+let nqueens ~n =
+  let v x = Var x in
+  let i k = Int k in
+  let add a b = Binop (Add, a, b) in
+  let sub a b = Binop (Sub, a, b) in
+  prog
+    [
+      fn "nq_pow2" [ "c" ]
+        (If
+           ( Binop (Eq, v "c", i 0),
+             i 1,
+             Binop (Mul, i 2, Call ("nq_pow2", [ sub (v "c") (i 1) ])) ));
+      (* bit i of mask m, as 0/1 *)
+      fn "nq_bit" [ "m"; "i" ]
+        (Binop (Mod, Binop (Div, v "m", Call ("nq_pow2", [ v "i" ])), i 2));
+      (* resume k with every column in [c, n): each Continue runs a
+         fresh clone; their solution counts sum *)
+      fn "nq_try" [ "k"; "c"; "n" ]
+        (If
+           ( Binop (Eq, v "c", v "n"),
+             i 0,
+             add
+               (Continue (v "k", v "c"))
+               (Call ("nq_try", [ v "k"; add (v "c") (i 1); v "n" ])) ));
+      fn "nq_eff" [ "x"; "k" ] (Call ("nq_try", [ v "k"; i 0; v "x" ]));
+      (* cols/d1/d2 are attack bitmasks; d1 is indexed by r+c, d2 by
+         r-c+n-1 so both stay non-negative *)
+      fn "nq_solve" [ "r"; "n"; "cols"; "d1"; "d2" ]
+        (If
+           ( Binop (Eq, v "r", v "n"),
+             i 1,
+             Let
+               ( "c",
+                 Perform ("Pick", v "n"),
+                 Let
+                   ( "dd1",
+                     add (v "r") (v "c"),
+                     Let
+                       ( "dd2",
+                         add (sub (v "r") (v "c")) (sub (v "n") (i 1)),
+                         If
+                           ( Binop
+                               ( Eq,
+                                 add
+                                   (Call ("nq_bit", [ v "cols"; v "c" ]))
+                                   (add
+                                      (Call ("nq_bit", [ v "d1"; v "dd1" ]))
+                                      (Call ("nq_bit", [ v "d2"; v "dd2" ]))),
+                                 i 0 ),
+                             Call
+                               ( "nq_solve",
+                                 [
+                                   add (v "r") (i 1);
+                                   v "n";
+                                   add (v "cols") (Call ("nq_pow2", [ v "c" ]));
+                                   add (v "d1") (Call ("nq_pow2", [ v "dd1" ]));
+                                   add (v "d2") (Call ("nq_pow2", [ v "dd2" ]));
+                                 ] ),
+                             i 0 ) ) ) ) ));
+      fn "nq_body" [ "n" ]
+        (Call ("nq_solve", [ i 0; v "n"; i 0; i 0; i 0 ]));
+      id_fn "nq_ret";
+      fn "main" []
+        (Handle
+           {
+             body_fn = "nq_body";
+             body_args = [ i n ];
+             retc = "nq_ret";
+             exncs = [];
+             effcs = [ ("Pick", "nq_eff") ];
+           });
+    ]
+    "main"
+
 (* N requests park on a Wait effect (the handler keeps the continuation
    without resuming), then a C call inspects the machine — the setting
    for §6.3.4's "backtrace snapshot of all current requests". *)

@@ -99,6 +99,13 @@ val multishot_choice : Ir.program
     default one-shot discipline, 30 under {!Config.with_multishot}
     (matching the multi-shot operational semantics of §4). *)
 
+val nqueens : n:int -> Ir.program
+(** Backtracking n-queens via a multishot [Pick] effect: the handler
+    resumes each captured continuation once per column, so the handle
+    evaluates to the solution count (2 for [n=4], 10 for [n=5], 4 for
+    [n=6]).  Requires {!Config.with_multishot}; under the one-shot
+    discipline the second resume raises [Invalid_argument]. *)
+
 val suspended_requests : n:int -> Ir.program
 (** Parks [n] requests on a Wait effect without resuming them, then
     calls the C function ["list_pending"]; the test registers an

@@ -35,12 +35,24 @@ let programs =
     ("cross_resume", (F.Programs.cross_resume, false));
     ("effect_in_callback", (F.Programs.effect_in_callback, true));
     ("multishot_choice", (F.Programs.multishot_choice, false));
+    ("nqueens5", (F.Programs.nqueens ~n:5, false));
   ]
 
+(* The policy configs (seg/segcow-ms/res/res-ms) pin the alternative
+   stack strategies the same way: any drift in their growth, check or
+   cloning accounting shows up as a counter change here. *)
 let config_of = function
   | "stock" -> F.Config.stock
   | "mc" -> F.Config.mc
   | "ms" -> F.Config.with_multishot true F.Config.mc
+  | "seg" -> F.Config.with_policy F.Stack_policy.segmented F.Config.mc
+  | "segcow-ms" ->
+      F.Config.with_multishot true
+        (F.Config.with_policy F.Stack_policy.segmented_cow F.Config.mc)
+  | "res" -> F.Config.with_policy F.Stack_policy.large_reserve F.Config.mc
+  | "res-ms" ->
+      F.Config.with_multishot true
+        (F.Config.with_policy F.Stack_policy.large_reserve F.Config.mc)
   | c -> Alcotest.failf "unknown config %s" c
 
 let outcome_to_string = function
@@ -186,6 +198,36 @@ let expected : (string * string * (string * int) list) list =
     ( "multishot_choice/ms",
       "Done 30",
       [ ("call", 5); ("check_elided", 2); ("cont_copy", 2); ("fiber_alloc", 1); ("fiber_free", 2); ("fiber_return", 2); ("handle", 1); ("instructions", 268); ("malloc", 3); ("ops", 22); ("overflow_check", 3); ("perform", 1); ("resume", 2); ("ret", 6); ("stack_cache_hit", 1); ("switch", 6); ("words_copied", 82); ] );
+    ( "deep_recursion/seg",
+      "Done 5000",
+      [ ("call", 5003); ("chunk_commit", 157); ("fiber_alloc", 1); ("fiber_free", 1); ("fiber_return", 1); ("handle", 1); ("instructions", 86978); ("malloc", 2); ("ops", 55012); ("ret", 5003); ("segment_check", 5003); ("switch", 2); ] );
+    ( "deep_recursion/res",
+      "Done 5000",
+      [ ("call", 5003); ("fiber_alloc", 1); ("fiber_free", 1); ("fiber_return", 1); ("handle", 1); ("instructions", 76528); ("malloc", 2); ("ops", 55012); ("page_commit", 40); ("page_fault", 40); ("ret", 5003); ("switch", 2); ] );
+    ( "effect_roundtrip/seg",
+      "Done 0",
+      [ ("call", 301); ("fiber_alloc", 100); ("fiber_free", 100); ("fiber_return", 100); ("handle", 100); ("instructions", 7553); ("malloc", 2); ("ops", 1906); ("perform", 100); ("resume", 100); ("ret", 301); ("segment_check", 301); ("stack_cache_hit", 99); ("switch", 400); ] );
+    ( "effect_roundtrip/res",
+      "Done 0",
+      [ ("call", 301); ("fiber_alloc", 100); ("fiber_free", 100); ("fiber_return", 100); ("handle", 100); ("instructions", 6951); ("malloc", 2); ("ops", 1906); ("perform", 100); ("resume", 100); ("ret", 301); ("stack_cache_hit", 99); ("switch", 400); ] );
+    ( "counter_effect/seg",
+      "Done 55",
+      [ ("call", 23); ("chunk_commit", 2); ("fiber_alloc", 1); ("fiber_free", 1); ("fiber_return", 1); ("handle", 1); ("instructions", 568); ("malloc", 2); ("ops", 192); ("perform", 10); ("resume", 10); ("ret", 23); ("segment_check", 23); ("switch", 22); ] );
+    ( "counter_effect/res",
+      "Done 55",
+      [ ("call", 23); ("fiber_alloc", 1); ("fiber_free", 1); ("fiber_return", 1); ("handle", 1); ("instructions", 570); ("malloc", 2); ("ops", 192); ("page_commit", 2); ("page_fault", 2); ("perform", 10); ("resume", 10); ("ret", 23); ("switch", 22); ] );
+    ( "counter_effect/segcow-ms",
+      "Done 55",
+      [ ("call", 23); ("chunk_commit", 2); ("chunk_cow", 10); ("cont_copy", 10); ("cont_share", 10); ("cow_words", 410); ("fiber_alloc", 1); ("fiber_free", 1); ("fiber_return", 1); ("handle", 1); ("instructions", 1028); ("malloc", 2); ("ops", 192); ("perform", 10); ("resume", 10); ("ret", 23); ("segment_check", 23); ("switch", 22); ] );
+    ( "multishot_choice/segcow-ms",
+      "Done 30",
+      [ ("call", 5); ("chunk_cow", 2); ("cont_copy", 2); ("cont_share", 2); ("cow_words", 82); ("fiber_alloc", 1); ("fiber_free", 2); ("fiber_return", 2); ("handle", 1); ("instructions", 247); ("malloc", 2); ("ops", 22); ("perform", 1); ("resume", 2); ("ret", 6); ("segment_check", 5); ("switch", 6); ] );
+    ( "multishot_choice/res-ms",
+      "Done 30",
+      [ ("call", 5); ("cont_copy", 2); ("fiber_alloc", 1); ("fiber_free", 2); ("fiber_return", 2); ("handle", 1); ("instructions", 262); ("malloc", 3); ("ops", 22); ("perform", 1); ("resume", 2); ("ret", 6); ("stack_cache_hit", 1); ("switch", 6); ("words_copied", 82); ] );
+    ( "nqueens5/segcow-ms",
+      "Done 10",
+      [ ("call", 5080); ("chunk_commit", 7); ("chunk_cow", 420); ("chunk_pool_hit", 6); ("cont_copy", 220); ("cont_share", 220); ("cow_words", 21820); ("fiber_alloc", 1); ("fiber_free", 177); ("fiber_return", 177); ("handle", 1); ("instructions", 116684); ("malloc", 2); ("ops", 56948); ("perform", 44); ("resume", 220); ("ret", 5908); ("segment_check", 5080); ("switch", 442); ] );
   ]
 
 let check_entry (key, want_outcome, frozen) =

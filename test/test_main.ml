@@ -12,6 +12,7 @@ let () =
       ("semantics", Test_semantics.suite);
       ("fiber", Test_fiber.suite);
       ("fiber.frozen", Test_frozen.suite);
+      ("fiber.policy", Test_policy.suite);
       ("dwarf", Test_dwarf.suite);
       ("trace", Test_trace.suite);
       ("metrics", Test_metrics.suite);
