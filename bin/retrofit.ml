@@ -10,6 +10,7 @@
    retrofit lint               static effect-safety lints over the built-ins
    retrofit websim --rate 20000
    retrofit websim --trace out.json --metrics out.prom --profile out.folded
+   retrofit causal --rate 5000 --faults 0.5 --trace flows.json
    retrofit validate-trace out.json
 *)
 
@@ -229,7 +230,17 @@ let websim_cmd =
               Metrics.scoped (fun _ ->
                   workload ();
                   ignore (E.Exp_observe.sched_workload ());
-                  E.Exp_observe.profiled_run ()))
+                  let prof = E.Exp_observe.profiled_run () in
+                  (* blocked-time leaf frames (<wait:io> / <wait:runq>)
+                     derived from the eventlog captured above; published
+                     as a delta because profiled_run already pushed its
+                     totals *)
+                  ignore (E.Exp_observe.fold_waits prof (Trace.events ()));
+                  if Metrics.on () then
+                    Metrics.inc
+                      ~by:(Retrofit_dwarf.Profile.wait_samples prof)
+                      "profile_wait_samples_total";
+                  prof))
         in
         (match trace_out with
         | Some path -> write_file path (Export.of_trace_chrome ring)
@@ -394,6 +405,98 @@ let lint_cmd =
           built-in fiber programs")
     Term.(const run $ red_zone $ multishot $ prog)
 
+(* ------------------------------------------------------------------ *)
+(* causal *)
+
+let causal_cmd =
+  let module HS = Retrofit_httpsim in
+  let module Causal = Retrofit_causal in
+  let run rate duration seed faults queue_cap top model capacity trace_out =
+    match
+      List.find_opt
+        (fun ((m : Retrofit_httpsim.Server.model), _) -> m.HS.Server.name = model)
+        HS.Experiment.servers
+    with
+    | None ->
+        Printf.eprintf "unknown model %S; one of: %s\n" model
+          (String.concat ", "
+             (List.map
+                (fun ((m : HS.Server.model), _) -> m.HS.Server.name)
+                HS.Experiment.servers));
+        1
+    | Some (m, process) ->
+        let fault_rates = HS.Faults.scale faults HS.Faults.default in
+        let resilience = { HS.Loadgen.default_resilience with queue_cap } in
+        let _outcome, ring =
+          Trace.scoped ~capacity (fun () ->
+              HS.Loadgen.run ~seed ~faults:fault_rates ~resilience ~model:m
+                ~process ~rate_rps:rate ~duration_ms:duration ())
+        in
+        let g = Causal.Reconstruct.of_trace ring in
+        print_string (Causal.Report.render ~top g);
+        (match trace_out with
+        | Some path ->
+            let events = Causal.Reconstruct.with_flows (Trace.to_list ring) g in
+            write_file path
+              (Export.to_chrome ~dropped:(Trace.dropped ring) events)
+        | None -> ());
+        0
+  in
+  let rate =
+    Arg.(value & opt int 20_000 & info [ "rate" ] ~doc:"Offered load (req/s).")
+  in
+  let duration =
+    Arg.(value & opt int 300 & info [ "duration" ] ~doc:"Duration (ms).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let faults =
+    Arg.(
+      value & opt float 0.5
+      & info [ "faults" ]
+          ~doc:"Fault intensity (multiplier over the default fault plan).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 512
+      & info [ "queue-cap" ] ~doc:"Admission-control queue cap.")
+  in
+  let top =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~doc:"Rows in the critical-path edge table.")
+  in
+  let model =
+    Arg.(
+      value & opt string "mc"
+      & info [ "model" ] ~doc:"Server model (mc, lwt, go).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int (1 lsl 18)
+      & info [ "ring-capacity" ]
+          ~doc:
+            "Eventlog ring capacity; undersize it to watch wraparound turn \
+             requests into incomplete_spans instead of mis-attributions.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:
+            "Write the eventlog as a Chrome trace with per-request flow \
+             events (s/t/f) — Perfetto draws the causal arrows.")
+  in
+  Cmd.v
+    (Cmd.info "causal"
+       ~doc:
+         "Reconstruct the span graph of a seeded websim run: per-request \
+          latency attribution, critical-path edges, p99 tail exemplars")
+    Term.(
+      const run $ rate $ duration $ seed $ faults $ queue_cap $ top $ model
+      $ capacity $ trace_out)
+
 let validate_trace_cmd =
   let run file =
     let ic = open_in_bin file in
@@ -421,7 +524,7 @@ let main_cmd =
          "Reproduction of 'Retrofitting Effect Handlers onto OCaml' (PLDI 2021)")
     [
       interp_cmd; examples_cmd; bench_cmd; backtrace_cmd; lint_cmd; websim_cmd;
-      validate_trace_cmd;
+      causal_cmd; validate_trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

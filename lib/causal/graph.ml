@@ -1,0 +1,98 @@
+(* The span-graph vocabulary shared by the reconstructor and the report.
+
+   A request's life is reconstructed as a {e critical path}: a gap-free
+   tiling of [arrival, done] by segments, each naming the resource the
+   request was causally waiting on during that interval.  The five
+   attribution buckets are exact sums over that tiling — the invariant
+   [running + sched_wait + io_wait + gc + fault_stall = latency] holds
+   by construction for every complete request, and the reconstructor
+   refuses to attribute a request whose tiling has a hole (eventlog
+   wraparound can evict span openings; those become incomplete_spans,
+   never silent mis-attribution). *)
+
+type attempt_span = {
+  a_no : int;  (** 1-based client attempt number *)
+  a_enqueue : int;  (** entered the server queue *)
+  a_start : int;  (** won the CPU *)
+  a_finish : int;  (** reply (or rejection) timestamp *)
+  a_status : int;  (** HTTP status of this attempt *)
+  a_gc : int;  (** stop-the-world pause inside [start, finish] *)
+  a_slow : int;  (** Backend_slow surcharge inside [start, finish] *)
+}
+
+type seg_kind =
+  | Seg_stall  (** wire stall before the bytes reached the server *)
+  | Seg_drop  (** waiting to detect a dropped connection *)
+  | Seg_backoff  (** client-side retry backoff *)
+  | Seg_queue of int
+      (** waiting for the server CPU; payload is the request id whose
+          service blocked this one ([-1] when the blocker's span was
+          evicted from the ring) *)
+  | Seg_service  (** on the CPU (includes its gc / slow sub-intervals) *)
+
+type seg = {
+  s_kind : seg_kind;
+  s_t0 : int;
+  s_t1 : int;
+  s_attempt : int;  (** owning attempt number; 0 for pre-attempt waits *)
+}
+
+(** The five time-state buckets of the tentpole.  [b_sched] is time
+    runnable but waiting for the (single, virtual) CPU; [b_io] is
+    client-side wait between attempts; [b_fault] collects injected
+    stalls, drop-detection waits and backend-slow surcharges. *)
+type buckets = {
+  b_running : int;
+  b_sched : int;
+  b_io : int;
+  b_gc : int;
+  b_fault : int;
+}
+
+let buckets_sum b = b.b_running + b.b_sched + b.b_io + b.b_gc + b.b_fault
+
+type request = {
+  r_id : int;
+  r_conn : int;
+  r_arrival : int;
+  r_done : int;
+  r_disposition : string;  (** ok / timeout / malformed / error *)
+  r_attempts : attempt_span list;  (** in attempt order *)
+  r_buckets : buckets;
+  r_path : seg list;  (** the critical path, in time order *)
+}
+
+let latency r = r.r_done - r.r_arrival
+
+(** Aggregated causal-edge statistics over all complete requests'
+    critical paths: one row per edge kind. *)
+type edge_stat = {
+  e_kind : string;
+  e_count : int;
+  e_total : int;
+  e_max : int;
+}
+
+type summary = {
+  g_events : int;
+  g_dropped : int;  (** ring evictions during capture *)
+  g_requests : int;  (** request ids seen in any lifecycle event *)
+  g_complete : int;
+  g_incomplete : int;  (** requests excluded: truncated / unbalanced *)
+  g_unbalanced : int;  (** machine spans with no matching open/close *)
+  g_fiber_switches : int;
+  g_handler_spans : int;
+  g_ffi_spans : int;
+  g_nursery_spans : int;
+  g_performs : int;
+  g_resumes : int;
+  g_discontinues : int;
+  g_restarts : int;
+  g_wakeups : (string * (int * int)) list;
+      (** reason -> (count, total wait ns), sorted by reason *)
+}
+
+type t = {
+  summary : summary;
+  requests : request list;  (** complete requests, sorted by id *)
+}

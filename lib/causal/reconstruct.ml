@@ -1,0 +1,407 @@
+(* Eventlog -> span graph.
+
+   One pass over the log builds per-request lifecycles (arrival, wire
+   waits, queue entries, service attempts, terminal resolution) plus
+   the machine-side tallies (fiber switches, handler / FFI / nursery
+   span matching, wakeup-reason histogram).  A second pass finalises
+   each request: its wait and service segments must tile the interval
+   [arrival, done] with no gap and no overlap — only then is the
+   request "complete" and attributed.  Anything else (an opening
+   evicted by the ring's drop-oldest policy, a log that stops
+   mid-request, a duplicated or out-of-order marker) lands in
+   [incomplete] / [unbalanced] and is excluded from attribution: the
+   wraparound contract is "report the loss, never mis-attribute". *)
+
+module Tev = Retrofit_trace.Event
+open Graph
+
+type builder = {
+  br_id : int;
+  mutable br_conn : int;
+  mutable br_arrival : int option;
+  mutable br_waits : seg list;  (* stall / drop / backoff, reversed *)
+  mutable br_enqueues : (int * int) list;  (* attempt no -> enqueue ts *)
+  mutable br_slow : (int * int) list;  (* attempt no -> pending slow dur *)
+  mutable br_attempts : attempt_span list;  (* reversed *)
+  mutable br_done : (int * string) option;
+  mutable br_bad : bool;  (* structural anomaly: never attribute *)
+}
+
+let new_builder id =
+  {
+    br_id = id;
+    br_conn = -1;
+    br_arrival = None;
+    br_waits = [];
+    br_enqueues = [];
+    br_slow = [];
+    br_attempts = [];
+    br_done = None;
+    br_bad = false;
+  }
+
+let of_events ?(dropped = 0) (events : Tev.t list) : t =
+  (* [reqs] holds the {e current} lifecycle per request id; [retired]
+     holds finished earlier epochs.  One capture can contain several
+     sequential engine runs (retrofit websim traces all three server
+     models into one ring), and each run numbers its requests from 0 —
+     so a new arrival for an id whose current lifecycle already
+     resolved starts a new builder instead of flagging a duplicate. *)
+  let reqs : (int, builder) Hashtbl.t = Hashtbl.create 1024 in
+  let retired : builder list ref = ref [] in
+  let get id =
+    match Hashtbl.find_opt reqs id with
+    | Some b -> b
+    | None ->
+        let b = new_builder id in
+        Hashtbl.add reqs id b;
+        b
+  in
+  (* Gc_pause is emitted immediately before the Request event of the
+     attempt that paid it; pair them by the shared start timestamp
+     (service intervals are disjoint on the single virtual CPU, so
+     starts are unique). *)
+  let pending_gc = ref None in
+  let unbalanced = ref 0 in
+  let fiber_switches = ref 0 in
+  let handler_spans = ref 0 in
+  let ffi_spans = ref 0 in
+  let nursery_spans = ref 0 in
+  let performs = ref 0 in
+  let resumes = ref 0 in
+  let discontinues = ref 0 in
+  let restarts = ref 0 in
+  let handler_stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  let ffi_stack = ref [] in
+  let nursery_open : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let wakeups : (string, (int * int) ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Tev.t) ->
+      match e.ev with
+      | Tev.Fiber_switch _ -> incr fiber_switches
+      | Tev.Perform _ -> incr performs
+      | Tev.Resume _ -> incr resumes
+      | Tev.Discontinue _ -> incr discontinues
+      | Tev.Sup_restart _ -> incr restarts
+      | Tev.Wakeup { reason; wait_ns } -> (
+          match Hashtbl.find_opt wakeups reason with
+          | Some cell ->
+              let c, w = !cell in
+              cell := (c + 1, w + wait_ns)
+          | None -> Hashtbl.add wakeups reason (ref (1, wait_ns)))
+      | Tev.Handler_push { hidx; fiber } -> (
+          match Hashtbl.find_opt handler_stacks fiber with
+          | Some st -> st := hidx :: !st
+          | None -> Hashtbl.add handler_stacks fiber (ref [ hidx ]))
+      | Tev.Handler_pop { hidx; fiber } -> (
+          match Hashtbl.find_opt handler_stacks fiber with
+          | Some st -> (
+              match !st with
+              | top :: rest when top = hidx ->
+                  st := rest;
+                  incr handler_spans
+              | _ -> incr unbalanced)
+          | None -> incr unbalanced)
+      | Tev.Extcall_begin { name } | Tev.Callback_begin { name } ->
+          ffi_stack := name :: !ffi_stack
+      | Tev.Extcall_end { name } | Tev.Callback_end { name } -> (
+          match !ffi_stack with
+          | top :: rest when top = name ->
+              ffi_stack := rest;
+              incr ffi_spans
+          | _ -> incr unbalanced)
+      | Tev.Nursery_begin { name } ->
+          Hashtbl.replace nursery_open name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt nursery_open name))
+      | Tev.Nursery_end { name } -> (
+          match Hashtbl.find_opt nursery_open name with
+          | Some n when n > 0 ->
+              Hashtbl.replace nursery_open name (n - 1);
+              incr nursery_spans
+          | _ -> incr unbalanced)
+      | Tev.Gc_pause { start; dur } ->
+          (* two pauses with no Request between them cannot be paired *)
+          if !pending_gc <> None then incr unbalanced;
+          pending_gc := Some (start, dur)
+      | Tev.Req_arrival { req; conn } ->
+          let b = get req in
+          let b =
+            if b.br_done <> None then begin
+              retired := b :: !retired;
+              let b' = new_builder req in
+              Hashtbl.replace reqs req b';
+              b'
+            end
+            else b
+          in
+          if b.br_arrival <> None then b.br_bad <- true;
+          b.br_arrival <- Some e.ts;
+          b.br_conn <- conn
+      | Tev.Req_stall { req; dur } ->
+          let b = get req in
+          b.br_waits <-
+            { s_kind = Seg_stall; s_t0 = e.ts - dur; s_t1 = e.ts; s_attempt = 0 }
+            :: b.br_waits
+      | Tev.Req_drop { req; attempt; dur } ->
+          let b = get req in
+          b.br_waits <-
+            { s_kind = Seg_drop; s_t0 = e.ts - dur; s_t1 = e.ts; s_attempt = attempt }
+            :: b.br_waits
+      | Tev.Req_backoff { req; attempt; dur } ->
+          let b = get req in
+          b.br_waits <-
+            {
+              s_kind = Seg_backoff;
+              s_t0 = e.ts - dur;
+              s_t1 = e.ts;
+              s_attempt = attempt;
+            }
+            :: b.br_waits
+      | Tev.Req_enqueue { req; attempt } ->
+          let b = get req in
+          if List.mem_assoc attempt b.br_enqueues then b.br_bad <- true
+          else b.br_enqueues <- (attempt, e.ts) :: b.br_enqueues
+      | Tev.Req_fault_slow { req; attempt; dur } ->
+          let b = get req in
+          b.br_slow <- (attempt, dur) :: b.br_slow
+      | Tev.Request { req; conn = _; attempt; status; start; finish } ->
+          let b = get req in
+          let gc =
+            match !pending_gc with
+            | Some (s, d) when s = start ->
+                pending_gc := None;
+                d
+            | _ -> 0
+          in
+          let slow = Option.value ~default:0 (List.assoc_opt attempt b.br_slow) in
+          b.br_slow <- List.remove_assoc attempt b.br_slow;
+          let enqueue =
+            match List.assoc_opt attempt b.br_enqueues with
+            | Some ts -> ts
+            | None ->
+                (* enqueue marker evicted by wraparound *)
+                b.br_bad <- true;
+                start
+          in
+          b.br_attempts <-
+            {
+              a_no = attempt;
+              a_enqueue = enqueue;
+              a_start = start;
+              a_finish = finish;
+              a_status = status;
+              a_gc = gc;
+              a_slow = slow;
+            }
+            :: b.br_attempts
+      | Tev.Req_done { req; disposition } ->
+          let b = get req in
+          if b.br_done <> None then b.br_bad <- true;
+          b.br_done <- Some (e.ts, disposition)
+      | _ -> ())
+    events;
+  (* dangling machine spans at end-of-log *)
+  Hashtbl.iter (fun _ st -> unbalanced := !unbalanced + List.length !st) handler_stacks;
+  unbalanced := !unbalanced + List.length !ffi_stack;
+  Hashtbl.iter (fun _ n -> unbalanced := !unbalanced + n) nursery_open;
+  if !pending_gc <> None then incr unbalanced;
+  (* Who blocked the queue waits: an attempt starts exactly when the
+     blocking attempt's service freed the CPU, so index every attempt
+     finish timestamp (finishes are unique: each attempt advances the
+     CPU by at least the dispatch overhead). *)
+  let all_builders =
+    Hashtbl.fold (fun _ b acc -> b :: acc) reqs !retired
+  in
+  let finish_index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun a -> Hashtbl.replace finish_index a.a_finish b.br_id)
+        b.br_attempts)
+    all_builders;
+  let finalize (b : builder) : request option =
+    match (b.br_arrival, b.br_done) with
+    | Some arrival, Some (done_ts, disposition) when not b.br_bad ->
+        let attempts =
+          List.sort (fun a a' -> compare a.a_no a'.a_no) (List.rev b.br_attempts)
+        in
+        let segs =
+          b.br_waits
+          @ List.concat_map
+              (fun a ->
+                let queue =
+                  if a.a_start > a.a_enqueue then
+                    let blocker =
+                      match Hashtbl.find_opt finish_index a.a_start with
+                      | Some id -> id
+                      | None -> -1
+                    in
+                    [
+                      {
+                        s_kind = Seg_queue blocker;
+                        s_t0 = a.a_enqueue;
+                        s_t1 = a.a_start;
+                        s_attempt = a.a_no;
+                      };
+                    ]
+                  else []
+                in
+                queue
+                @ [
+                    {
+                      s_kind = Seg_service;
+                      s_t0 = a.a_start;
+                      s_t1 = a.a_finish;
+                      s_attempt = a.a_no;
+                    };
+                  ])
+              attempts
+        in
+        let segs = List.filter (fun s -> s.s_t1 > s.s_t0) segs in
+        let segs = List.sort (fun s s' -> compare s.s_t0 s'.s_t0) segs in
+        (* the tiling check: segments must cover [arrival, done]
+           contiguously — any hole means an evicted or missing span *)
+        let rec contiguous at = function
+          | [] -> at = done_ts
+          | s :: rest -> s.s_t0 = at && contiguous s.s_t1 rest
+        in
+        if not (contiguous arrival segs) then None
+        else begin
+          let sum kind_pred =
+            List.fold_left
+              (fun acc s -> if kind_pred s.s_kind then acc + (s.s_t1 - s.s_t0) else acc)
+              0 segs
+          in
+          let stall = sum (function Seg_stall -> true | _ -> false) in
+          let dropw = sum (function Seg_drop -> true | _ -> false) in
+          let backoff = sum (function Seg_backoff -> true | _ -> false) in
+          let queue = sum (function Seg_queue _ -> true | _ -> false) in
+          let service = sum (function Seg_service -> true | _ -> false) in
+          let gc = List.fold_left (fun acc a -> acc + a.a_gc) 0 attempts in
+          let slow = List.fold_left (fun acc a -> acc + a.a_slow) 0 attempts in
+          Some
+            {
+              r_id = b.br_id;
+              r_conn = b.br_conn;
+              r_arrival = arrival;
+              r_done = done_ts;
+              r_disposition = disposition;
+              r_attempts = attempts;
+              r_buckets =
+                {
+                  b_running = service - gc - slow;
+                  b_sched = queue;
+                  b_io = backoff;
+                  b_gc = gc;
+                  b_fault = stall + dropw + slow;
+                };
+              r_path = segs;
+            }
+        end
+    | _ -> None
+  in
+  let complete = ref [] in
+  let n_requests = List.length all_builders in
+  List.iter
+    (fun b -> match finalize b with Some r -> complete := r :: !complete | None -> ())
+    all_builders;
+  let requests = List.sort (fun r r' -> compare r.r_id r'.r_id) !complete in
+  let g_wakeups =
+    Hashtbl.fold (fun reason cell acc -> (reason, !cell) :: acc) wakeups []
+    |> List.sort compare
+  in
+  {
+    summary =
+      {
+        g_events = List.length events;
+        g_dropped = dropped;
+        g_requests = n_requests;
+        g_complete = List.length requests;
+        g_incomplete = n_requests - List.length requests;
+        g_unbalanced = !unbalanced;
+        g_fiber_switches = !fiber_switches;
+        g_handler_spans = !handler_spans;
+        g_ffi_spans = !ffi_spans;
+        g_nursery_spans = !nursery_spans;
+        g_performs = !performs;
+        g_resumes = !resumes;
+        g_discontinues = !discontinues;
+        g_restarts = !restarts;
+        g_wakeups;
+      };
+    requests;
+  }
+
+let of_trace tr = of_events ~dropped:(Retrofit_trace.Trace.dropped tr)
+    (Retrofit_trace.Trace.to_list tr)
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path edge aggregation *)
+
+let edge_label = function
+  | Seg_stall -> "fault-stall"
+  | Seg_drop -> "drop-detect"
+  | Seg_backoff -> "backoff"
+  | Seg_queue _ -> "queue"
+  | Seg_service -> "service"
+
+let critical_edges (g : t) : edge_stat list =
+  let tbl : (string, (int * int * int) ref) Hashtbl.t = Hashtbl.create 8 in
+  let add kind dur =
+    if dur > 0 then
+      match Hashtbl.find_opt tbl kind with
+      | Some cell ->
+          let c, tot, mx = !cell in
+          cell := (c + 1, tot + dur, max mx dur)
+      | None -> Hashtbl.add tbl kind (ref (1, dur, dur))
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun s ->
+          match s.s_kind with
+          | Seg_service ->
+              (* split the service interval into its causal parts *)
+              let a =
+                List.find_opt (fun a -> a.a_no = s.s_attempt) r.r_attempts
+              in
+              let gc, slow =
+                match a with Some a -> (a.a_gc, a.a_slow) | None -> (0, 0)
+              in
+              add "service" (s.s_t1 - s.s_t0 - gc - slow);
+              add "gc-pause" gc;
+              add "backend-slow" slow
+          | k -> add (edge_label k) (s.s_t1 - s.s_t0))
+        r.r_path)
+    g.requests;
+  Hashtbl.fold
+    (fun kind cell acc ->
+      let c, tot, mx = !cell in
+      { e_kind = kind; e_count = c; e_total = tot; e_max = mx } :: acc)
+    tbl []
+  |> List.sort (fun e e' ->
+         compare (-e.e_total, e.e_kind) (-e'.e_total, e'.e_kind))
+
+(* ------------------------------------------------------------------ *)
+(* Flow-event synthesis: one Chrome flow per complete request, from its
+   arrival through each attempt's service start to its resolution, so
+   Perfetto draws the causal arrows across the httpsim track. *)
+
+let flows (g : t) : Tev.t list =
+  List.concat_map
+    (fun r ->
+      let mk ts step =
+        {
+          Tev.ts;
+          ev = Tev.Flow { step; id = r.r_id; name = "req"; tid = 3 };
+        }
+      in
+      (mk r.r_arrival Tev.Flow_start
+      :: List.map (fun a -> mk a.a_start Tev.Flow_step) r.r_attempts)
+      @ [ mk r.r_done Tev.Flow_end ])
+    g.requests
+
+let with_flows (events : Tev.t list) (g : t) : Tev.t list =
+  List.stable_sort
+    (fun (e : Tev.t) (e' : Tev.t) -> compare e.ts e'.ts)
+    (events @ flows g)

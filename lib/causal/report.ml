@@ -1,0 +1,124 @@
+(* The `retrofit causal` text report.
+
+   Every line is a pure function of the span graph (itself a pure
+   function of the eventlog), so double runs of a seeded workload are
+   byte-identical — CI diffs this output against a golden file. *)
+
+open Graph
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let mean num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let render ?(top = 8) (g : t) : string =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let s = g.summary in
+  line "== causal span graph ==";
+  line "events            %d" s.g_events;
+  line "dropped_events    %d" s.g_dropped;
+  line "requests          %d" s.g_requests;
+  line "complete          %d" s.g_complete;
+  line "incomplete_spans  %d" s.g_incomplete;
+  line "unbalanced_spans  %d" s.g_unbalanced;
+  line "fiber_switches    %d" s.g_fiber_switches;
+  line "handler_spans     %d" s.g_handler_spans;
+  line "ffi_spans         %d" s.g_ffi_spans;
+  line "nursery_spans     %d" s.g_nursery_spans;
+  line "performs %d  resumes %d  discontinues %d  sup_restarts %d" s.g_performs
+    s.g_resumes s.g_discontinues s.g_restarts;
+  if s.g_wakeups <> [] then begin
+    line "";
+    line "wakeups (runnable -> running):";
+    line "  %-10s %10s %14s %12s" "reason" "count" "total_wait_ns" "mean_ns";
+    List.iter
+      (fun (reason, (count, total)) ->
+        line "  %-10s %10d %14d %12.1f" reason count total (mean total count))
+      s.g_wakeups
+  end;
+  line "";
+  line "== per-request attribution (%d complete requests) ==" s.g_complete;
+  let n = List.length g.requests in
+  if n = 0 then line "(no complete requests)"
+  else begin
+    let total_latency = List.fold_left (fun acc r -> acc + latency r) 0 g.requests in
+    let fold f = List.fold_left (fun acc r -> acc + f r.r_buckets) 0 g.requests in
+    let rows =
+      [
+        ("running", fold (fun b -> b.b_running));
+        ("sched_wait", fold (fun b -> b.b_sched));
+        ("io_wait", fold (fun b -> b.b_io));
+        ("gc", fold (fun b -> b.b_gc));
+        ("fault_stall", fold (fun b -> b.b_fault));
+      ]
+    in
+    line "  %-12s %14s %8s %12s" "bucket" "total_ns" "share" "mean_ns";
+    List.iter
+      (fun (name, total) ->
+        line "  %-12s %14d %7.2f%% %12.1f" name total (pct total total_latency)
+          (mean total n))
+      rows;
+    line "  %-12s %14d %7.2f%% %12.1f" "latency" total_latency 100.0
+      (mean total_latency n);
+    let exact =
+      List.length (List.filter (fun r -> buckets_sum r.r_buckets = latency r) g.requests)
+    in
+    line "invariant: buckets sum to latency for %d/%d complete requests" exact n;
+    let by_disposition =
+      List.sort_uniq compare (List.map (fun r -> r.r_disposition) g.requests)
+      |> List.map (fun d ->
+             (d, List.length (List.filter (fun r -> r.r_disposition = d) g.requests)))
+    in
+    line "dispositions: %s"
+      (String.concat " "
+         (List.map (fun (d, c) -> Printf.sprintf "%s=%d" d c) by_disposition))
+  end;
+  line "";
+  line "== critical-path edges (top %d by total time) ==" top;
+  let edges = Reconstruct.critical_edges g in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest -> e :: take (k - 1) rest
+  in
+  let edges_shown = take top edges in
+  if edges_shown = [] then line "(no edges)"
+  else begin
+    line "  %-14s %8s %14s %12s %12s" "edge" "count" "total_ns" "mean_ns" "max_ns";
+    List.iter
+      (fun e ->
+        line "  %-14s %8d %14d %12.1f %12d" e.e_kind e.e_count e.e_total
+          (mean e.e_total e.e_count) e.e_max)
+      edges_shown
+  end;
+  line "";
+  line "== tail exemplars (p99 latency) ==";
+  (match g.requests with
+  | [] -> line "(no complete requests)"
+  | requests ->
+      let lats = List.sort compare (List.map latency requests) in
+      let n = List.length lats in
+      let p99 = List.nth lats (min (n - 1) (n * 99 / 100)) in
+      line "p99_latency_ns    %d" p99;
+      let tail =
+        List.filter (fun r -> latency r >= p99) requests
+        |> List.sort (fun r r' -> compare (-latency r, r.r_id) (-latency r', r'.r_id))
+      in
+      let exemplars = take 3 tail in
+      List.iter
+        (fun r ->
+          line "req %d  conn %d  disposition %s  latency %d ns  attempts %d" r.r_id
+            r.r_conn r.r_disposition (latency r) (List.length r.r_attempts);
+          List.iter
+            (fun sg ->
+              let extra =
+                match sg.s_kind with
+                | Seg_queue b when b >= 0 -> Printf.sprintf "  blocked-by req %d" b
+                | _ -> ""
+              in
+              line "  %12d..%-12d %-12s attempt %d  (%d ns)%s" sg.s_t0 sg.s_t1
+                (Reconstruct.edge_label sg.s_kind)
+                sg.s_attempt (sg.s_t1 - sg.s_t0) extra)
+            r.r_path)
+        exemplars);
+  Buffer.contents buf

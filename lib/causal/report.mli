@@ -1,0 +1,7 @@
+(** Deterministic text report over a span graph: summary counts,
+    per-request attribution table (with the buckets-sum-to-latency
+    invariant line), top-k critical-path edges, and p99 tail exemplars
+    with their concrete span chains.  [top] bounds the edge table
+    (default 8). *)
+
+val render : ?top:int -> Graph.t -> string

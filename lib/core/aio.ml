@@ -64,6 +64,24 @@ let run_mode mode ?chaos loop main =
           ~pop_nth ~run_next:run_next_cell
   in
   let kill_draw ctl = Sched.Chaos.kill_draw chst ctl in
+  (* Runnable-wait instrumentation above the chaos wrap, mirroring
+     Sched.run: record how long each thunk sat runnable (on this loop's
+     virtual clock) and the reason it became runnable. *)
+  let enqueue_r reason thunk =
+    if Trace.on () || Metrics.on () then begin
+      let t0 = Evloop.now loop in
+      enqueue (fun () ->
+          let w = Evloop.now loop - t0 in
+          let w = if w < 0 then 0 else w in
+          if Metrics.on () then
+            Metrics.observe ~max_value:1_000_000_000
+              "scheduler_runnable_wait_ns" w;
+          if Trace.on () then
+            Trace.emit ~ts:(Evloop.now loop) (Tev.Wakeup { reason; wait_ns = w });
+          thunk ())
+    end
+    else enqueue thunk
+  in
   let pending_reads : pending list ref = ref [] in
   (* The event-loop clock stamps this loop's I/O depth track. *)
   let observe_pending () =
@@ -76,16 +94,16 @@ let run_mode mode ?chaos loop main =
     let restore () = current := p.ctl in
     match Chan.read_line_nonblock p.ic with
     | `Line line ->
-        enqueue (fun () ->
+        enqueue_r "io-line" (fun () ->
             restore ();
             Effect.Deep.continue p.k line)
     | `Eof ->
-        enqueue (fun () ->
+        enqueue_r "io-eof" (fun () ->
             restore ();
             Effect.Deep.discontinue p.k End_of_file)
     | `Not_ready -> assert false
     | exception (Sys_error _ as e) ->
-        enqueue (fun () ->
+        enqueue_r "io-error" (fun () ->
             restore ();
             Effect.Deep.discontinue p.k e)
   in
@@ -145,11 +163,11 @@ let run_mode mode ?chaos loop main =
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
                     if kill_draw ctl then
-                      enqueue (fun () ->
+                      enqueue_r "kill" (fun () ->
                           current := ctl;
                           Effect.Deep.discontinue k Sched.Killed)
                     else
-                      enqueue (fun () ->
+                      enqueue_r "yield" (fun () ->
                           current := ctl;
                           Effect.Deep.continue k ());
                     run_next ())
@@ -157,7 +175,7 @@ let run_mode mode ?chaos loop main =
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
-                    enqueue (fun () ->
+                    enqueue_r "fork" (fun () ->
                         current := ctl;
                         Effect.Deep.continue k ());
                     spawn None f')
@@ -166,7 +184,7 @@ let run_mode mode ?chaos loop main =
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let parent = !current in
                     let child = Sched.Ctl.create () in
-                    enqueue (fun () ->
+                    enqueue_r "fork" (fun () ->
                         current := parent;
                         Effect.Deep.continue k (fun () -> Sched.Ctl.cancel child));
                     spawn (Some child) f')
@@ -176,7 +194,7 @@ let run_mode mode ?chaos loop main =
                     let ctl = !current in
                     (match ctl with
                     | Some c when Sched.Ctl.cancelled c ->
-                        enqueue (fun () ->
+                        enqueue_r "cancel" (fun () ->
                             current := ctl;
                             Effect.Deep.discontinue k Sched.Cancelled)
                     | _ ->
@@ -184,12 +202,12 @@ let run_mode mode ?chaos loop main =
                           (* killed instead of parked: the waiter is
                              never handed to [g], so no queue ever holds
                              a dead resumer for it *)
-                          enqueue (fun () ->
+                          enqueue_r "kill" (fun () ->
                               current := ctl;
                               Effect.Deep.discontinue k Sched.Killed)
                         else
                           let resumer =
-                            Sched.Ctl.arm ?ctl ~enqueue
+                            Sched.Ctl.arm ?ctl ~enqueue:(enqueue_r "wakeup")
                               ~continue:(fun v ->
                                 current := ctl;
                                 Effect.Deep.continue k v)
@@ -215,12 +233,12 @@ let run_mode mode ?chaos loop main =
                             let ctl = !current in
                             (match ctl with
                             | Some c when Sched.Ctl.cancelled c ->
-                                enqueue (fun () ->
+                                enqueue_r "cancel" (fun () ->
                                     current := ctl;
                                     Effect.Deep.discontinue k Sched.Cancelled)
                             | _ ->
                                 if kill_draw ctl then
-                                  enqueue (fun () ->
+                                  enqueue_r "kill" (fun () ->
                                       current := ctl;
                                       Effect.Deep.discontinue k Sched.Killed)
                                 else begin
@@ -238,7 +256,7 @@ let run_mode mode ?chaos loop main =
                                               (fun (Pending p) -> !(p.live))
                                               !pending_reads;
                                           observe_pending ();
-                                          enqueue (fun () ->
+                                          enqueue_r "cancel" (fun () ->
                                               current := ctl;
                                               Effect.Deep.discontinue k e))
                                   | None -> ());

@@ -319,7 +319,7 @@ let rq_pop_nth rq n =
       List.iter (fun t -> Stack.push t rq.stack) !skipped;
       target
 
-let run ?(policy = Fifo) ?chaos ?idle main =
+let run ?(policy = Fifo) ?chaos ?(clock = Retrofit_util.Vclock.now) ?idle main =
   let rq = { queue = Queue.create (); stack = Stack.create (); policy; ops = 0 } in
   switches := 0;
   let chst = Option.map Chaos.make chaos in
@@ -332,6 +332,27 @@ let run ?(policy = Fifo) ?chaos ?idle main =
           ~pop:(fun () -> rq_pop rq)
           ~depth:(fun () -> rq_depth rq)
           ~pop_nth:(rq_pop_nth rq) ~run_next:run_next_cell
+  in
+  (* Runnable-wait instrumentation sits {e above} the chaos wrap: a
+     resume stashed by the chaos delay fault is still runnable the whole
+     time, so its stash duration must count as scheduler wait.  Chaos's
+     own spurious wakeups go through the raw push underneath and are
+     never tagged.  With tracing and metrics both off this is the bare
+     push — no clock reads, no closure per thunk. *)
+  let push_r reason thunk =
+    if Trace.on () || Metrics.on () then begin
+      let t0 = clock () in
+      push (fun () ->
+          let w = clock () - t0 in
+          let w = if w < 0 then 0 else w in
+          if Metrics.on () then
+            Metrics.observe ~max_value:1_000_000_000
+              "scheduler_runnable_wait_ns" w;
+          if Trace.on () then
+            Trace.emit ~ts:(clock ()) (Tev.Wakeup { reason; wait_ns = w });
+          thunk ())
+    end
+    else push thunk
   in
   (* The control cell of the fiber currently executing; every thunk that
      re-enters a fiber restores it so nested suspensions park against
@@ -381,11 +402,11 @@ let run ?(policy = Fifo) ?chaos ?idle main =
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
                     if kill_draw ctl then
-                      push (fun () ->
+                      push_r "kill" (fun () ->
                           current := ctl;
                           Effect.Deep.discontinue k Killed)
                     else
-                      push (fun () ->
+                      push_r "yield" (fun () ->
                           current := ctl;
                           Effect.Deep.continue k ());
                     run_next ())
@@ -393,7 +414,7 @@ let run ?(policy = Fifo) ?chaos ?idle main =
                 Some
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let ctl = !current in
-                    push (fun () ->
+                    push_r "fork" (fun () ->
                         current := ctl;
                         Effect.Deep.continue k ());
                     spawn None f')
@@ -402,7 +423,7 @@ let run ?(policy = Fifo) ?chaos ?idle main =
                   (fun (k : (c, unit) Effect.Deep.continuation) ->
                     let parent = !current in
                     let child = Ctl.create () in
-                    push (fun () ->
+                    push_r "fork" (fun () ->
                         current := parent;
                         Effect.Deep.continue k (fun () -> Ctl.cancel child));
                     spawn (Some child) f')
@@ -414,7 +435,7 @@ let run ?(policy = Fifo) ?chaos ?idle main =
                     | Some c when Ctl.cancelled c ->
                         (* Cancel arrived before this park: discontinue
                            straight away instead of parking. *)
-                        push (fun () ->
+                        push_r "cancel" (fun () ->
                             current := ctl;
                             Effect.Deep.discontinue k Cancelled)
                     | _ ->
@@ -422,12 +443,12 @@ let run ?(policy = Fifo) ?chaos ?idle main =
                           (* killed instead of parked: the waiter is
                              never handed to [f], so no queue ever holds
                              a dead resumer for it *)
-                          push (fun () ->
+                          push_r "kill" (fun () ->
                               current := ctl;
                               Effect.Deep.discontinue k Killed)
                         else
                           let resumer =
-                            Ctl.arm ?ctl ~enqueue:push
+                            Ctl.arm ?ctl ~enqueue:(push_r "wakeup")
                               ~continue:(fun v ->
                                 current := ctl;
                                 Effect.Deep.continue k v)

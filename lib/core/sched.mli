@@ -191,16 +191,27 @@ val current_ctl : unit -> Ctl.t option
     outside a runner. *)
 
 val run :
-  ?policy:policy -> ?chaos:Chaos.t -> ?idle:(unit -> bool) -> (unit -> unit) -> unit
+  ?policy:policy ->
+  ?chaos:Chaos.t ->
+  ?clock:(unit -> int) ->
+  ?idle:(unit -> bool) ->
+  (unit -> unit) ->
+  unit
 (** Runs the main thread and every forked descendant to completion.
     An exception escaping any thread aborts the whole scheduler run,
     except {!Cancelled} leaving a cancelled fiber and {!Killed} leaving
     a chaos-killed one, which are normal exits.
 
     [chaos] switches the run queue to the seeded adversarial policy.
-    [idle] is called when the run queue is empty; returning [true]
-    retries (use it to advance a virtual-time event loop that will
-    resume parked fibers), [false] ends the run. *)
+    [clock] is the virtual clock used (only when tracing or metrics are
+    enabled) to stamp runnable-enqueue instants: every enqueue records
+    how long the thunk sat runnable before running, as a [Wakeup] event
+    tagged with its cause (yield / fork / wakeup / cancel / kill) and a
+    [scheduler_runnable_wait_ns] histogram sample.  Defaults to
+    {!Retrofit_util.Vclock.now}; pass the driving event loop's clock
+    when one exists.  [idle] is called when the run queue is empty;
+    returning [true] retries (use it to advance a virtual-time event
+    loop that will resume parked fibers), [false] ends the run. *)
 
 val stats_switches : unit -> int
 (** Context switches performed by the most recent (or current) [run];

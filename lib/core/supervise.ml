@@ -546,7 +546,7 @@ module Nursery = struct
       join t
     end
 
-  let run ?(name = "nursery") body =
+  let run ?clock ?(name = "nursery") body =
     let t =
       {
         n_name = name;
@@ -557,6 +557,15 @@ module Nursery = struct
         n_joiner = None;
       }
     in
+    (* Scope markers for the causal layer; emitted even when the body
+       raises, so every begin has a matching end in a complete log. *)
+    let mark ev =
+      if Trace.on () then
+        let ts = match clock with Some c -> c () | None -> Retrofit_util.Vclock.now () in
+        Trace.emit ~ts ev
+    in
+    mark (Tev.Nursery_begin { name });
+    let finally () = mark (Tev.Nursery_end { name }) in
     let result = match body t with v -> Ok v | exception e -> Error e in
     t.n_closing <- true;
     (* scope exit cancels every still-running child, exactly once each *)
@@ -582,6 +591,8 @@ module Nursery = struct
       end
     in
     drain ();
+    (* all children are gone: close the span before any re-raise below *)
+    finally ();
     match result with
     | Error e -> raise e
     | Ok v -> (

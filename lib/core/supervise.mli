@@ -130,9 +130,11 @@ val escalations : handle -> int
 module Nursery : sig
   type t
 
-  val run : ?name:string -> (t -> 'a) -> 'a
+  val run : ?clock:(unit -> int) -> ?name:string -> (t -> 'a) -> 'a
   (** Raises the body's exception, or the first child failure, after
-      all children have been cancelled and have unwound. *)
+      all children have been cancelled and have unwound.  When tracing
+      is on, the scope emits [Nursery_begin]/[Nursery_end] span markers
+      stamped from [clock] (default {!Retrofit_util.Vclock.now}). *)
 
   val fork : ?killable:bool -> t -> (unit -> unit) -> unit
   (** No-op if the scope is already failing or closing. *)

@@ -10,6 +10,7 @@ type t = {
   mutable samples : int;
   mutable failures : int;
   mutable boundary_samples : int;
+  mutable wait_samples : int;
 }
 
 let create ?(interval = 1_000) table =
@@ -22,6 +23,7 @@ let create ?(interval = 1_000) table =
     samples = 0;
     failures = 0;
     boundary_samples = 0;
+    wait_samples = 0;
   }
 
 let interval t = t.interval
@@ -63,6 +65,22 @@ let on_step t m =
 
 let hook t = fun m -> on_step t m
 
+(* Blocked-time samples: the scheduler's causal layer knows when fibers
+   sat parked on I/O or runnable in the queue; those instants have no
+   machine stack to unwind, so they fold under a synthetic
+   [<sched>;<wait:KIND>] frame — speedscope then shows blocked time
+   side by side with on-CPU frames instead of silently omitting it. *)
+let record_wait ?(n = 1) t ~kind =
+  if n > 0 then begin
+    t.samples <- t.samples + n;
+    t.wait_samples <- t.wait_samples + n;
+    let key = "<sched>;<wait:" ^ kind ^ ">" in
+    let prev = match Hashtbl.find_opt t.stacks key with Some v -> v | None -> 0 in
+    Hashtbl.replace t.stacks key (prev + n)
+  end
+
+let wait_samples t = t.wait_samples
+
 let samples t = t.samples
 
 let failures t = t.failures
@@ -85,5 +103,6 @@ let publish ?r t =
     Metrics.inc ?r ~by:t.samples "profile_samples_total";
     Metrics.inc ?r ~by:t.failures "profile_unwind_failures_total";
     Metrics.inc ?r ~by:t.boundary_samples "profile_fiber_boundary_samples_total";
+    Metrics.inc ?r ~by:t.wait_samples "profile_wait_samples_total";
     Metrics.set_gauge ?r "profile_distinct_stacks" (Hashtbl.length t.stacks)
   end

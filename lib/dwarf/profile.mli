@@ -38,6 +38,15 @@ val failures : t -> int
 val boundary_samples : t -> int
 (** Samples whose stack crossed at least one fiber boundary. *)
 
+val record_wait : ?n:int -> t -> kind:string -> unit
+(** Add [n] (default 1) blocked-time samples under the synthetic
+    [<sched>;<wait:KIND>] folded frame (kinds in use: [io], [runq]) —
+    speedscope then shows parked/runnable time alongside on-CPU
+    frames.  Counted in {!samples} and {!wait_samples}. *)
+
+val wait_samples : t -> int
+(** Samples recorded via {!record_wait}. *)
+
 val crosses_fiber_boundary : Unwind.entry list -> bool
 
 val stacks : t -> (string * int) list

@@ -53,6 +53,38 @@ let sched_workload () =
       done);
   !total
 
+(* Satellite of the causal layer: derive blocked-time samples for the
+   profiler from an eventlog.  The machine's sampler only fires while
+   instructions retire, so parked/runnable time is invisible to it; the
+   causal reconstruction knows exactly which intervals were spent
+   waiting, and each wait interval (plus each nonzero scheduler wakeup
+   wait) becomes one synthetic [<wait:io>] / [<wait:runq>] sample. *)
+let fold_waits prof (events : Retrofit_trace.Event.t list) =
+  let module CG = Retrofit_causal.Graph in
+  let g = Retrofit_causal.Reconstruct.of_events events in
+  let runq = ref 0 in
+  let io = ref 0 in
+  List.iter
+    (fun (r : CG.request) ->
+      List.iter
+        (fun (s : CG.seg) ->
+          match s.CG.s_kind with
+          | CG.Seg_queue _ -> incr runq
+          | CG.Seg_stall | CG.Seg_drop | CG.Seg_backoff -> incr io
+          | CG.Seg_service -> ())
+        r.CG.r_path)
+    g.CG.requests;
+  List.iter
+    (fun (reason, (count, total)) ->
+      if total > 0 then
+        match reason with
+        | "io-line" | "io-eof" | "io-error" -> io := !io + count
+        | _ -> runq := !runq + count)
+    g.CG.summary.CG.g_wakeups;
+  D.Profile.record_wait ~n:!runq prof ~kind:"runq";
+  D.Profile.record_wait ~n:!io prof ~kind:"io";
+  g
+
 let report ?(quick = false) () =
   let buf = Buffer.create 1024 in
   let (), ring =

@@ -21,4 +21,14 @@ val sched_workload : unit -> int
 (** Fork/yield a batch of cooperative threads under {!Retrofit_core.Sched};
     returns a checksum. *)
 
+val fold_waits :
+  Retrofit_dwarf.Profile.t ->
+  Retrofit_trace.Event.t list ->
+  Retrofit_causal.Graph.t
+(** Derive blocked-time profiler samples from an eventlog: each wait
+    segment on a reconstructed critical path (and each nonzero-wait
+    scheduler wakeup) becomes one synthetic [<wait:io>] /
+    [<wait:runq>] folded sample via {!Retrofit_dwarf.Profile.record_wait}.
+    Returns the reconstructed span graph for reuse. *)
+
 val report : ?quick:bool -> unit -> string

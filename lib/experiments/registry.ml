@@ -86,6 +86,12 @@ let all =
       run = Exp_observe.report;
     };
     {
+      id = "causal";
+      title = "span graphs and per-request latency attribution";
+      paper_ref = "Section 5.4 (causal-tracing extension)";
+      run = Exp_causal.report;
+    };
+    {
       id = "ablation";
       title = "design-choice ablations";
       paper_ref = "Sections 5.1, 5.2, 5.5";

@@ -122,8 +122,8 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
   let errors = ref 0 in
   let completed = ref 0 in
   let last_completion = ref 0 in
-  List.iter
-    (fun (ev : Netsim.event) ->
+  List.iteri
+    (fun req (ev : Netsim.event) ->
       (* Really execute the server's code path and check the reply. *)
       let reply = process ev.raw in
       let status =
@@ -161,11 +161,17 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
       last_completion := finish;
       incr completed;
       if Trace.on () then begin
+        Trace.emit ~ts:ev.arrival_ns (Tev.Req_arrival { req; conn = ev.conn_id });
+        Trace.emit ~ts:ev.arrival_ns (Tev.Req_enqueue { req; attempt = 1 });
         if gc_pause > 0 then
           Trace.emit ~ts:(start + gc_pause)
             (Tev.Gc_pause { start; dur = gc_pause });
         Trace.emit ~ts:finish
-          (Tev.Request { conn = ev.conn_id; attempt = 1; status; start; finish })
+          (Tev.Request
+             { req; conn = ev.conn_id; attempt = 1; status; start; finish });
+        Trace.emit ~ts:finish
+          (Tev.Req_done
+             { req; disposition = (if status = 200 then "ok" else "error") })
       end;
       Histogram.record hist (finish - ev.arrival_ns))
     events;
@@ -217,6 +223,7 @@ let run_plain ~seed ~connections ~model ~process ~rate_rps ~duration_ms =
    entirely).  [injected = sum of the five] is a tested invariant. *)
 
 type attempt = {
+  req : int;  (* request id: index in the fault plan's arrival order *)
   attempt_no : int;
   conn : int;
   orig_arrival : int;
@@ -235,8 +242,8 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
   let plan = Faults.plan ~seed ~rates events in
   let retry_rng = Rng.create (seed lxor 0x2545F491) in
   let q : attempt Pqueue.t = Pqueue.create () in
-  List.iter
-    (fun (inj : Faults.injected) ->
+  List.iteri
+    (fun req (inj : Faults.injected) ->
       let ev = inj.Faults.event in
       let stall = match inj.fault with Some (Faults.Stall d) -> d | _ -> 0 in
       let sent_raw =
@@ -251,6 +258,7 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
       | _ -> ());
       Pqueue.add q ~priority:(ev.arrival_ns + stall)
         {
+          req;
           attempt_no = 1;
           conn = ev.conn_id;
           orig_arrival = ev.arrival_ns;
@@ -306,8 +314,13 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
       if t > a.deadline then false
       else begin
         incr retries;
-        if Trace.on () then
+        if Trace.on () then begin
           Trace.emit ~ts:t (Tev.Retry { conn = a.conn; attempt = a.attempt_no + 1 });
+          (* the client sat out [now, t] before resending *)
+          Trace.emit ~ts:t
+            (Tev.Req_backoff
+               { req = a.req; attempt = a.attempt_no + 1; dur = backoff })
+        end;
         (* Retries resend the pristine bytes: the fault was on the wire,
            not in the request. *)
         Pqueue.add q ~priority:t
@@ -327,10 +340,18 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
     | None -> ()
   in
   let process_attempt now a =
+    (* Terminal-resolution marker: every request emits exactly one. *)
+    let done_ev ~ts disposition =
+      if Trace.on () then
+        Trace.emit ~ts (Tev.Req_done { req = a.req; disposition })
+    in
     prune now;
     let depth = Queue.length in_flight in
     if depth > !max_inflight then max_inflight := depth;
-    if Trace.on () then Trace.emit ~ts:now (Tev.Inflight_depth { depth });
+    if Trace.on () then begin
+      Trace.emit ~ts:now (Tev.Req_enqueue { req = a.req; attempt = a.attempt_no });
+      Trace.emit ~ts:now (Tev.Inflight_depth { depth })
+    end;
     if depth >= resilience.queue_cap then begin
       (* Admission control: shed to 503 for the cost of the dispatch
          alone — the queue never grows past the cap. *)
@@ -343,10 +364,20 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
         Trace.emit ~ts:finish (Tev.Shed { conn = a.conn });
         Trace.emit ~ts:finish
           (Tev.Request
-             { conn = a.conn; attempt = a.attempt_no; status = 503; start; finish })
+             {
+               req = a.req;
+               conn = a.conn;
+               attempt = a.attempt_no;
+               status = 503;
+               start;
+               finish;
+             })
       end;
       account_shed_or_408 ~is_408:false a;
-      if not (schedule_retry ~now:finish a) then incr timeouts
+      if not (schedule_retry ~now:finish a) then begin
+        incr timeouts;
+        done_ev ~ts:finish "timeout"
+      end
     end
     else begin
       let start = max now !cpu_free in
@@ -360,7 +391,15 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
         if Trace.on () then
           Trace.emit ~ts:finish
             (Tev.Request
-               { conn = a.conn; attempt = a.attempt_no; status = 408; start; finish });
+               {
+                 req = a.req;
+                 conn = a.conn;
+                 attempt = a.attempt_no;
+                 status = 408;
+                 start;
+                 finish;
+               });
+        done_ev ~ts:finish "timeout";
         account_shed_or_408 ~is_408:true a
       end
       else begin
@@ -407,14 +446,26 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
           if gc_pause > 0 then
             Trace.emit ~ts:(start + gc_pause)
               (Tev.Gc_pause { start; dur = gc_pause });
+          if status = 200 && extra > 0 then
+            (* the Backend_slow surcharge tail [finish - extra, finish] *)
+            Trace.emit ~ts:finish
+              (Tev.Req_fault_slow { req = a.req; attempt = a.attempt_no; dur = extra });
           Trace.emit ~ts:finish
             (Tev.Request
-               { conn = a.conn; attempt = a.attempt_no; status; start; finish })
+               {
+                 req = a.req;
+                 conn = a.conn;
+                 attempt = a.attempt_no;
+                 status;
+                 start;
+                 finish;
+               })
         end;
         if status = 200 then
           if finish <= a.deadline then begin
             incr completed;
             Histogram.record hist (finish - a.orig_arrival);
+            done_ev ~ts:finish "ok";
             match a.fault with
             | Some (Faults.Stall _ | Faults.Backend_slow _) -> incr fa_absorbed
             | Some _ -> assert false
@@ -423,6 +474,7 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
           else begin
             (* The reply came back after the client stopped waiting. *)
             incr timeouts;
+            done_ev ~ts:finish "timeout";
             match a.fault with
             | Some (Faults.Stall _ | Faults.Backend_slow _) -> incr fa_timeout
             | Some _ -> assert false
@@ -434,11 +486,15 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
           | Some Faults.Backend_fail -> incr fa_server_error
           | Some _ -> assert false
           | None -> ());
-          if not (schedule_retry ~now:finish a) then incr timeouts
+          if not (schedule_retry ~now:finish a) then begin
+            incr timeouts;
+            done_ev ~ts:finish "timeout"
+          end
         end
         else begin
           (* 4xx: only damaged bytes produce these in this workload. *)
           incr malformed;
+          done_ev ~ts:finish "malformed";
           match a.fault with
           | Some (Faults.Truncate _ | Faults.Corrupt _) -> incr fa_malformed
           | Some _ -> assert false
@@ -451,15 +507,39 @@ let run_resilient ~seed ~connections ~rates ~resilience ~model ~process ~rate_rp
     match Pqueue.pop q with
     | None -> ()
     | Some (now, a) ->
+        (* Lifecycle markers are emitted here, at dequeue, rather than
+           when the plan is built: ring order then keeps each request's
+           span openings next to its other events, so an undersized
+           ring truncates whole requests instead of evicting every
+           arrival first.  Timestamps are still the true instants: the
+           first attempt's dequeue time is arrival + wire stall. *)
+        if Trace.on () && a.attempt_no = 1 then begin
+          Trace.emit ~ts:a.orig_arrival
+            (Tev.Req_arrival { req = a.req; conn = a.conn });
+          if now > a.orig_arrival then
+            Trace.emit ~ts:now
+              (Tev.Req_stall { req = a.req; dur = now - a.orig_arrival })
+        end;
         (match a.fault with
         | Some Faults.Drop ->
             (* The connection died on the wire; the client notices after
                its detection delay and retries. *)
             let detect = now + resilience.drop_detect_ns in
+            if Trace.on () then
+              Trace.emit ~ts:detect
+                (Tev.Req_drop
+                   {
+                     req = a.req;
+                     attempt = a.attempt_no;
+                     dur = resilience.drop_detect_ns;
+                   });
             if schedule_retry ~now:detect a then incr fa_retried
             else begin
               incr timeouts;
-              incr fa_timeout
+              incr fa_timeout;
+              if Trace.on () then
+                Trace.emit ~ts:detect
+                  (Tev.Req_done { req = a.req; disposition = "timeout" })
             end
         | _ -> process_attempt now a);
         drain ()

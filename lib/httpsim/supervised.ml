@@ -203,7 +203,7 @@ let run_server ~(model : Server.model)
   in
   let conn_handler c () =
     match
-      Nursery.run
+      Nursery.run ~clock:now
         ~name:("conn-" ^ string_of_int c)
         (fun n ->
           for r = 0 to cfg.requests_per_conn - 1 do
@@ -236,7 +236,7 @@ let run_server ~(model : Server.model)
   let accept_loop shard () =
     shard_state.(shard) <- `Accepting;
     Sup.heartbeat ();
-    Nursery.run
+    Nursery.run ~clock:now
       ~name:("accept-" ^ string_of_int shard)
       (fun n ->
         let rec next () =
@@ -326,7 +326,7 @@ let run_server ~(model : Server.model)
   let all_terminal () = !remaining = 0 in
   let stats_restarts = ref 0 in
   let stats_escalations = ref 0 in
-  Sched.run ?chaos:cfg.chaos
+  Sched.run ?chaos:cfg.chaos ~clock:now
     ~idle:(fun () -> Evloop.advance_once loop)
     (fun () ->
       let h = Sup.start ~clock:now tree in

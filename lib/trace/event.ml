@@ -15,6 +15,11 @@
    instant.  [Runq_depth]/[Io_pending]/[Inflight_depth] are counter
    tracks. *)
 
+(* Chrome flow-event step: where on a causal chain a flow event sits.
+   Synthesized by the causal layer (lib/causal), never emitted by
+   instrumentation sites directly. *)
+type flow_step = Flow_start | Flow_step | Flow_end
+
 type ev =
   (* fiber machine *)
   | Fiber_create of { id : int; parent : int; size : int }
@@ -36,19 +41,52 @@ type ev =
   (* schedulers *)
   | Runq_depth of { depth : int }
   | Io_pending of { depth : int }
+  | Wakeup of { reason : string; wait_ns : int }
+      (* a runnable thunk left the queue and ran: [ts] is the run
+         instant, [ts - wait_ns] the runnable-enqueue instant, [reason]
+         why it became runnable (yield / fork / wakeup / io-* / cancel /
+         kill) *)
   (* httpsim *)
-  | Request of { conn : int; attempt : int; status : int; start : int; finish : int }
+  | Request of {
+      req : int;
+      conn : int;
+      attempt : int;
+      status : int;
+      start : int;
+      finish : int;
+    }
   | Fault_injected of { conn : int; kind : string }
   | Shed of { conn : int }
   | Retry of { conn : int; attempt : int }
   | Gc_pause of { start : int; dur : int }
   | Inflight_depth of { depth : int }
+  (* httpsim request causal lifecycle: enough endpoints that the causal
+     layer can re-derive, for every request, a gap-free segmentation of
+     [arrival, done] into running / queue / wire / gc / fault time *)
+  | Req_arrival of { req : int; conn : int }
+  | Req_enqueue of { req : int; attempt : int }
+      (* the attempt reached the server queue (runnable-at-server) *)
+  | Req_stall of { req : int; dur : int }
+      (* wire stall fault delayed delivery; covers [ts - dur, ts] *)
+  | Req_backoff of { req : int; attempt : int; dur : int }
+      (* client retry backoff before [attempt]; covers [ts - dur, ts] *)
+  | Req_drop of { req : int; attempt : int; dur : int }
+      (* dropped on the wire; client detection delay covers [ts - dur, ts] *)
+  | Req_fault_slow of { req : int; attempt : int; dur : int }
+      (* fault-injected extra backend service time inside the attempt *)
+  | Req_done of { req : int; disposition : string }
+      (* terminal resolution: ok / timeout / malformed / error *)
   (* supervision / chaos (PR 6) *)
   | Sup_child_exit of { path : string; how : string }
   | Sup_restart of { path : string }
   | Sup_escalate of { path : string }
   | Chaos_inject of { kind : string }
   | Drain_phase of { phase : string }
+  | Nursery_begin of { name : string }
+  | Nursery_end of { name : string }
+  (* Chrome flow event (ph s/t/f), synthesized from a causal graph;
+     [tid] anchors the flow to the emitting subsystem's track *)
+  | Flow of { step : flow_step; id : int; name : string; tid : int }
   (* free-form instant marker *)
   | Mark of { name : string }
 
@@ -63,13 +101,15 @@ let track = function
   | Handler_pop _ | Extcall_begin _ | Extcall_end _ | Callback_begin _
   | Callback_end _ ->
       1
-  | Runq_depth _ | Io_pending _ -> 2
+  | Runq_depth _ | Io_pending _ | Wakeup _ -> 2
   | Request _ | Fault_injected _ | Shed _ | Retry _ | Gc_pause _ | Inflight_depth _
-    ->
+  | Req_arrival _ | Req_enqueue _ | Req_stall _ | Req_backoff _ | Req_drop _
+  | Req_fault_slow _ | Req_done _ ->
       3
   | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ | Chaos_inject _
-  | Drain_phase _ ->
+  | Drain_phase _ | Nursery_begin _ | Nursery_end _ ->
       4
+  | Flow { tid; _ } -> tid
   | Mark _ -> 0
 
 let cat = function
@@ -80,12 +120,16 @@ let cat = function
     ->
       "effect"
   | Extcall_begin _ | Extcall_end _ | Callback_begin _ | Callback_end _ -> "ffi"
-  | Runq_depth _ | Io_pending _ -> "sched"
+  | Runq_depth _ | Io_pending _ | Wakeup _ -> "sched"
   | Request _ | Fault_injected _ | Shed _ | Retry _ | Gc_pause _ | Inflight_depth _
-    ->
+  | Req_arrival _ | Req_enqueue _ | Req_stall _ | Req_backoff _ | Req_drop _
+  | Req_fault_slow _ | Req_done _ ->
       "http"
-  | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ -> "sup"
+  | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ | Nursery_begin _
+  | Nursery_end _ ->
+      "sup"
   | Chaos_inject _ | Drain_phase _ -> "chaos"
+  | Flow _ -> "flow"
   | Mark _ -> "mark"
 
 let name = function
@@ -105,7 +149,15 @@ let name = function
   | Callback_begin { name } | Callback_end { name } -> "callback:" ^ name
   | Runq_depth _ -> "runq_depth"
   | Io_pending _ -> "io_pending"
+  | Wakeup { reason; _ } -> "wakeup:" ^ reason
   | Request _ -> "request"
+  | Req_arrival _ -> "req_arrival"
+  | Req_enqueue _ -> "req_enqueue"
+  | Req_stall _ -> "req_stall"
+  | Req_backoff _ -> "req_backoff"
+  | Req_drop _ -> "req_drop"
+  | Req_fault_slow _ -> "req_fault_slow"
+  | Req_done { disposition; _ } -> "req_done:" ^ disposition
   | Fault_injected { kind; _ } -> "fault:" ^ kind
   | Shed _ -> "shed"
   | Retry _ -> "retry"
@@ -116,6 +168,9 @@ let name = function
   | Sup_escalate { path } -> "sup_escalate:" ^ path
   | Chaos_inject { kind } -> "chaos:" ^ kind
   | Drain_phase { phase } -> "drain:" ^ phase
+  | Nursery_begin { name } -> "nursery_begin:" ^ name
+  | Nursery_end { name } -> "nursery_end:" ^ name
+  | Flow { name; _ } -> name
   | Mark { name } -> name
 
 (* integer arguments, rendered into the exporters' args objects *)
@@ -136,26 +191,49 @@ let args = function
   | Extcall_begin _ | Extcall_end _ | Callback_begin _ | Callback_end _ -> []
   | Runq_depth { depth } | Io_pending { depth } | Inflight_depth { depth } ->
       [ ("depth", depth) ]
-  | Request { conn; attempt; status; start; finish } ->
-      [ ("conn", conn); ("attempt", attempt); ("status", status);
+  | Wakeup { wait_ns; _ } -> [ ("wait_ns", wait_ns) ]
+  | Request { req; conn; attempt; status; start; finish } ->
+      [ ("req", req); ("conn", conn); ("attempt", attempt); ("status", status);
         ("dur", finish - start) ]
   | Fault_injected { conn; _ } -> [ ("conn", conn) ]
   | Shed { conn } -> [ ("conn", conn) ]
   | Retry { conn; attempt } -> [ ("conn", conn); ("attempt", attempt) ]
   | Gc_pause { start = _; dur } -> [ ("dur", dur) ]
+  | Req_arrival { req; conn } -> [ ("req", req); ("conn", conn) ]
+  | Req_enqueue { req; attempt } -> [ ("req", req); ("attempt", attempt) ]
+  | Req_stall { req; dur } -> [ ("req", req); ("dur", dur) ]
+  | Req_backoff { req; attempt; dur } ->
+      [ ("req", req); ("attempt", attempt); ("dur", dur) ]
+  | Req_drop { req; attempt; dur } ->
+      [ ("req", req); ("attempt", attempt); ("dur", dur) ]
+  | Req_fault_slow { req; attempt; dur } ->
+      [ ("req", req); ("attempt", attempt); ("dur", dur) ]
+  | Req_done { req; _ } -> [ ("req", req) ]
   | Sup_child_exit _ | Sup_restart _ | Sup_escalate _ | Chaos_inject _
-  | Drain_phase _ ->
+  | Drain_phase _ | Nursery_begin _ | Nursery_end _ ->
       []
+  | Flow _ -> []
   | Mark _ -> []
 
-type phase = Begin | End | Complete of int (* duration *) | Counter | Instant
+type phase =
+  | Begin
+  | End
+  | Complete of int (* duration *)
+  | Counter
+  | Instant
+  | Flow_phase of flow_step
 
+(* Nursery scopes overlap freely (one per live connection), so unlike
+   the FFI spans they cannot be Chrome B/E pairs, which must nest
+   strictly per thread: they export as instants and the causal layer
+   pairs them by name. *)
 let phase = function
   | Extcall_begin _ | Callback_begin _ -> Begin
   | Extcall_end _ | Callback_end _ -> End
   | Request { start; finish; _ } -> Complete (finish - start)
   | Gc_pause { dur; _ } -> Complete dur
   | Runq_depth _ | Io_pending _ | Inflight_depth _ -> Counter
+  | Flow { step; _ } -> Flow_phase step
   | _ -> Instant
 
 (* Chrome trace_event phase letter *)
@@ -165,3 +243,9 @@ let phase_letter = function
   | Complete _ -> "X"
   | Counter -> "C"
   | Instant -> "i"
+  | Flow_phase Flow_start -> "s"
+  | Flow_phase Flow_step -> "t"
+  | Flow_phase Flow_end -> "f"
+
+(* Flow binding id, rendered as the Chrome "id" field on s/t/f events. *)
+let flow_id = function Flow { id; _ } -> Some id | _ -> None

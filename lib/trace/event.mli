@@ -8,6 +8,8 @@
     instructions; httpsim events: simulated nanoseconds), so an
     eventlog is a pure function of the workload seed. *)
 
+type flow_step = Flow_start | Flow_step | Flow_end
+
 type ev =
   | Fiber_create of { id : int; parent : int; size : int }
   | Fiber_switch of { from_id : int; to_id : int }
@@ -27,17 +29,39 @@ type ev =
   | Callback_end of { name : string }
   | Runq_depth of { depth : int }
   | Io_pending of { depth : int }
-  | Request of { conn : int; attempt : int; status : int; start : int; finish : int }
+  | Wakeup of { reason : string; wait_ns : int }
+      (** a runnable thunk ran: [ts] is the run instant, [ts - wait_ns]
+          its runnable-enqueue instant, [reason] the wakeup cause *)
+  | Request of {
+      req : int;
+      conn : int;
+      attempt : int;
+      status : int;
+      start : int;
+      finish : int;
+    }
   | Fault_injected of { conn : int; kind : string }
   | Shed of { conn : int }
   | Retry of { conn : int; attempt : int }
   | Gc_pause of { start : int; dur : int }
   | Inflight_depth of { depth : int }
+  | Req_arrival of { req : int; conn : int }
+  | Req_enqueue of { req : int; attempt : int }
+  | Req_stall of { req : int; dur : int }
+  | Req_backoff of { req : int; attempt : int; dur : int }
+  | Req_drop of { req : int; attempt : int; dur : int }
+  | Req_fault_slow of { req : int; attempt : int; dur : int }
+  | Req_done of { req : int; disposition : string }
   | Sup_child_exit of { path : string; how : string }
   | Sup_restart of { path : string }
   | Sup_escalate of { path : string }
   | Chaos_inject of { kind : string }
   | Drain_phase of { phase : string }
+  | Nursery_begin of { name : string }
+  | Nursery_end of { name : string }
+  | Flow of { step : flow_step; id : int; name : string; tid : int }
+      (** Chrome flow event (phase s/t/f) synthesized by the causal
+          layer; [tid] anchors it to a subsystem track *)
   | Mark of { name : string }
 
 type t = { ts : int; ev : ev }
@@ -53,8 +77,18 @@ val name : ev -> string
 
 val args : ev -> (string * int) list
 
-type phase = Begin | End | Complete of int | Counter | Instant
+type phase =
+  | Begin
+  | End
+  | Complete of int
+  | Counter
+  | Instant
+  | Flow_phase of flow_step
 
 val phase : ev -> phase
 
 val phase_letter : phase -> string
+
+val flow_id : ev -> int option
+(** The flow binding id of a [Flow] event (the Chrome ["id"] field);
+    [None] for every other constructor. *)

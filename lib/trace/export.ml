@@ -49,6 +49,12 @@ let chrome_event buf (e : Event.t) =
   (match ph with
   | Event.Complete d -> Buffer.add_string buf (Printf.sprintf {|,"dur":%d|} d)
   | _ -> ());
+  (* flow events (s/t/f) join on their binding id; "bp":"e" binds each
+     point to the slice enclosing its timestamp, which is how Perfetto
+     draws the arrow from span to span *)
+  (match Event.flow_id e.ev with
+  | Some id -> Buffer.add_string buf (Printf.sprintf {|,"id":%d,"bp":"e"|} id)
+  | None -> ());
   (match Event.args e.ev with
   | [] -> ()
   | args ->
@@ -253,7 +259,8 @@ let parse_json (s : string) : json =
 (* ------------------------------------------------------------------ *)
 (* Schema checking *)
 
-let known_phases = [ "B"; "E"; "X"; "C"; "i"; "I"; "M"; "b"; "e" ]
+let known_phases = [ "B"; "E"; "X"; "C"; "i"; "I"; "M"; "b"; "e"; "s"; "t"; "f" ]
+let flow_phases = [ "s"; "t"; "f" ]
 
 let validate_chrome (text : string) : (int, string) result =
   match parse_json text with
@@ -289,6 +296,8 @@ let validate_chrome (text : string) : (int, string) result =
                 let* () = int "pid" in
                 let* () = int "tid" in
                 let* () = if ph = "X" then int "dur" else Ok () in
+                (* flow events are useless without a binding id *)
+                let* () = if List.mem ph flow_phases then int "id" else Ok () in
                 Ok ()
             | _ -> Error (Printf.sprintf "event %d: not an object" i)
           in

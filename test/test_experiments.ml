@@ -18,10 +18,11 @@ let harness_clock_monotone () =
   Alcotest.(check bool) "monotone" true (Int64.compare b a >= 0)
 
 let registry_ids () =
-  Alcotest.(check int) "15 experiments" 15 (List.length E.Registry.all);
+  Alcotest.(check int) "16 experiments" 16 (List.length E.Registry.all);
   Alcotest.(check bool) "find" true (E.Registry.find "table1" <> None);
   Alcotest.(check bool) "find degradation" true (E.Registry.find "degradation" <> None);
   Alcotest.(check bool) "find stacklab" true (E.Registry.find "stacklab" <> None);
+  Alcotest.(check bool) "find causal" true (E.Registry.find "causal" <> None);
   Alcotest.(check bool) "missing" true (E.Registry.find "zzz" = None);
   let ids = E.Registry.ids () in
   Alcotest.(check int) "unique" (List.length ids)

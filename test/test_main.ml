@@ -26,5 +26,6 @@ let () =
       ("crosslevel", Test_crosslevel.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("causal", Test_causal.suite);
       ("supervise", Test_supervise.suite);
     ]
