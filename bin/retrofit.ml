@@ -352,7 +352,7 @@ let lint_cmd =
       ("suspended_requests", F.Programs.suspended_requests ~n:3);
     ]
   in
-  let run red_zone multishot name =
+  let run red_zone multishot handlers cost_bounds quiet name =
     let targets =
       match name with
       | None -> targets
@@ -363,16 +363,45 @@ let lint_cmd =
       1
     end
     else begin
-      let findings = ref 0 in
+      let findings = ref 0 and musts = ref 0 in
       List.iter
         (fun (name, p) ->
-          let report = A.Analyze.lint ~cfun_model ~red_zone ~multishot p in
+          let r = A.Analyze.analyze ~cfun_model ~multishot p in
+          let rz = A.Redzone.audit ~red_zone r.A.Analyze.compiled in
+          let extra =
+            (if handlers then A.Resolve.diagnostics r.A.Analyze.resolve else [])
+            @
+            if cost_bounds then A.Costbound.diagnostics r.A.Analyze.cost else []
+          in
+          let report =
+            {
+              r.A.Analyze.report with
+              A.Diag.diags =
+                A.Diag.dedup (rz @ extra @ r.A.Analyze.report.A.Diag.diags);
+            }
+          in
+          let is_must v = v = A.Diag.Must in
+          musts :=
+            !musts
+            + List.length
+                (List.filter (fun d -> is_must d.A.Diag.verdict) report.A.Diag.diags)
+            + (if is_must report.A.Diag.unhandled then 1 else 0)
+            + if is_must report.A.Diag.one_shot then 1 else 0;
           findings := !findings + List.length report.A.Diag.diags;
-          Printf.printf "== %s ==\n%s\n" name (A.Diag.report_to_string report))
+          if not quiet then begin
+            let loc = A.Diag.locator ~file:name p in
+            Printf.printf "== %s ==\n%s" name (A.Diag.report_to_string ~loc report);
+            if handlers then
+              Printf.printf "%s" (A.Resolve.report r.A.Analyze.resolve);
+            if cost_bounds then
+              Printf.printf "%s"
+                (A.Costbound.report ~multishot ~red_zone r.A.Analyze.cost);
+            print_newline ()
+          end)
         targets;
-      Printf.printf "%d findings across %d programs\n" !findings
-        (List.length targets);
-      0
+      Printf.printf "%d findings (%d must) across %d programs\n" !findings
+        !musts (List.length targets);
+      if !musts > 0 then 1 else 0
     end
   in
   let red_zone =
@@ -391,6 +420,32 @@ let lint_cmd =
              verified-safe and resume sites stop counting as one-shot \
              violation sources.")
   in
+  let handlers =
+    Arg.(
+      value & flag
+      & info [ "handlers" ]
+          ~doc:
+            "Print the interprocedural handler-resolution table: per perform \
+             site, the candidate handler clauses, the \
+             monomorphic/polymorphic/megamorphic classification, and the \
+             inline-cache candidate census.")
+  in
+  let cost_bounds =
+    Arg.(
+      value & flag
+      & info [ "cost-bounds" ]
+          ~doc:
+            "Print the static cost-bound table: whole-program and \
+             per-function bounds on performs, handler installations, resumes \
+             and calls, plus per-stack-policy bounds on the machine's cost \
+             counters (switches, grows, checks, probes, captures).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ]
+          ~doc:"Print only the one-line findings summary.")
+  in
   let prog =
     Arg.(
       value
@@ -401,9 +456,19 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Static effect-safety lints: handled-effect dataflow, continuation \
-          linearity, C-frame barriers and the red-zone audit over the \
-          built-in fiber programs")
-    Term.(const run $ red_zone $ multishot $ prog)
+          linearity, C-frame barriers, handler resolution, cost bounds and \
+          the red-zone audit over the built-in fiber programs.  Exits \
+          nonzero when any finding or program verdict is must."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when no diagnostic carries a must verdict; 1 when at least \
+              one finding or program-level verdict is must (a defect the \
+              analyzer proved, not merely failed to rule out).";
+         ])
+    Term.(
+      const run $ red_zone $ multishot $ handlers $ cost_bounds $ quiet $ prog)
 
 (* ------------------------------------------------------------------ *)
 (* causal *)

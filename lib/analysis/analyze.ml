@@ -9,6 +9,9 @@ type result = {
   flow_one_shot_may : bool;
   must : must;
   hit_violation : bool;
+  resolve : Resolve.t;
+  cost : Costbound.t;
+  compiled : F.Compile.compiled;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -200,14 +203,19 @@ let refine ~flow_may ~(must : must) label =
   | M_raises _ -> Diag.Safe
   | M_unknown -> Diag.May
 
-let analyze ?cfun_model ?must_fuel ?(multishot = false) (p : F.Ir.program) :
-    result =
+let analyze ?cfun_model ?must_fuel ?(multishot = false) ?compiled
+    ?(lints = true) (p : F.Ir.program) : result =
   let cfg = Cfg.build ?cfun_model p in
   let lin = Linearity.analyze cfg in
   let eff = Effects.analyze ~multishot cfg lin in
-  let diags = Effects.diagnostics eff in
+  let diags = if lints then Effects.diagnostics eff else [] in
   let flow_u = Effects.unhandled_may eff in
   let flow_o = Effects.one_shot_may eff in
+  let resolve = Resolve.analyze cfg lin in
+  let compiled =
+    match compiled with Some c -> c | None -> F.Compile.compile p
+  in
+  let cost = Costbound.analyze ~cfun_model:cfg.Cfg.cfun_model compiled in
   let must, hit_violation = must_run ?fuel:must_fuel cfg.Cfg.cfun_model p in
   (* The interpreter's continuations are the host's, hence one-shot:
      past a violation its execution diverges from the cloning runtime,
@@ -223,10 +231,13 @@ let analyze ?cfun_model ?must_fuel ?(multishot = false) (p : F.Ir.program) :
     flow_one_shot_may = flow_o;
     must;
     hit_violation;
+    resolve;
+    cost;
+    compiled;
   }
 
 let lint ?cfun_model ?(red_zone = 16) ?must_fuel ?multishot (p : F.Ir.program) :
     Diag.report =
   let r = analyze ?cfun_model ?must_fuel ?multishot p in
-  let rz = Redzone.audit ~red_zone (F.Compile.compile p) in
-  { r.report with Diag.diags = Diag.sorted (rz @ r.report.Diag.diags) }
+  let rz = Redzone.audit ~red_zone r.compiled in
+  { r.report with Diag.diags = Diag.dedup (rz @ r.report.Diag.diags) }

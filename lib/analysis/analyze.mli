@@ -23,6 +23,11 @@ type result = {
   hit_violation : bool;
       (** the must pass resumed a dead continuation: its execution is
           only valid under the one-shot discipline from that point *)
+  resolve : Resolve.t;  (** per-perform-site handler resolution *)
+  cost : Costbound.t;  (** whole-program cost bounds *)
+  compiled : Retrofit_fiber.Compile.compiled;
+      (** the compiled form the cost pass (and any red-zone audit or
+          runtime map) ran against *)
 }
 
 val must_run :
@@ -35,9 +40,24 @@ val analyze :
   ?cfun_model:(string -> Cfg.cfun_model) ->
   ?must_fuel:int ->
   ?multishot:bool ->
+  ?compiled:Retrofit_fiber.Compile.compiled ->
+  ?lints:bool ->
   Retrofit_fiber.Ir.program ->
   result
-(** [multishot] (default [false]) targets a runtime that clones
+(** [compiled], when given, must be the compiled form of the program
+    being analyzed; it is used for the cost pass and stored in the
+    result instead of compiling afresh.  Callers that compile the
+    program anyway to execute it (the conformance campaign, benches)
+    pass it here so the compile is not paid twice.
+
+    [lints] (default [true]) controls construction of the per-site
+    {!Diag.t} findings, which involves rendering sites and call paths;
+    with [lints:false] the [report.diags] list is empty while every
+    program-level verdict, flow fact, resolution and cost claim is
+    still computed.  The conformance campaign — which cross-checks
+    claims, not lint renderings — runs with lints off.
+
+    [multishot] (default [false]) targets a runtime that clones
     continuations on resume: {!Diag.May_resume_twice} findings carry a
     [Safe] verdict, resume sites stop counting as ["Invalid_argument"]
     sources for the [one_shot] verdict, and a must-pass execution that

@@ -14,6 +14,8 @@ type kind =
       claimed_leaf : bool;
       computed_leaf : bool;
     }
+  | Megamorphic_dispatch of { effect_name : string; outcomes : int }
+  | Unbounded_cost of { counter : string; cause : string }
 
 type t = {
   kind : kind;
@@ -38,6 +40,8 @@ let kind_label = function
   | May_resume_twice _ -> "may-resume-twice"
   | May_leak _ -> "may-leak"
   | Redzone_unsound _ -> "red-zone-unsound"
+  | Megamorphic_dispatch _ -> "megamorphic-dispatch"
+  | Unbounded_cost _ -> "unbounded-cost"
 
 let kind_detail = function
   | Possibly_unhandled { effect_name } ->
@@ -64,20 +68,73 @@ let kind_detail = function
         "overflow check elided but recomputed frame disagrees (claimed %d words \
          leaf=%b, computed %d words leaf=%b)"
         claimed_frame claimed_leaf computed_frame computed_leaf
+  | Megamorphic_dispatch { effect_name; outcomes } ->
+      Printf.sprintf
+        "perform %s may dispatch to %d distinct handler clauses — not an \
+         inline-cache candidate"
+        effect_name outcomes
+  | Unbounded_cost { counter; cause } ->
+      Printf.sprintf "no finite static bound for counter %s (%s)" counter cause
 
-let to_string d =
+(* A witness step renders as [name(file:line)] when the caller supplies
+   a locator — the listing position of the function's definition, in a
+   terminal-clickable [file:line] shape. *)
+let step_to_string ?loc name =
+  match loc with
+  | None -> name
+  | Some f -> (
+      match f name with
+      | Some pos -> Printf.sprintf "%s(%s)" name pos
+      | None -> name)
+
+let to_string ?loc d =
   Printf.sprintf "%-22s %-4s %s: %s%s%s" (kind_label d.kind)
     (verdict_to_string d.verdict)
     d.fn (kind_detail d.kind)
-    (if d.path = [] then "" else " [" ^ String.concat " -> " d.path ^ "]")
+    (if d.path = [] then ""
+     else
+       " [" ^ String.concat " -> " (List.map (step_to_string ?loc) d.path) ^ "]")
     (if d.site = "" then "" else "\n    at " ^ d.site)
+
+let locator ~file (p : Retrofit_fiber.Ir.program) =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Retrofit_fiber.Ir.fn) ->
+      (* [Ir.program_to_string] prints one function per line, in program
+         order, so the definition of the [i]-th function sits on line
+         [i + 1] of the listing. *)
+      if not (Hashtbl.mem tbl f.Retrofit_fiber.Ir.fn_name) then
+        Hashtbl.replace tbl f.Retrofit_fiber.Ir.fn_name (i + 1))
+    p.Retrofit_fiber.Ir.fns;
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some line -> Some (Printf.sprintf "%s:%d" file line)
+    | None -> None
 
 (* Deterministic report order: by kind label, function, then detail. *)
 let sort_key d = (kind_label d.kind, d.fn, kind_detail d.kind, d.site)
 
 let sorted diags = List.sort (fun a b -> compare (sort_key a) (sort_key b)) diags
 
-let report_to_string r =
+(* Findings that differ only in their call-graph witness are one
+   finding: keep the shortest (then lexicographically least) path so
+   reports stay deterministic and the count reflects distinct
+   kind/verdict/function/site facts. *)
+let dedup diags =
+  let better a b =
+    compare (List.length a.path, a.path) (List.length b.path, b.path) < 0
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let key = (sort_key d, verdict_to_string d.verdict) in
+      match Hashtbl.find_opt tbl key with
+      | Some prev when not (better d prev) -> ()
+      | _ -> Hashtbl.replace tbl key d)
+    diags;
+  sorted (Hashtbl.fold (fun _ d acc -> d :: acc) tbl [])
+
+let report_to_string ?loc r =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "verdicts: unhandled=%s one-shot=%s\n"
@@ -86,6 +143,6 @@ let report_to_string r =
   if r.diags = [] then Buffer.add_string b "no findings\n"
   else
     List.iter
-      (fun d -> Buffer.add_string b (to_string d ^ "\n"))
-      (sorted r.diags);
+      (fun d -> Buffer.add_string b (to_string ?loc d ^ "\n"))
+      (dedup r.diags);
   Buffer.contents b

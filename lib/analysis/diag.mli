@@ -35,6 +35,13 @@ type kind =
     }
       (** the §5.2 elision rule would skip the prologue check, but the
           recomputed frame usage could overrun the red zone *)
+  | Megamorphic_dispatch of { effect_name : string; outcomes : int }
+      (** the handler-resolution pass found too many distinct dynamic
+          dispatch outcomes at this perform site for an inline cache *)
+  | Unbounded_cost of { counter : string; cause : string }
+      (** the cost-bound pass cannot give the named runtime counter a
+          finite whole-program bound (recursion, a non-constant loop
+          count, or an opaque external call) *)
 
 type t = {
   kind : kind;
@@ -54,9 +61,23 @@ val verdict_to_string : verdict -> string
 
 val kind_label : kind -> string
 
-val to_string : t -> string
+val to_string : ?loc:(string -> string option) -> t -> string
+(** [loc] maps a witness-path function name to a terminal-clickable
+    [file:line] position; steps with a position render as
+    [name(file:line)]. *)
+
+val locator :
+  file:string -> Retrofit_fiber.Ir.program -> string -> string option
+(** Positions every function at its line in the
+    {!Retrofit_fiber.Ir.program_to_string} listing of [file] — one
+    function per line, program order. *)
 
 val sorted : t list -> t list
 (** Deterministic order: kind label, then function, then detail. *)
 
-val report_to_string : report -> string
+val dedup : t list -> t list
+(** {!sorted}, with findings that differ only in witness path (same
+    kind, verdict, function and site) collapsed to the one with the
+    shortest — then lexicographically least — path. *)
+
+val report_to_string : ?loc:(string -> string option) -> report -> string

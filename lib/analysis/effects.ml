@@ -98,6 +98,33 @@ let resumer_fns t (s : Cfg.spec) =
     t.lin.Linearity.sites;
   !out
 
+(* The propagation structure of a function — its calls, installations
+   and external calls — is fixed; only the contexts joined through it
+   change between rounds.  Summarising each reachable function once
+   keeps the fixpoint rounds free of AST walks. *)
+type a_summary = {
+  a_calls : string list;
+  a_handles : (string * string list * string list) list;
+      (** body fn, handled effect labels, case fns *)
+  a_extcalls : (string * Cfg.cfun_model) list;
+}
+
+let summarize_a (cfg : Cfg.t) =
+  List.map
+    (fun (f : F.Ir.fn) ->
+      let calls = ref [] and handles = ref [] and exts = ref [] in
+      Cfg.iter_expr
+        (fun e ->
+          match e with
+          | F.Ir.Call (g, _) -> calls := g :: !calls
+          | F.Ir.Handle h ->
+              handles := (h.F.Ir.body_fn, effc_labels h, case_fns h) :: !handles
+          | F.Ir.Extcall (c, _) -> exts := (c, cfg.Cfg.cfun_model c) :: !exts
+          | _ -> ())
+        f.F.Ir.body;
+      (f.F.Ir.fn_name, { a_calls = !calls; a_handles = !handles; a_extcalls = !exts }))
+    cfg.Cfg.reach_order
+
 let phase_a t =
   let cfg = t.cfg in
   join_ctx (ref false) t cfg.Cfg.program.F.Ir.main
@@ -105,44 +132,56 @@ let phase_a t =
   let all_via_c c =
     List.map (fun l -> (l, { top = false; via_c = Some c })) cfg.Cfg.eff_labels
   in
+  let summaries = summarize_a cfg in
+  (* who can resume which spec depends only on the linearity sites —
+     loop-invariant, so computed once rather than every round, as are
+     each spec's own handled labels and case functions *)
+  let resumers =
+    Array.map
+      (fun (s : Cfg.spec) ->
+        if Cfg.is_reachable cfg s.Cfg.sp_in then resumer_fns t s else [])
+      cfg.Cfg.specs
+  in
+  let spec_labels =
+    Array.map (fun (s : Cfg.spec) -> effc_labels s.Cfg.sp) cfg.Cfg.specs
+  in
+  let spec_cases =
+    Array.map (fun (s : Cfg.spec) -> case_fns s.Cfg.sp) cfg.Cfg.specs
+  in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < 1000 do
     changed := false;
     incr rounds;
     List.iter
-      (fun (f : F.Ir.fn) ->
-        let fname = f.F.Ir.fn_name in
+      (fun (fname, s) ->
         let cf = ctx_entries t fname in
-          Cfg.iter_expr
-            (fun e ->
-              match e with
-              | F.Ir.Call (g, _) -> join_ctx changed t g cf
-              | F.Ir.Handle h ->
-                  join_ctx changed t h.F.Ir.body_fn
-                    (minus_labels cf (effc_labels h));
-                  List.iter (fun g -> join_ctx changed t g cf) (case_fns h)
-              | F.Ir.Extcall (c, _) -> (
-                  match cfg.Cfg.cfun_model c with
-                  | Cfg.Pure -> ()
-                  | Cfg.Calls_back g -> join_ctx changed t g (all_via_c c)
-                  | Cfg.Opaque ->
-                      List.iter
-                        (fun g -> join_ctx changed t g (all_via_c c))
-                        cfg.Cfg.fn_names)
-              | _ -> ())
-            f.F.Ir.body)
-      cfg.Cfg.reach_order;
-    Array.iter
-      (fun (s : Cfg.spec) ->
-        if Cfg.is_reachable cfg s.Cfg.sp_in then
-          List.iter
-            (fun r ->
-              let cr = ctx_entries t r in
-              join_ctx changed t s.Cfg.sp.F.Ir.body_fn
-                (minus_labels cr (effc_labels s.Cfg.sp));
-              List.iter (fun g -> join_ctx changed t g cr) (case_fns s.Cfg.sp))
-            (resumer_fns t s))
+        List.iter (fun g -> join_ctx changed t g cf) s.a_calls;
+        List.iter
+          (fun (body_fn, labels, cases) ->
+            join_ctx changed t body_fn (minus_labels cf labels);
+            List.iter (fun g -> join_ctx changed t g cf) cases)
+          s.a_handles;
+        List.iter
+          (fun (c, model) ->
+            match model with
+            | Cfg.Pure -> ()
+            | Cfg.Calls_back g -> join_ctx changed t g (all_via_c c)
+            | Cfg.Opaque ->
+                List.iter
+                  (fun g -> join_ctx changed t g (all_via_c c))
+                  cfg.Cfg.fn_names)
+          s.a_extcalls)
+      summaries;
+    Array.iteri
+      (fun i (s : Cfg.spec) ->
+        List.iter
+          (fun r ->
+            let cr = ctx_entries t r in
+            join_ctx changed t s.Cfg.sp.F.Ir.body_fn
+              (minus_labels cr spec_labels.(i));
+            List.iter (fun g -> join_ctx changed t g cr) spec_cases.(i))
+          resumers.(i))
       cfg.Cfg.specs
   done
 

@@ -1,0 +1,81 @@
+(** Interprocedural handler resolution: which handler clauses can
+    dynamically receive each [perform]?
+
+    A context-sensitive refinement of the {!Effects} phase-A dataflow:
+    instead of tracking only whether a label may be unhandled, each
+    function carries, per effect label, the set of handle-spec
+    installations that may be the {e nearest} handler above one of its
+    activations.  Inside a spec's body — and on re-entry after a resume
+    — the labels the spec handles resolve to exactly that spec,
+    shadowing every outer candidate; [Calls_back]/[Opaque] external
+    calls blank the chain (the §5.3 barrier), and [Opaque] re-entries
+    flow into every function.
+
+    Sites are classified by their number of distinct dynamic dispatch
+    outcomes (candidate specs, plus one for a possible handler-less
+    boundary): 1 is monomorphic — the inline-cache candidate the
+    ROADMAP dispatch work wants — 2–4 polymorphic, 5+ megamorphic.
+    The claim the conformance campaign checks is the candidate set
+    itself: every observed dispatch target must be a candidate, and a
+    handler-less [Unhandled] raise can only happen at a site flagged
+    [+toplevel] or [+via-c]. *)
+
+type klass = Mono | Poly | Mega
+
+type site = {
+  r_fn : string;
+  r_idx : int;
+      (** compile-order position among the function's perform sites:
+          the [r_idx]-th [PerformI] of its compiled code *)
+  r_label : string;
+  r_site : string;  (** printed [Perform] expression *)
+  r_cands : Set.Make(Int).t;  (** candidate handle specs, by [sp_id] *)
+  r_top : bool;  (** may reach toplevel with no handler *)
+  r_via_c : bool;  (** may reach a §5.3 callback barrier *)
+  r_class : klass;
+}
+
+type t
+
+val analyze : Cfg.t -> Linearity.t -> t
+
+val sites_of : t -> string -> site array
+(** Compile order; [[||]] for an unreachable function. *)
+
+val all_sites : t -> site list
+(** Program order, compile order within each function. *)
+
+val census : t -> int * int * int
+(** [(mono, poly, mega)] over {!all_sites}. *)
+
+val klass_to_string : klass -> string
+
+val outcomes : site -> int
+
+val site_to_string : t -> site -> string
+
+val report : t -> string
+(** The inline-cache candidate table: one census line, then one line
+    per site with candidates, boundary flags and witness path. *)
+
+val diagnostics : t -> Diag.t list
+(** One [May]-verdict {!Diag.Megamorphic_dispatch} per megamorphic
+    site. *)
+
+(** {1 Static-to-runtime identity maps}
+
+    Built against the compiled form of the {e same} program the
+    analysis ran on; the deterministic compiler makes the pairing
+    stable across independent compiles. *)
+
+type rt = {
+  rt_site_of_pc : (int, site) Hashtbl.t;
+      (** [PerformI] pc — what {!Retrofit_fiber.Machine.run}'s
+          [on_perform] reports as [site] — to the static site *)
+  rt_spec_of_handle : int array;
+      (** handle-descriptor index (what [on_perform] reports as
+          [handler]) to [sp_id]; -1 when unmatched *)
+  rt_handle_of_spec : int array;  (** inverse; -1 when unmatched *)
+}
+
+val runtime_map : t -> Retrofit_fiber.Compile.compiled -> rt

@@ -96,8 +96,8 @@ let cfuns p =
        (callback_targets p)
 
 let run ?(config = F.Config.mc) ?(fuel = 20_000_000) ?(audit = true)
-    ?(audit_interval = 1) ?dwarf_seed ?(dwarf_max_probes = 500) (p : Ir.program) :
-    result =
+    ?(audit_interval = 1) ?dwarf_seed ?(dwarf_max_probes = 500) ?on_perform
+    (p : Ir.program) : result =
   match F.Compile.compile (lower p) with
   | exception F.Compile.Error msg ->
       {
@@ -133,7 +133,8 @@ let run ?(config = F.Config.mc) ?(fuel = 20_000_000) ?(audit = true)
                 end)
       in
       let outcome, counters =
-        F.Machine.run ~cfuns:(cfuns p) ?on_call ?audit:auditor ~fuel config prog
+        F.Machine.run ~cfuns:(cfuns p) ?on_call ?on_perform ?audit:auditor ~fuel
+          config prog
       in
       let outcome =
         match outcome with

@@ -34,6 +34,7 @@ val run :
   ?audit_interval:int ->
   ?dwarf_seed:int ->
   ?dwarf_max_probes:int ->
+  ?on_perform:(site:int -> eff:int -> handler:int -> unit) ->
   Ir.program ->
   result
 (** Defaults: {!Retrofit_fiber.Config.mc}, 20-million-op fuel, audit
@@ -42,4 +43,10 @@ val run :
     per program — each probe unwinds the whole stack, so an unbounded
     rate would be quadratic on deep fuel-bound runs.  Pass
     [Config.with_multishot true Config.mc] to disable the one-shot
-    check — the canonical seeded mutation the fuzzer must catch. *)
+    check — the canonical seeded mutation the fuzzer must catch.
+
+    [on_perform] is threaded to {!Retrofit_fiber.Machine.run}: it fires
+    once per dynamic perform with the [PerformI] pc, the effect id, and
+    the handle-descriptor index of the matching handler fiber (-1 at a
+    handler-less boundary) — the observation stream the handler
+    resolution soundness check consumes. *)

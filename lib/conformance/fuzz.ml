@@ -1,4 +1,5 @@
 module F = Retrofit_fiber
+module A = Retrofit_analysis
 
 type failure = {
   index : int;
@@ -20,6 +21,8 @@ type stats = {
   audit_checks : int;
   dwarf_probes : int;
   analyzed : int;
+  dispatch_checks : int;
+  bound_checks : int;
   failures : failure list;
 }
 
@@ -100,14 +103,67 @@ let campaign ?cfg ?(fiber_config = F.Config.mc) ?fib_fuel ?sem_one_shot
         | Oracle.Agree | Oracle.Skip -> None)
       runs
   in
+  (* Handler-resolution and cost-bound soundness: re-run the fiber
+     backend instrumented (default config plus every campaign policy),
+     recording the actual handler identity at each dynamic perform and
+     the final counter table, and hold both against the static claims.
+     A mono-resolved site dispatching elsewhere, an Unhandled at a site
+     not flagged +toplevel/+via-c, or a measured counter above its
+     finite bound is a campaign failure like any other — shrinking sees
+     it through the same predicate. *)
+  let probe_cfgs = ("default", fiber_config) :: policy_cfgs in
+  let dispatch_checks = ref 0 and bound_checks = ref 0 in
+  let soundness_probe (c : Static.claims) p =
+    let rt = Static.runtime_map c in
+    List.find_map
+      (fun (name, cfgp) ->
+        let obs = ref [] in
+        let on_perform ~site ~eff:_ ~handler = obs := (site, handler) :: !obs in
+        let fr =
+          Fiber_backend.run ~config:cfgp ?fuel:fib_fuel ~audit:false ~on_perform
+            p
+        in
+        match fr.Fiber_backend.outcome with
+        | Outcome.Model_error _ -> None
+        | _ -> (
+            let observed = List.rev !obs in
+            dispatch_checks := !dispatch_checks + List.length observed;
+            match Static.dispatch_contradiction c rt observed with
+            | Some msg -> Some (Printf.sprintf "[%s] %s" name msg)
+            | None -> (
+                incr bound_checks;
+                match
+                  Static.bound_contradiction c ~policy:cfgp.F.Config.policy
+                    ~multishot:cfgp.F.Config.multishot fr.Fiber_backend.counters
+                with
+                | Some msg -> Some (Printf.sprintf "[%s] %s" name msg)
+                | None -> None)))
+      probe_cfgs
+  in
+  (* The per-site resolution census feeds the metrics registry (when
+     enabled); recorded once per campaign program, not per shrink
+     step. *)
+  let record_resolution (c : Static.claims) =
+    if Retrofit_metrics.Metrics.on () then
+      List.iter
+        (fun (s : A.Resolve.site) ->
+          Retrofit_metrics.Metrics.inc
+            ~labels:[ ("class", A.Resolve.klass_to_string s.A.Resolve.r_class) ]
+            "perform_site_resolution_total")
+        (A.Resolve.all_sites c.Static.result.A.Analyze.resolve)
+  in
   (* The analyzer-vs-oracle soundness check: a crash in the analyzer is
      as much a campaign failure as an unsound claim. *)
-  let static_check p r =
+  let static_check ?(record = false) p r =
     if not analyze then None
     else begin
       incr analyzed;
       match Static.analyze p with
-      | c -> Static.check ~fiber_config ?sem_one_shot c r
+      | c -> (
+          if record then record_resolution c;
+          match Static.check ~fiber_config ?sem_one_shot c r with
+          | Some _ as s -> s
+          | None -> soundness_probe c p)
       | exception e ->
           Some (Printf.sprintf "analyzer raised %s" (Printexc.to_string e))
     end
@@ -137,7 +193,7 @@ let campaign ?cfg ?(fiber_config = F.Config.mc) ?fib_fuel ?sem_one_shot
         | Oracle.Diff -> ())
       pol_runs;
     let offending = policy_diffs r.Oracle.fib pol_runs in
-    let analysis = static_check p r in
+    let analysis = static_check ~record:true p r in
     if (not (Oracle.ok r)) || analysis <> None || offending <> [] then begin
       let failing q rq =
         (not (Oracle.ok rq))
@@ -197,6 +253,8 @@ let campaign ?cfg ?(fiber_config = F.Config.mc) ?fib_fuel ?sem_one_shot
     audit_checks = !audit_checks;
     dwarf_probes = !dwarf_probes;
     analyzed = !analyzed;
+    dispatch_checks = !dispatch_checks;
+    bound_checks = !bound_checks;
     failures = List.rev !failures;
   }
 
@@ -262,5 +320,9 @@ let stats_to_string s =
   Buffer.add_string b
     (Printf.sprintf "audit checks: %d, dwarf probes: %d, analyzed: %d, failures: %d\n"
        s.audit_checks s.dwarf_probes s.analyzed (List.length s.failures));
+  if s.dispatch_checks > 0 || s.bound_checks > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "dispatches checked: %d, counter-bound tables checked: %d\n"
+         s.dispatch_checks s.bound_checks);
   List.iter (fun f -> Buffer.add_string b (failure_to_string f)) s.failures;
   Buffer.contents b

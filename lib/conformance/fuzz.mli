@@ -31,6 +31,11 @@ type stats = {
   audit_checks : int;
   dwarf_probes : int;
   analyzed : int;  (** programs run through the static analyzer *)
+  dispatch_checks : int;
+      (** dynamic perform dispatches held against the handler-resolution
+          candidate sets (instrumented runs, all campaign configs) *)
+  bound_checks : int;
+      (** counter tables held against the static cost bounds *)
   failures : failure list;
 }
 
@@ -64,10 +69,20 @@ val campaign :
     (default false) additionally runs {!Static.analyze} on every
     program and records a failure whenever the analyzer's [Safe] or
     [Must] claims contradict a backend's observed outcome (or the
-    analyzer itself raises).  [shrink] (default true) minimises each
-    failing program before recording it; with [analyze] on, a program
-    stays interesting while either the oracle disagrees or the
-    contradiction persists.
+    analyzer itself raises).  With [analyze] on the campaign also
+    re-runs the fiber backend instrumented — under the default config
+    and every listed policy — recording the actual handler identity at
+    each dynamic perform site and the final counter table, and fails on
+    any dispatch outside the site's statically resolved candidate set,
+    any handler-less [Unhandled] at a site not flagged
+    [+toplevel]/[+via-c], and any measured counter exceeding its finite
+    static bound ({!Static.dispatch_contradiction},
+    {!Static.bound_contradiction}).  When the metrics registry is
+    enabled, each analyzed program's per-site resolution census is
+    recorded as [perform_site_resolution_total{class=...}].  [shrink]
+    (default true) minimises each failing program before recording it;
+    with [analyze] on, a program stays interesting while either the
+    oracle disagrees or the contradiction persists.
 
     [policies] (default [[]]) additionally runs every program on the
     fiber backend under each listed stack policy and diffs the outcome

@@ -14,9 +14,17 @@ type claims = {
   result : A.Analyze.result;
 }
 
-let analyze ?must_fuel (p : Ir.program) : claims =
+(* The campaign cross-checks program-level claims (verdicts, handler
+   resolution, cost bounds) against executions; the rendered per-site
+   lint findings are a CLI concern, so their construction is skipped
+   here — it is a third of the analyzer's time budget. *)
+let analyze ?must_fuel ?compiled (p : Ir.program) : claims =
   let lowered = Fiber_backend.lower p in
-  { lowered; result = A.Analyze.analyze ~cfun_model ?must_fuel lowered }
+  {
+    lowered;
+    result =
+      A.Analyze.analyze ~cfun_model ?must_fuel ?compiled ~lints:false lowered;
+  }
 
 (* The per-backend verdict.  The must pass's execution follows the
    one-shot discipline; it also predicts a multi-shot backend as long
@@ -89,6 +97,83 @@ let check ?(fiber_config = Retrofit_fiber.Config.mc) ?(sem_one_shot = true)
       with
       | Some _ as s -> s
       | None -> probe "native" true r.Oracle.nat)
+
+(* ------------------------------------------------------------------ *)
+(* Handler-resolution and cost-bound soundness.  The resolution pass
+   claims a candidate-handler set per perform site and the cost pass a
+   per-counter upper bound per stack policy; both are held against an
+   instrumented fiber run.  The runtime map is built from the compiled
+   form inside [claims]; the deterministic compiler makes the same pcs
+   and handle indices valid for the independent compile inside
+   {!Fiber_backend.run}. *)
+
+module IS = Set.Make (Int)
+
+let runtime_map (c : claims) : A.Resolve.rt =
+  A.Resolve.runtime_map c.result.A.Analyze.resolve c.result.A.Analyze.compiled
+
+let dispatch_contradiction (c : claims) (rt : A.Resolve.rt)
+    (observed : (int * int) list) : string option =
+  let resolve = c.result.A.Analyze.resolve in
+  List.find_map
+    (fun (pc, handler) ->
+      match Hashtbl.find_opt rt.A.Resolve.rt_site_of_pc pc with
+      | None ->
+          Some
+            (Printf.sprintf
+               "perform executed at pc %d, but handler resolution mapped no \
+                site there (reachability unsoundness or stale site map)"
+               pc)
+      | Some s ->
+          if handler = -1 then
+            if s.A.Resolve.r_top || s.A.Resolve.r_via_c then None
+            else
+              Some
+                (Printf.sprintf
+                   "site resolved to handlers only, yet it reached a \
+                    handler-less boundary: %s"
+                   (A.Resolve.site_to_string resolve s))
+          else
+            let sp =
+              if handler >= 0 && handler < Array.length rt.A.Resolve.rt_spec_of_handle
+              then rt.A.Resolve.rt_spec_of_handle.(handler)
+              else -1
+            in
+            if sp >= 0 && IS.mem sp s.A.Resolve.r_cands then None
+            else
+              Some
+                (Printf.sprintf
+                   "%s site dispatched to handle spec#%d outside its \
+                    candidate set: %s"
+                   (A.Resolve.klass_to_string s.A.Resolve.r_class)
+                   sp
+                   (A.Resolve.site_to_string resolve s)))
+    observed
+
+let bound_contradiction (c : claims) ~(policy : Retrofit_fiber.Stack_policy.t)
+    ~multishot ?(red_zone = 16) (counters : Retrofit_util.Counter.t) :
+    string option =
+  let bounds =
+    A.Costbound.counter_bounds c.result.A.Analyze.cost ~policy ~multishot
+      ~red_zone
+  in
+  List.find_map
+    (fun (name, b) ->
+      match A.Costbound.finite b with
+      | None -> None
+      | Some limit ->
+          let v = Retrofit_util.Counter.get counters name in
+          if v > limit then
+            Some
+              (Printf.sprintf
+                 "counter %s measured %d under policy %s%s, exceeding its \
+                  static bound %d"
+                 name v
+                 (Retrofit_fiber.Stack_policy.name policy)
+                 (if multishot then " (multishot)" else "")
+                 limit)
+          else None)
+    bounds
 
 let claims_to_string (c : claims) =
   let vu, vo = verdicts ~one_shot:true c in

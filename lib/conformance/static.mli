@@ -18,7 +18,15 @@ type claims = {
   result : Retrofit_analysis.Analyze.result;
 }
 
-val analyze : ?must_fuel:int -> Ir.program -> claims
+val analyze :
+  ?must_fuel:int ->
+  ?compiled:Retrofit_fiber.Compile.compiled ->
+  Ir.program ->
+  claims
+(** [compiled], when given, must be the compiled form of the {e
+    lowered} program (what {!Fiber_backend.run} compiles internally);
+    callers that execute the program anyway pass it here so the
+    analyzer is not charged for a second compile. *)
 
 val verdicts :
   one_shot:bool ->
@@ -40,3 +48,34 @@ val check :
     report, labelled with the backend name. *)
 
 val claims_to_string : claims -> string
+
+(** {1 Handler-resolution and cost-bound soundness}
+
+    The resolution pass claims, per perform site, the set of handle
+    specs that can dynamically receive it; the cost pass claims a
+    per-counter upper bound per stack policy.  Both are checked against
+    an instrumented {!Fiber_backend.run} — the [on_perform] observation
+    stream and the returned counter table. *)
+
+val runtime_map : claims -> Retrofit_analysis.Resolve.rt
+(** Static-to-runtime identity maps over the compiled form inside the
+    claims; valid for any independent compile of the same lowered
+    program (the compiler is deterministic). *)
+
+val dispatch_contradiction :
+  claims -> Retrofit_analysis.Resolve.rt -> (int * int) list -> string option
+(** [(site_pc, handler_index)] observations from [on_perform].  A
+    contradiction is a dispatch to a spec outside the site's candidate
+    set, a handler-less boundary at a site not flagged
+    [+toplevel]/[+via-c], or a perform at an unmapped pc. *)
+
+val bound_contradiction :
+  claims ->
+  policy:Retrofit_fiber.Stack_policy.t ->
+  multishot:bool ->
+  ?red_zone:int ->
+  Retrofit_util.Counter.t ->
+  string option
+(** First measured counter exceeding its finite static bound under the
+    given policy/discipline; ∞ bounds are vacuous.  [red_zone] defaults
+    to the machine's 16 words. *)

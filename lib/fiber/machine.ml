@@ -83,6 +83,7 @@ type t = {
   mutable fuel : int;
   on_call : (t -> unit) option;
   on_step : (t -> unit) option;
+  on_perform : (site:int -> eff:int -> handler:int -> unit) option;
   auditor : audit option;
   unhandled_id : int;
   invalid_arg_id : int;
@@ -548,6 +549,14 @@ let do_perform t eff_id =
   count t "perform";
   charge t Costs.perform;
   if Trace.on () then emit_ev t (Tev.Perform { eff = t.prog.eff_names.(eff_id) });
+  (* [exec_instr] bumps pc before dispatching, so the PerformI site is
+     one behind the current pc.  Captured here, before any switching. *)
+  let site_pc = t.current.Fiber.regs.pc - 1 in
+  let notify handler =
+    match t.on_perform with
+    | Some hook -> hook ~site:site_pc ~eff:eff_id ~handler
+    | None -> ()
+  in
   let v = pop_op t.current in
   let kid = Vec.length t.conts in
   let k = { fibers = Vec.create (); cont_live = true } in
@@ -574,15 +583,20 @@ let do_perform t eff_id =
         (* Handler-less boundary: the main stack or a callback.  The
            effect is unhandled; reinstate whatever was captured and
            raise Unhandled at the perform site (§3.2). *)
-        if Vec.is_empty k.fibers then machine_raise t t.unhandled_id 0
+        if Vec.is_empty k.fibers then begin
+          notify (-1);
+          machine_raise t t.unhandled_id 0
+        end
         else begin
           let first = Vec.get k.fibers 0 in
           relink_last_to cur;
           k.cont_live <- false;
           switch_to t first;
+          notify (-1);
           machine_raise t t.unhandled_id 0
         end
     | Some h -> (
+        count t "eff_tbl_probe";
         relink_last_to cur;
         Vec.push k.fibers cur;
         let p =
@@ -593,6 +607,7 @@ let do_perform t eff_id =
         set_parent cur None;
         match Hashtbl.find_opt h.Compile.h_eff_tbl eff_id with
         | Some fid ->
+            notify (rd cur (Segment.top cur.Fiber.seg - 2));
             switch_to t p;
             emulate_call t p fid [| v; kid |] ~ra:p.regs.pc
         | None ->
@@ -1210,8 +1225,8 @@ let shadow_backtrace t =
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
-let run ?cache ?(cfuns = []) ?on_call ?on_step ?audit ?(fuel = 200_000_000) cfg
-    prog =
+let run ?cache ?(cfuns = []) ?on_call ?on_step ?on_perform ?audit
+    ?(fuel = 200_000_000) cfg prog =
   let counters = Counter.create () in
   let cache = match cache with Some c -> c | None -> Stack_cache.create () in
   let cfun_impls =
@@ -1240,6 +1255,7 @@ let run ?cache ?(cfuns = []) ?on_call ?on_step ?audit ?(fuel = 200_000_000) cfg
       fuel;
       on_call;
       on_step;
+      on_perform;
       auditor = audit;
       unhandled_id = Compile.exn_id prog Compile.unhandled_exn;
       invalid_arg_id = Compile.exn_id prog Compile.invalid_argument_exn;

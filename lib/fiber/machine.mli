@@ -87,6 +87,7 @@ val run :
   ?cfuns:(string * cfun) list ->
   ?on_call:(t -> unit) ->
   ?on_step:(t -> unit) ->
+  ?on_perform:(site:int -> eff:int -> handler:int -> unit) ->
   ?audit:audit ->
   ?fuel:int ->
   Config.t ->
@@ -98,6 +99,12 @@ val run :
     established — the hook the DWARF validator uses.  [on_step] runs
     after every executed instruction (including those inside callbacks)
     — the hook the sampling profiler hangs its interval countdown on.
+    [on_perform] fires once per dynamic perform with the PerformI pc
+    ([site]), the effect id, and the identity of the handler clause
+    that receives it: the handle-spec index of the matching handler
+    fiber, or [-1] when the effect crosses a handler-less boundary and
+    the runtime raises [Unhandled] — the hook the analyzer soundness
+    campaign records dispatch targets with.
     [audit] enables per-step invariant checking.  [fuel] bounds the
     executed operation count (default 200 million).
 

@@ -390,6 +390,8 @@ let soundness_fuzz_smoke () =
       ()
   in
   Alcotest.(check int) "all programs analyzed" 150 stats.C.Fuzz.analyzed;
+  Alcotest.(check bool) "dispatches checked" true (stats.C.Fuzz.dispatch_checks > 0);
+  Alcotest.(check int) "one bound table per program" 150 stats.C.Fuzz.bound_checks;
   match stats.C.Fuzz.failures with
   | [] -> ()
   | f :: _ -> Alcotest.failf "soundness failure:\n%s" (C.Fuzz.failure_to_string f)

@@ -228,6 +228,13 @@ let metrics_golden () =
         Metrics.inc ~r ~labels:[ ("model", "mc") ] ~by:3 "httpsim_requests_total";
         Metrics.inc ~r ~labels:[ ("model", "go") ] ~by:2 "httpsim_requests_total";
         Metrics.inc ~r ~by:7 "profile_wait_samples_total";
+        (* the fuzz campaign's handler-resolution census *)
+        Metrics.inc ~r ~labels:[ ("class", "mono") ] ~by:4
+          "perform_site_resolution_total";
+        Metrics.inc ~r ~labels:[ ("class", "poly") ] ~by:2
+          "perform_site_resolution_total";
+        Metrics.inc ~r ~labels:[ ("class", "mega") ]
+          "perform_site_resolution_total";
         Metrics.set_gauge ~r "queue_depth" 5;
         List.iter
           (fun v ->

@@ -26,6 +26,7 @@ let () =
       ("crosslevel", Test_crosslevel.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("analysis.resolve", Test_resolve.suite);
       ("causal", Test_causal.suite);
       ("supervise", Test_supervise.suite);
     ]
